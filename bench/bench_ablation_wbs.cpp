@@ -1,0 +1,65 @@
+// §3.4 ablation — wait-before-stop vs drop-and-replay.
+//
+// The paper rejects drop-and-replay for two reasons: (1) replaying the
+// dropped WRs moves the same bytes, so it takes about as long as waiting
+// for them, and (2) discarding in-flight WRs requires moving every QP
+// through RESET, which costs a full connection-teardown per QP.
+//
+// This harness measures wait-before-stop on a loaded system, then composes
+// the drop-and-replay estimate from the same measurements:
+//   drop_and_replay = #QP * reset_cost            (discard in-flight WRs)
+//                   + inflight_bytes / link_rate  (replay after restore)
+// Both columns therefore share the bandwidth term; the reset term is pure
+// extra — it grows linearly with #QPs and lands inside the blackout.
+#include "bench_util.hpp"
+
+namespace migr::bench {
+namespace {
+
+constexpr std::uint32_t kDepth = 64;
+
+void run_case(std::uint32_t qps) {
+  Cluster cluster(3);
+  PerftestConfig cfg;
+  cfg.num_qps = qps;
+  cfg.msg_size = 4096;
+  cfg.queue_depth = kDepth;
+  PerftestPeer sender(cluster.runtime(1), cluster.world().add_process("tx"), 100,
+                      PerftestPeer::Role::sender, cfg);
+  PerftestPeer receiver(cluster.runtime(3), cluster.world().add_process("rx"), 200,
+                        PerftestPeer::Role::receiver, cfg);
+  for (std::uint32_t i = 0; i < qps; ++i) {
+    if (!PerftestPeer::connect_pair(sender, i, receiver, i).is_ok()) std::exit(1);
+  }
+  sender.start();
+  receiver.start();
+  cluster.run_for(sim::msec(2));
+  auto rep = cluster.migrate(100, 2, &sender);
+  if (!rep.ok) std::exit(1);
+
+  const double wbs_ms = sim::to_msec(rep.wbs_elapsed);
+  const double inflight_ms =
+      static_cast<double>(qps) * cfg.msg_size * kDepth * 8.0 / 100e9 * 1e3;
+  // Modifying a QP back to RESET costs about as much as the three forward
+  // transitions (paper §2.2: "resetting QPs is as slow as setting up new
+  // connections").
+  const double reset_ms =
+      static_cast<double>(qps) *
+      sim::to_msec(3 * cluster.device(1).costs().modify_qp);
+  const double drop_replay_ms = reset_ms + inflight_ms;
+  std::printf("%16u%16.2f%16.2f%16.2f%15.2fx\n", qps, wbs_ms, drop_replay_ms, reset_ms,
+              drop_replay_ms / std::max(wbs_ms, 1e-9));
+}
+
+}  // namespace
+}  // namespace migr::bench
+
+int main() {
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  migr::bench::print_header(
+      "§3.4 ablation: wait-before-stop (measured) vs drop-and-replay "
+      "(modelled: per-QP reset + replay at link rate), 4 KiB msgs, depth 64");
+  migr::bench::print_row_header({"#QP", "WBS (ms)", "drop+replay", "reset part", "ratio"});
+  for (std::uint32_t qps : {16u, 64u, 256u, 1024u}) migr::bench::run_case(qps);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 4 — Overhead of wait-before-stop (queue depth 64).
+//
+// Three sweeps, as in the paper:
+//   (a) number of QPs, message size 4 KiB
+//   (b) message size, 64 QPs
+//   (c) number of partners (one-to-many pattern), 4 KiB messages
+//
+// For each point the harness reports the measured wait-before-stop elapsed
+// time, the theoretical lower bound inflight_bytes / link_rate (paper
+// footnote 2: #QP x msg x depth / 100 Gbps), and the total communication
+// blackout, so the WBS share is visible.
+//
+// Expected shape: WBS tracks theory (often below it, because the NIC has
+// already completed part of the window when WBS begins) and is a small
+// fraction of the communication blackout — except for small messages where
+// per-WR processing dominates and the measured value exceeds theory
+// severalfold (the paper reports 6x at 512 B).
+#include "bench_util.hpp"
+
+namespace migr::bench {
+namespace {
+
+constexpr std::uint32_t kDepth = 64;
+
+struct Point {
+  MigrationReport rep;
+  double theory_ms;
+};
+
+Point run_point(std::uint32_t qps, std::uint32_t msg_size, std::uint32_t partners) {
+  Cluster cluster(2 + partners);
+  PerftestConfig cfg;
+  cfg.num_qps = qps;
+  cfg.msg_size = msg_size;
+  cfg.queue_depth = kDepth;
+  PerftestPeer hub(cluster.runtime(1), cluster.world().add_process("hub"), 100,
+                   PerftestPeer::Role::sender, cfg);
+  std::vector<std::unique_ptr<PerftestPeer>> peers;
+  PerftestConfig pcfg = cfg;
+  pcfg.num_qps = qps / partners;
+  for (std::uint32_t p = 0; p < partners; ++p) {
+    peers.push_back(std::make_unique<PerftestPeer>(
+        cluster.runtime(3 + p), cluster.world().add_process("p" + std::to_string(p)),
+        200 + p, PerftestPeer::Role::receiver, pcfg));
+  }
+  for (std::uint32_t i = 0; i < qps; ++i) {
+    const std::uint32_t p = i % partners;
+    auto st = PerftestPeer::connect_pair(hub, i, *peers[p], i / partners);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "connect failed: %s\n", st.to_string().c_str());
+      std::exit(1);
+    }
+  }
+  hub.start();
+  for (auto& peer : peers) peer->start();
+  // Let the send windows fill (best-effort posting saturates the queues).
+  cluster.run_for(sim::msec(2));
+
+  Point point;
+  point.theory_ms = static_cast<double>(qps) * msg_size * kDepth * 8.0 / 100e9 * 1e3;
+  point.rep = cluster.migrate(100, 2, &hub);
+  if (!point.rep.ok) {
+    std::fprintf(stderr, "migration failed: %s\n", point.rep.error.c_str());
+    std::exit(1);
+  }
+  return point;
+}
+
+void print_point(const char* label, const Point& p) {
+  std::printf("%16s%16.3f%16.3f%16.3f%15.1f%%\n", label, sim::to_msec(p.rep.wbs_elapsed),
+              p.theory_ms, sim::to_msec(p.rep.comm_blackout()),
+              100.0 * static_cast<double>(p.rep.wbs_elapsed) /
+                  static_cast<double>(p.rep.comm_blackout()));
+}
+
+}  // namespace
+}  // namespace migr::bench
+
+int main() {
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  using namespace migr::bench;
+
+  print_header("Figure 4(a): wait-before-stop vs #QP (4 KiB messages, depth 64)");
+  print_row_header({"#QP", "WBS (ms)", "theory (ms)", "comm-blk (ms)", "WBS share"});
+  for (std::uint32_t qps : {16u, 64u, 256u, 1024u}) {
+    auto p = run_point(qps, 4096, 1);
+    print_point(std::to_string(qps).c_str(), p);
+  }
+
+  print_header("Figure 4(b): wait-before-stop vs message size (64 QPs, depth 64)");
+  print_row_header({"msg size", "WBS (ms)", "theory (ms)", "comm-blk (ms)", "WBS share"});
+  for (std::uint32_t msg : {512u, 4096u, 16384u, 65536u}) {
+    auto p = run_point(64, msg, 1);
+    const std::string label = msg >= 1024 ? std::to_string(msg / 1024) + " KiB"
+                                          : std::to_string(msg) + " B";
+    print_point(label.c_str(), p);
+  }
+
+  print_header("Figure 4(c): wait-before-stop vs #partners (4 KiB, depth 64, 64 QPs)");
+  print_row_header({"#partners", "WBS (ms)", "theory (ms)", "comm-blk (ms)", "WBS share"});
+  for (std::uint32_t partners : {1u, 2u, 4u}) {
+    auto p = run_point(64, 4096, partners);
+    print_point(std::to_string(partners).c_str(), p);
+  }
+  return 0;
+}

@@ -1,0 +1,185 @@
+// Figure 6 — Migration of a real-world application (mini-Hadoop).
+//
+// Reproduces §5.6: a master and two workers run a job; mid-job the operator
+// must take worker 1's server down for maintenance. Three strategies:
+//   * baseline  — no maintenance; the job runs to completion undisturbed.
+//   * MigrRDMA  — live-migrate the worker container to a spare server.
+//   * failover  — kill the worker and rely on Hadoop's native fault
+//                 tolerance (heartbeat detection + re-execution on a
+//                 backup after log-replay recovery).
+// Reported per job (TestDFSIO and EstimatePI): job completion time, and for
+// DFSIO the application-perceived throughput around the event.
+//
+// Expected shape (paper): MigrRDMA adds ~seconds to JCT and a shallow
+// throughput dip (−12.5% in the paper); failover costs tens of seconds and
+// a deep throughput loss (−65.8%).
+#include "apps/minihadoop.hpp"
+#include "apps/msg_node.hpp"
+#include "bench_util.hpp"
+
+namespace migr::bench {
+namespace {
+
+using apps::HadoopConfig;
+using apps::HadoopMaster;
+using apps::HadoopWorker;
+using apps::JobKind;
+using apps::MsgNode;
+
+enum class Strategy { baseline, migrrdma, failover };
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::baseline: return "baseline";
+    case Strategy::migrrdma: return "MigrRDMA";
+    case Strategy::failover: return "failover";
+  }
+  return "?";
+}
+
+struct Outcome {
+  double jct_s = 0;
+  bool completed = false;
+  std::uint32_t failovers = 0;
+  std::vector<HadoopMaster::TputSample> tput;
+};
+
+Outcome run_case(JobKind kind, Strategy strategy) {
+  // Hosts: 1=master 2=worker1 3=worker2 4=backup 5=maintenance spare.
+  Cluster cluster(5);
+  HadoopConfig cfg;
+  cfg.kind = kind;
+  cfg.tasks = 24;
+  cfg.blocks_per_task = 8;
+  cfg.block_size = 1 << 20;
+  cfg.compute_per_block = sim::msec(40);
+  cfg.pi_task_compute = sim::msec(350);
+  cfg.failover_recovery = sim::sec(15);
+
+  MsgNode master_node(cluster.runtime(1), cluster.world().add_process("master"), 1000);
+  MsgNode w1_node(cluster.runtime(2), cluster.world().add_process("w1"), 1001);
+  MsgNode w2_node(cluster.runtime(3), cluster.world().add_process("w2"), 1002);
+  MsgNode backup_node(cluster.runtime(4), cluster.world().add_process("backup"), 1003);
+  for (auto* pair : {&w1_node, &w2_node, &backup_node}) {
+    if (!MsgNode::connect(master_node, *pair).is_ok()) std::exit(1);
+  }
+  if (!MsgNode::connect(w1_node, w2_node).is_ok()) std::exit(1);
+  if (!MsgNode::connect(backup_node, w2_node).is_ok()) std::exit(1);
+
+  HadoopWorker w1(w1_node, cfg, 1000);
+  HadoopWorker w2(w2_node, cfg, 1000);
+  HadoopWorker backup(backup_node, cfg, 1000);
+  w1.set_replica(1002, w2.landing_addr(), w2.landing_vrkey());
+  w2.set_replica(1001, w1.landing_addr(), w1.landing_vrkey());
+  backup.set_replica(1002, w2.landing_addr(), w2.landing_vrkey());
+  HadoopMaster master(master_node, cfg);
+  master.add_worker(1001);
+  master.add_worker(1002);
+  master.set_backup(1003);
+
+  master_node.start();
+  w1_node.start();
+  w2_node.start();
+  backup_node.start();
+  w1.start();
+  w2.start();
+  backup.start();
+  master.start_job();
+
+  // Maintenance event 1.5 s into the job.
+  cluster.run_for(sim::msec(1500));
+  switch (strategy) {
+    case Strategy::baseline:
+      break;
+    case Strategy::migrrdma: {
+      auto report = cluster.migrate(1001, 5, &w1);
+      if (!report.ok) {
+        std::fprintf(stderr, "migration failed: %s\n", report.error.c_str());
+        std::exit(1);
+      }
+      break;
+    }
+    case Strategy::failover:
+      cluster.world().fabric().set_partitioned(2, true);
+      w1.stop();
+      break;
+  }
+
+  const sim::TimeNs deadline = cluster.loop().now() + sim::sec(90);
+  while (!master.job_done() && cluster.loop().now() < deadline) {
+    cluster.run_for(sim::msec(50));
+  }
+  Outcome out;
+  out.completed = master.job_done();
+  out.jct_s = sim::to_sec(master.jct());
+  out.failovers = master.failovers();
+  out.tput = master.throughput();
+  return out;
+}
+
+void run_job(JobKind kind, const char* name) {
+  print_header(std::string("Fig 6 — ") + name + ": JCT under the three strategies");
+  print_row_header({"strategy", "JCT (s)", "completed", "failovers"});
+  double base_jct = 0;
+  std::vector<std::pair<Strategy, Outcome>> outcomes;
+  for (Strategy s : {Strategy::baseline, Strategy::migrrdma, Strategy::failover}) {
+    Outcome o = run_case(kind, s);
+    if (s == Strategy::baseline) base_jct = o.jct_s;
+    std::printf("%16s%16.2f%16s%16u", strategy_name(s), o.jct_s,
+                o.completed ? "yes" : "NO", o.failovers);
+    if (s != Strategy::baseline) std::printf("   (+%.2f s vs baseline)", o.jct_s - base_jct);
+    std::printf("\n");
+    outcomes.emplace_back(s, std::move(o));
+  }
+  if (kind != JobKind::dfsio) return;
+
+  std::printf("\nDFSIO application-perceived throughput (MB/s, 250 ms samples):\n");
+  std::printf("%10s", "t (s)");
+  for (auto& [s, o] : outcomes) std::printf("%12s", strategy_name(s));
+  std::printf("\n");
+  std::size_t rows = 0;
+  for (auto& [s, o] : outcomes) rows = std::max(rows, o.tput.size());
+  for (std::size_t i = 0; i < rows; i += 2) {  // 0.5 s print granularity
+    std::printf("%10.2f", 0.25 * static_cast<double>(i));
+    for (auto& [s, o] : outcomes) {
+      if (i < o.tput.size()) {
+        std::printf("%12.1f", o.tput[i].mbps);
+      } else {
+        std::printf("%12s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  // Average throughput loss in the disruption window (1.5 s .. 25 s).
+  auto avg = [](const std::vector<HadoopMaster::TputSample>& t, double from_s,
+                double to_s) {
+    double sum = 0;
+    int n = 0;
+    for (const auto& s : t) {
+      const double at = sim::to_sec(s.at);
+      if (at >= from_s && at <= to_s) {
+        sum += s.mbps;
+        n++;
+      }
+    }
+    return n > 0 ? sum / n : 0.0;
+  };
+  const double window_end = 1.5 + outcomes[0].second.jct_s;
+  const double base = avg(outcomes[0].second.tput, 1.5, window_end);
+  std::printf("\nThroughput over the disruption window (vs baseline %.1f MB/s):\n", base);
+  for (auto& [s, o] : outcomes) {
+    const double mine = avg(o.tput, 1.5, window_end);
+    std::printf("  %-10s %8.1f MB/s  (%+.1f%%)\n", strategy_name(s), mine,
+                base > 0 ? (mine - base) / base * 100.0 : 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace migr::bench
+
+int main() {
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  migr::bench::run_job(migr::bench::JobKind::dfsio, "TestDFSIO");
+  migr::bench::run_job(migr::bench::JobKind::estimate_pi, "EstimatePI");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared scaffolding for the figure/table reproduction harnesses: a small
+// cluster (hosts + runtimes + directory), perftest wiring, migration
+// helpers, and table printing.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/perftest.hpp"
+#include "migr/migration.hpp"
+#include "rnic/world.hpp"
+
+namespace migr::bench {
+
+using apps::PerftestConfig;
+using apps::PerftestPeer;
+using migrlib::GuestDirectory;
+using migrlib::GuestId;
+using migrlib::MigrationController;
+using migrlib::MigrationOptions;
+using migrlib::MigrationReport;
+using migrlib::MigrRdmaRuntime;
+
+class Cluster {
+ public:
+  explicit Cluster(std::uint32_t hosts, net::FabricConfig fabric = {}, std::uint64_t seed = 42)
+      : world_(fabric, seed) {
+    for (net::HostId h = 1; h <= hosts; ++h) {
+      devices_[h] = &world_.add_device(h);
+      runtimes_[h] =
+          std::make_unique<MigrRdmaRuntime>(directory_, *devices_[h], world_.fabric());
+    }
+  }
+
+  rnic::World& world() { return world_; }
+  sim::EventLoop& loop() { return world_.loop(); }
+  GuestDirectory& directory() { return directory_; }
+  rnic::Device& device(net::HostId h) { return *devices_.at(h); }
+  MigrRdmaRuntime& runtime(net::HostId h) { return *runtimes_.at(h); }
+
+  void run_for(sim::DurationNs d) { world_.loop().run_until(world_.loop().now() + d); }
+
+  /// Synchronous migration driver: runs the loop until the workflow ends.
+  MigrationReport migrate(GuestId id, net::HostId dest, migrlib::MigratableApp* app,
+                          MigrationOptions opts = {}) {
+    auto& dest_proc = world_.add_process("dest");
+    MigrationController ctl(world_.loop(), world_.fabric(), directory_, opts);
+    MigrationReport out;
+    bool done = false;
+    auto st = ctl.start(id, dest, dest_proc, app, [&](const MigrationReport& r) {
+      out = r;
+      done = true;
+    });
+    if (!st.is_ok()) {
+      out.ok = false;
+      out.error = st.to_string();
+      return out;
+    }
+    const sim::TimeNs deadline = world_.loop().now() + sim::sec(120);
+    while (!done && world_.loop().now() < deadline) run_for(sim::msec(1));
+    return out;
+  }
+
+ private:
+  rnic::World world_;
+  GuestDirectory directory_;
+  std::unordered_map<net::HostId, rnic::Device*> devices_;
+  std::unordered_map<net::HostId, std::unique_ptr<MigrRdmaRuntime>> runtimes_;
+};
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_row_header(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%16s", "----------");
+  std::printf("\n");
+}
+
+}  // namespace migr::bench

@@ -1,0 +1,163 @@
+// Mini-Hadoop: the real-world application of the paper's §5.6 evaluation,
+// reproduced as a miniature RDMA-based master/worker framework with the two
+// jobs Fig. 6 measures:
+//   * TestDFSIO — each task "computes" a block then replicates it to a peer
+//     worker's storage with an RDMA WRITE (the HDFS write path of
+//     RDMA-Hadoop). The master samples application-perceived throughput.
+//   * EstimatePI — compute-only tasks with tiny result messages.
+//
+// Fault handling mirrors Hadoop's native failover (the paper's baseline):
+// workers heartbeat the master; after `heartbeat_miss` silent periods the
+// worker is declared dead and its unfinished tasks are re-scheduled on a
+// backup worker after a log-replay/startup recovery delay. Live migration,
+// in contrast, moves the worker without the master ever noticing — the
+// heartbeat gap stays under the detection threshold because MigrRDMA's
+// blackout is short.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "apps/msg_node.hpp"
+
+namespace migr::apps {
+
+enum class JobKind : std::uint8_t { dfsio, estimate_pi };
+
+struct HadoopConfig {
+  JobKind kind = JobKind::dfsio;
+  std::uint32_t tasks = 16;
+  std::uint32_t blocks_per_task = 8;
+  std::uint32_t block_size = 1 << 20;
+  sim::DurationNs compute_per_block = sim::msec(20);
+  sim::DurationNs pi_task_compute = sim::msec(150);
+  sim::DurationNs heartbeat_period = sim::msec(100);
+  int heartbeat_miss = 3;
+  /// Failover baseline: time to spin the backup container up and replay the
+  /// task log before re-execution can start.
+  sim::DurationNs failover_recovery = sim::sec(15);
+  sim::DurationNs worker_tick = sim::usec(250);
+  sim::DurationNs master_sample = sim::msec(250);
+};
+
+// Wire protocol (SENDs over MsgNode).
+enum class HadoopMsg : std::uint8_t {
+  assign = 1,      // master -> worker: u32 task
+  task_done = 2,   // worker -> master: u32 task
+  heartbeat = 3,   // worker -> master
+  block_done = 4,  // worker -> master: u32 task, u32 block (throughput probe)
+};
+
+class HadoopWorker;
+
+class HadoopMaster {
+ public:
+  HadoopMaster(MsgNode& node, HadoopConfig config);
+
+  void add_worker(GuestId worker);
+  void set_backup(GuestId backup);
+
+  void start_job();
+  bool job_done() const noexcept { return job_done_; }
+  sim::TimeNs job_start() const noexcept { return job_start_; }
+  sim::TimeNs job_end() const noexcept { return job_end_; }
+  sim::DurationNs jct() const noexcept { return job_end_ - job_start_; }
+
+  /// Application-perceived DFSIO throughput samples (MB/s per window).
+  struct TputSample {
+    sim::TimeNs at = 0;
+    double mbps = 0;
+  };
+  const std::vector<TputSample>& throughput() const noexcept { return tput_; }
+  std::uint32_t failovers() const noexcept { return failovers_; }
+  std::uint64_t blocks_completed() const noexcept { return blocks_done_; }
+
+ private:
+  void on_message(GuestId from, const common::Bytes& payload);
+  void assign_next(GuestId worker);
+  void tick();
+  void declare_dead(GuestId worker);
+
+  MsgNode& node_;
+  HadoopConfig config_;
+  std::vector<GuestId> workers_;
+  GuestId backup_ = 0;
+  bool backup_active_ = false;
+
+  // Tasks are pinned to their worker (HDFS data locality): each worker has
+  // its own queue, and a dead worker's queue can only move to the backup
+  // that replayed its log.
+  std::map<GuestId, std::deque<std::uint32_t>> queues_;
+  std::map<GuestId, std::uint32_t> running_;  // worker -> current task
+  std::set<std::uint32_t> done_;
+  std::map<GuestId, sim::TimeNs> last_heartbeat_;
+  std::set<GuestId> dead_;
+
+  bool job_started_ = false;
+  bool job_done_ = false;
+  sim::TimeNs job_start_ = 0;
+  sim::TimeNs job_end_ = 0;
+  std::uint64_t blocks_done_ = 0;
+  std::uint64_t blocks_at_last_sample_ = 0;
+  std::vector<TputSample> tput_;
+  std::uint32_t failovers_ = 0;
+  sim::EventHandle tick_task_;
+};
+
+class HadoopWorker : public migrlib::MigratableApp {
+ public:
+  HadoopWorker(MsgNode& node, HadoopConfig config, GuestId master);
+
+  /// DFSIO replication target: the peer worker's landing buffer.
+  void set_replica(GuestId replica, std::uint64_t remote_addr, std::uint32_t vrkey);
+  std::uint64_t landing_addr() const noexcept { return landing_addr_; }
+  std::uint32_t landing_vrkey() const noexcept { return landing_mr_.vrkey; }
+
+  void start();
+  void stop();
+  std::uint32_t tasks_completed() const noexcept { return tasks_completed_; }
+  /// Blocks written without replication because the replica was unreachable.
+  std::uint64_t degraded_blocks() const noexcept { return degraded_blocks_; }
+
+  // MigratableApp: re-home the worker loop (MsgNode re-homes itself when it
+  // is registered as the controller's app; here the worker owns both).
+  void on_migrated(proc::SimProcess& new_proc) override;
+
+ private:
+  void on_message(GuestId from, const common::Bytes& payload);
+  void tick();
+  void finish_block();
+  void spawn_tasks(proc::SimProcess& proc);
+
+  MsgNode& node_;
+  HadoopConfig config_;
+  GuestId master_;
+
+  GuestId replica_ = 0;
+  bool replica_ok_ = true;
+  std::uint64_t degraded_blocks_ = 0;
+  std::uint64_t replica_addr_ = 0;
+  std::uint32_t replica_vrkey_ = 0;
+  std::uint64_t block_buf_ = 0;
+  VMr block_mr_;
+  std::uint64_t landing_addr_ = 0;
+  VMr landing_mr_;
+
+  bool running_ = false;
+  bool has_task_ = false;
+  std::uint32_t task_ = 0;
+  std::uint32_t blocks_done_in_task_ = 0;
+  sim::DurationNs compute_progress_ = 0;
+  bool write_inflight_ = false;
+  std::uint64_t next_write_id_ = 1ull << 48;  // distinguish from msg wr_ids
+  std::uint32_t tasks_completed_ = 0;
+  std::deque<std::uint32_t> backlog_;  // assigned while busy
+
+  sim::EventHandle tick_task_;
+  sim::EventHandle hb_task_;
+};
+
+}  // namespace migr::apps

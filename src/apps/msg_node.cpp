@@ -1,0 +1,189 @@
+#include "apps/msg_node.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace migr::apps {
+
+using common::Errc;
+using common::Status;
+using rnic::Cqe;
+using rnic::CqeOpcode;
+using rnic::CqeStatus;
+using rnic::RecvWr;
+using rnic::SendWr;
+
+MsgNode::MsgNode(MigrRdmaRuntime& runtime, proc::SimProcess& proc, GuestId id,
+                 MsgNodeConfig config)
+    : runtime_(&runtime), proc_(&proc), id_(id), config_(config) {
+  guest_ = runtime.create_guest(proc, id).value();
+  pd_ = guest_->alloc_pd().value();
+  cq_ = guest_->create_cq(4096).value();
+}
+
+MsgNode::~MsgNode() { stop(); }
+
+Status MsgNode::connect(MsgNode& a, MsgNode& b) {
+  auto make_peer = [](MsgNode& self) -> common::Result<Peer> {
+    Peer peer;
+    migrlib::GuestQpAttr attr;
+    attr.vpd = self.pd_;
+    attr.vsend_cq = self.cq_;
+    attr.vrecv_cq = self.cq_;
+    attr.caps = {self.config_.depth + 2, self.config_.depth + 2};
+    MIGR_ASSIGN_OR_RETURN(peer.vqpn, self.guest_->create_qp(attr));
+    const std::uint64_t ring_bytes =
+        std::uint64_t{self.config_.max_msg} * self.config_.depth;
+    MIGR_ASSIGN_OR_RETURN(peer.send_buf, self.proc_->mem().mmap(ring_bytes, "msg_tx"));
+    MIGR_ASSIGN_OR_RETURN(peer.send_mr,
+                          self.guest_->reg_mr(self.pd_, peer.send_buf, ring_bytes,
+                                              rnic::kAccessLocalWrite));
+    MIGR_ASSIGN_OR_RETURN(peer.recv_buf, self.proc_->mem().mmap(ring_bytes, "msg_rx"));
+    MIGR_ASSIGN_OR_RETURN(peer.recv_mr,
+                          self.guest_->reg_mr(self.pd_, peer.recv_buf, ring_bytes,
+                                              rnic::kAccessLocalWrite));
+    peer.send_credits = self.config_.depth;
+    return peer;
+  };
+  MIGR_ASSIGN_OR_RETURN(auto pa, make_peer(a));
+  MIGR_ASSIGN_OR_RETURN(auto pb, make_peer(b));
+  const rnic::Psn psn_a = 7000 + a.id_ * 32;
+  const rnic::Psn psn_b = 9000 + b.id_ * 32;
+  MIGR_RETURN_IF_ERROR(a.guest_->connect_qp(pa.vqpn, b.id_, pb.vqpn, psn_a, psn_b));
+  MIGR_RETURN_IF_ERROR(b.guest_->connect_qp(pb.vqpn, a.id_, pa.vqpn, psn_b, psn_a));
+
+  // Pre-post the full RECV window on both sides.
+  auto prepost = [](MsgNode& self, Peer& peer) -> Status {
+    for (std::uint32_t d = 0; d < self.config_.depth; ++d) {
+      RecvWr wr;
+      wr.wr_id = peer.next_recv_seq++;
+      wr.sge = {{peer.recv_buf + std::uint64_t{d} * self.config_.max_msg,
+                 self.config_.max_msg, peer.recv_mr.vlkey}};
+      MIGR_RETURN_IF_ERROR(self.guest_->post_recv(peer.vqpn, wr));
+    }
+    return Status::ok();
+  };
+  MIGR_RETURN_IF_ERROR(prepost(a, pa));
+  MIGR_RETURN_IF_ERROR(prepost(b, pb));
+  a.peers_.emplace(b.id_, pa);
+  b.peers_.emplace(a.id_, pb);
+  return Status::ok();
+}
+
+common::Result<VQpn> MsgNode::qp_to(GuestId peer) const {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return common::err(Errc::not_found, "peer not connected");
+  return it->second.vqpn;
+}
+
+Status MsgNode::send(GuestId peer_id, const common::Bytes& payload) {
+  auto it = peers_.find(peer_id);
+  if (it == peers_.end()) return common::err(Errc::not_found, "peer not connected");
+  Peer& peer = it->second;
+  if (payload.size() + 4 > config_.max_msg) {
+    return common::err(Errc::invalid_argument, "message exceeds slot size");
+  }
+  if (peer.send_credits == 0) {
+    return common::err(Errc::resource_exhausted, "send window full");
+  }
+  const std::uint32_t slot = peer.send_slot % config_.depth;
+  const std::uint64_t addr = peer.send_buf + std::uint64_t{slot} * config_.max_msg;
+  common::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  MIGR_RETURN_IF_ERROR(proc_->mem().write(addr, w.data()));
+
+  SendWr wr;
+  wr.wr_id = peer.send_slot;
+  wr.opcode = rnic::WrOpcode::send;
+  wr.sge = {{addr, static_cast<std::uint32_t>(w.size()), peer.send_mr.vlkey}};
+  MIGR_RETURN_IF_ERROR(guest_->post_send(peer.vqpn, wr));
+  peer.send_slot++;
+  peer.send_credits--;
+  sent_++;
+  return Status::ok();
+}
+
+void MsgNode::start() {
+  if (running_) return;
+  running_ = true;
+  task_ = proc_->spawn_poller(config_.poll_interval, [this] { tick(); });
+}
+
+void MsgNode::stop() {
+  running_ = false;
+  task_.cancel();
+}
+
+void MsgNode::on_migrated(proc::SimProcess& new_proc) {
+  proc_ = &new_proc;
+  if (running_) {
+    task_.cancel();
+    task_ = proc_->spawn_poller(config_.poll_interval, [this] { tick(); });
+  }
+}
+
+MsgNode::Peer* MsgNode::peer_by_vqpn(VQpn vqpn) {
+  for (auto& [id, peer] : peers_) {
+    if (peer.vqpn == vqpn) return &peer;
+  }
+  return nullptr;
+}
+
+void MsgNode::repost_recv(Peer& peer, std::uint64_t wr_id) {
+  RecvWr wr;
+  wr.wr_id = wr_id;
+  wr.sge = {{peer.recv_buf + (wr_id % config_.depth) * config_.max_msg, config_.max_msg,
+             peer.recv_mr.vlkey}};
+  if (!guest_->post_recv(peer.vqpn, wr).is_ok()) errors_++;
+}
+
+void MsgNode::tick() {
+  Cqe batch[32];
+  for (;;) {
+    const int n = guest_->poll_cq(cq_, batch);
+    if (n <= 0) break;
+    for (int i = 0; i < n; ++i) {
+      const Cqe& cqe = batch[i];
+      Peer* peer = peer_by_vqpn(cqe.qpn);
+      if (peer == nullptr) continue;  // e.g. completions of extra app QPs
+      if (cqe.opcode != CqeOpcode::recv && cqe.opcode != CqeOpcode::send) {
+        // One-sided / bind completions: app data traffic on the same CQ,
+        // including its failures (the app decides how to react).
+        if (raw_handler_) raw_handler_(cqe);
+        continue;
+      }
+      if (cqe.status != CqeStatus::success) {
+        errors_++;
+        continue;
+      }
+      if (cqe.opcode == CqeOpcode::recv) {
+        const std::uint64_t addr =
+            peer->recv_buf + (cqe.wr_id % config_.depth) * config_.max_msg;
+        std::vector<std::uint8_t> raw(cqe.byte_len);
+        if (proc_->mem().read(addr, raw).is_ok()) {
+          common::ByteReader r{raw};
+          auto len = r.u32();
+          if (len.is_ok() && r.remaining() >= len.value()) {
+            common::Bytes payload(raw.begin() + 4, raw.begin() + 4 + len.value());
+            received_++;
+            GuestId from = 0;
+            for (auto& [pid, p] : peers_) {
+              if (&p == peer) from = pid;
+            }
+            if (handler_) handler_(from, payload);
+          } else {
+            errors_++;
+          }
+        }
+        repost_recv(*peer, peer->next_recv_seq++);
+      } else {
+        peer->send_credits++;
+      }
+    }
+    if (n < 32) break;
+  }
+}
+
+}  // namespace migr::apps

@@ -1,0 +1,103 @@
+// MsgNode: a small message-passing endpoint over the MigrRDMA guest library
+// — RC SEND/RECV with credit-managed buffers and a per-peer QP. This is the
+// communication substrate the mini-Hadoop application (and the examples)
+// build their RPC on, the way RDMA-Hadoop layers its protocol over verbs.
+//
+// A MsgNode is a MigratableApp: its polling loop re-homes on migration and
+// in-flight messages follow MigrRDMA's interception/replay rules.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "migr/guest_lib.hpp"
+#include "migr/migration.hpp"
+
+namespace migr::apps {
+
+using migrlib::GuestContext;
+using migrlib::GuestId;
+using migrlib::MigrRdmaRuntime;
+using migrlib::VHandle;
+using migrlib::VMr;
+using migrlib::VQpn;
+
+struct MsgNodeConfig {
+  std::uint32_t depth = 32;          // send/recv window per peer
+  std::uint32_t max_msg = 4096;      // bytes per message slot
+  sim::DurationNs poll_interval = sim::usec(5);
+};
+
+class MsgNode : public migrlib::MigratableApp {
+ public:
+  /// (from, payload)
+  using Handler = std::function<void(GuestId, const common::Bytes&)>;
+
+  MsgNode(MigrRdmaRuntime& runtime, proc::SimProcess& proc, GuestId id,
+          MsgNodeConfig config = {});
+  ~MsgNode() override;
+
+  static common::Status connect(MsgNode& a, MsgNode& b);
+
+  /// Queue a message to a connected peer. Fails with resource_exhausted
+  /// when the send window is full (caller retries on its next tick).
+  common::Status send(GuestId peer, const common::Bytes& payload);
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+  /// Completions that are not message traffic (e.g. one-sided data WRs an
+  /// application posts on the same QPs/CQ) are forwarded here.
+  using RawCqeHandler = std::function<void(const rnic::Cqe&)>;
+  void set_raw_cqe_handler(RawCqeHandler handler) { raw_handler_ = std::move(handler); }
+  void start();
+  void stop();
+
+  GuestContext& guest() noexcept { return *guest_; }
+  GuestId id() const noexcept { return id_; }
+  proc::SimProcess& process() noexcept { return *proc_; }
+  VHandle pd() const noexcept { return pd_; }
+
+  /// The QP connecting to `peer` (for piggybacked one-sided traffic).
+  common::Result<VQpn> qp_to(GuestId peer) const;
+
+  std::uint64_t sent() const noexcept { return sent_; }
+  std::uint64_t received() const noexcept { return received_; }
+  std::uint64_t errors() const noexcept { return errors_; }
+
+  void on_migrated(proc::SimProcess& new_proc) override;
+
+ private:
+  struct Peer {
+    VQpn vqpn = 0;
+    std::uint64_t send_buf = 0;
+    VMr send_mr;
+    std::uint64_t recv_buf = 0;
+    VMr recv_mr;
+    std::uint32_t send_credits = 0;  // free send slots
+    std::uint32_t send_slot = 0;     // next slot index
+    std::uint64_t next_recv_seq = 0;
+  };
+
+  void tick();
+  void repost_recv(Peer& peer, std::uint64_t wr_id);
+  Peer* peer_by_vqpn(VQpn vqpn);
+
+  MigrRdmaRuntime* runtime_;
+  proc::SimProcess* proc_;
+  GuestId id_;
+  MsgNodeConfig config_;
+  GuestContext* guest_ = nullptr;
+  VHandle pd_ = 0;
+  VHandle cq_ = 0;
+  std::unordered_map<GuestId, Peer> peers_;
+  Handler handler_;
+  RawCqeHandler raw_handler_;
+  sim::EventHandle task_;
+  bool running_ = false;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace migr::apps

@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace migr::common {
+
+std::string_view log_level_name(LogLevel lvl) noexcept {
+  switch (lvl) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel lvl, std::string_view msg) {
+    std::fprintf(stderr, "[%s] %.*s\n", log_level_name(lvl).data(),
+                 static_cast<int>(msg.size()), msg.data());
+  };
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::log(LogLevel lvl, std::string_view msg) {
+  if (enabled(lvl) && sink_) sink_(lvl, msg);
+}
+
+namespace detail {
+
+namespace {
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+}  // namespace
+
+LogLine::LogLine(LogLevel lvl, const char* file, int line) : lvl_(lvl) {
+  os_ << basename_of(file) << ':' << line << ' ';
+}
+
+LogLine::~LogLine() { Logger::instance().log(lvl_, os_.str()); }
+
+}  // namespace detail
+}  // namespace migr::common

@@ -1,0 +1,67 @@
+// Minimal leveled logger. Logging inside the simulator carries the simulated
+// timestamp (when provided by the caller) so traces read in sim time, not
+// wall time. Off by default in tests/benches; enable with Logger::set_level.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace migr::common {
+
+enum class LogLevel : std::uint8_t { trace = 0, debug, info, warn, error, off };
+
+std::string_view log_level_name(LogLevel lvl) noexcept;
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel lvl) noexcept { level_ = lvl; }
+  LogLevel level() const noexcept { return level_; }
+  bool enabled(LogLevel lvl) const noexcept { return lvl >= level_ && level_ != LogLevel::off; }
+
+  /// Replace the output sink (default: stderr). Used by tests to capture logs.
+  void set_sink(Sink sink);
+
+  void log(LogLevel lvl, std::string_view msg);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::warn;
+  Sink sink_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, const char* file, int line);
+  ~LogLine();
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define MIGR_LOG(lvl)                                                      \
+  if (!::migr::common::Logger::instance().enabled(lvl)) {                  \
+  } else                                                                   \
+    ::migr::common::detail::LogLine(lvl, __FILE__, __LINE__)
+
+#define MIGR_TRACE() MIGR_LOG(::migr::common::LogLevel::trace)
+#define MIGR_DEBUG() MIGR_LOG(::migr::common::LogLevel::debug)
+#define MIGR_INFO() MIGR_LOG(::migr::common::LogLevel::info)
+#define MIGR_WARN() MIGR_LOG(::migr::common::LogLevel::warn)
+#define MIGR_ERROR() MIGR_LOG(::migr::common::LogLevel::error)
+
+}  // namespace migr::common

@@ -1,0 +1,31 @@
+#include "common/result.hpp"
+
+namespace migr::common {
+
+std::string_view errc_name(Errc c) noexcept {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::not_found: return "not_found";
+    case Errc::permission_denied: return "permission_denied";
+    case Errc::resource_exhausted: return "resource_exhausted";
+    case Errc::already_exists: return "already_exists";
+    case Errc::failed_precondition: return "failed_precondition";
+    case Errc::unavailable: return "unavailable";
+    case Errc::timeout: return "timeout";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  std::string s{errc_name(code_)};
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace migr::common

@@ -1,0 +1,123 @@
+// Lightweight Status / Result<T> error handling used across the library.
+//
+// The simulator is exception-free on its hot paths: verbs calls and data-path
+// operations return Status or Result<T>, mirroring how ibverbs reports errors
+// through return codes rather than exceptions.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace migr::common {
+
+/// Error categories. Deliberately close to the errno-style codes ibverbs
+/// surfaces so that application code written against the sim reads naturally.
+enum class Errc : std::uint8_t {
+  ok = 0,
+  invalid_argument,   // EINVAL: bad handle, bad state transition, bad flags
+  not_found,          // unknown key / QPN / resource id
+  permission_denied,  // access-key (lkey/rkey) validation failure
+  resource_exhausted, // queue full, out of QPs, out of memory
+  already_exists,     // duplicate registration
+  failed_precondition,// operation illegal in current state (e.g. QP not RTS)
+  unavailable,        // peer unreachable / connection lost
+  timeout,            // operation exceeded its deadline
+  internal,           // invariant violation inside the simulator
+};
+
+/// Human-readable name for an error category.
+std::string_view errc_name(Errc c) noexcept;
+
+/// A success-or-error value. Cheap to copy on success (no allocation).
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(Errc code, std::string message) : code_(code), message_(std::move(message)) {
+    assert(code != Errc::ok && "use Status::ok() for success");
+  }
+
+  static Status ok() noexcept { return Status{}; }
+
+  bool is_ok() const noexcept { return code_ == Errc::ok; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  Errc code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "ok" or "<errc>: <message>".
+  std::string to_string() const;
+
+ private:
+  Errc code_ = Errc::ok;
+  std::string message_;
+};
+
+inline Status err(Errc code, std::string message) { return Status{code, std::move(message)}; }
+
+/// A value or an error. `Result<T>` is the return type of every fallible
+/// constructor-like operation in the library (resource creation, lookups).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(v_).is_ok() && "Result from ok Status has no value");
+  }
+
+  bool is_ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(is_ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  T value_or(T fallback) const& { return is_ok() ? std::get<T>(v_) : std::move(fallback); }
+
+  Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(v_);
+  }
+  Errc code() const noexcept {
+    return is_ok() ? Errc::ok : std::get<Status>(v_).code();
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagate-on-error helpers, used as:
+///   MIGR_RETURN_IF_ERROR(do_thing());
+///   MIGR_ASSIGN_OR_RETURN(auto qp, create_qp(...));
+#define MIGR_RETURN_IF_ERROR(expr)                    \
+  do {                                                \
+    if (auto _st = (expr); !_st.is_ok()) return _st;  \
+  } while (false)
+
+#define MIGR_CONCAT_INNER(a, b) a##b
+#define MIGR_CONCAT(a, b) MIGR_CONCAT_INNER(a, b)
+
+#define MIGR_ASSIGN_OR_RETURN(decl, expr)                                 \
+  auto MIGR_CONCAT(_res_, __LINE__) = (expr);                             \
+  if (!MIGR_CONCAT(_res_, __LINE__).is_ok())                              \
+    return MIGR_CONCAT(_res_, __LINE__).status();                         \
+  decl = std::move(MIGR_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace migr::common

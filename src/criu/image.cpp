@@ -1,0 +1,61 @@
+#include "criu/image.hpp"
+
+namespace migr::criu {
+
+using common::ByteReader;
+using common::ByteWriter;
+
+common::Bytes MemoryImage::serialize() const {
+  ByteWriter w;
+  w.u64(mmap_cursor);
+  w.u32(static_cast<std::uint32_t>(vmas.size()));
+  for (const auto& v : vmas) {
+    w.u64(v.start);
+    w.u64(v.length);
+    w.str(v.tag);
+  }
+  return std::move(w).take();
+}
+
+common::Result<MemoryImage> MemoryImage::parse(std::span<const std::uint8_t> data) {
+  ByteReader r{data};
+  MemoryImage img;
+  MIGR_ASSIGN_OR_RETURN(img.mmap_cursor, r.u64());
+  MIGR_ASSIGN_OR_RETURN(auto n, r.u32());
+  img.vmas.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    VmaImage v;
+    MIGR_ASSIGN_OR_RETURN(v.start, r.u64());
+    MIGR_ASSIGN_OR_RETURN(v.length, r.u64());
+    MIGR_ASSIGN_OR_RETURN(v.tag, r.str());
+    img.vmas.push_back(std::move(v));
+  }
+  return img;
+}
+
+common::Bytes PageSet::serialize() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(pages.size()));
+  for (const auto& p : pages) {
+    w.u64(p.addr);
+    w.raw(p.data);
+  }
+  return std::move(w).take();
+}
+
+common::Result<PageSet> PageSet::parse(std::span<const std::uint8_t> data) {
+  ByteReader r{data};
+  PageSet set;
+  MIGR_ASSIGN_OR_RETURN(auto n, r.u32());
+  set.pages.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Page p;
+    MIGR_ASSIGN_OR_RETURN(p.addr, r.u64());
+    p.data.resize(proc::kPageSize);
+    MIGR_RETURN_IF_ERROR(r.raw(p.data));
+    set.pages.push_back(std::move(p));
+  }
+  return set;
+}
+
+}  // namespace migr::criu

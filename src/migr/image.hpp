@@ -1,0 +1,154 @@
+// The MigrRDMA checkpoint format: the minimal control-path state the
+// indirection layer bookkeeps to rebuild equivalent RDMA communication on
+// the migration destination (paper §3.2), plus the virtualization metadata
+// dumped at stop-and-copy (§3.3) and the wait-before-stop residue (§3.4):
+// intercepted-but-unposted WRs, un-received RECV WRs to replay, and fake-CQ
+// contents not yet consumed by the application.
+//
+// In the real system most of this state lives inside the migrated process's
+// memory and travels with the memory image for free; in the simulation the
+// library state lives in host objects, so it is serialized explicitly here.
+// The byte volume is the same either way, so transfer costs are preserved.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "rnic/types.hpp"
+
+namespace migr::migrlib {
+
+/// Virtual resource identifiers as the application sees them. Virtual QPNs
+/// start equal to the physical QPN at creation; virtual keys are dense
+/// per-process integers (1, 2, 3, ...) so translation is an array index.
+using VQpn = rnic::Qpn;
+using VLkey = std::uint32_t;
+using VRkey = std::uint32_t;
+using VHandle = std::uint32_t;
+
+// ---- resource records (creation roadmap, §3.2) ----
+
+struct PdRec {
+  VHandle vpd = 0;
+};
+
+struct ChannelRec {
+  VHandle vchannel = 0;
+};
+
+struct CqRec {
+  VHandle vcq = 0;
+  std::uint32_t capacity = 0;
+  VHandle vchannel = 0;  // 0 = none
+};
+
+struct SrqRec {
+  VHandle vsrq = 0;
+  VHandle vpd = 0;
+  std::uint32_t capacity = 0;
+};
+
+struct MrRec {
+  VLkey vlkey = 0;
+  VRkey vrkey = 0;
+  VHandle vpd = 0;
+  std::uint64_t addr = 0;
+  std::uint64_t length = 0;
+  std::uint32_t access = 0;
+};
+
+struct DmRec {
+  VHandle vdm = 0;
+  std::uint64_t length = 0;
+  std::uint64_t mapped_at = 0;  // original virtual address (remapped on restore)
+};
+
+struct MwRec {
+  VHandle vmw = 0;
+  VHandle vpd = 0;
+  // Bound state, if any (rebound on restore via a fresh bind WR).
+  bool bound = false;
+  VRkey vrkey = 0;
+  VLkey mr_vlkey = 0;
+  std::uint32_t bind_vqpn = 0;  // QP the bind was posted on
+  std::uint64_t addr = 0;
+  std::uint64_t length = 0;
+  std::uint32_t access = 0;
+};
+
+struct QpRec {
+  VQpn vqpn = 0;
+  rnic::QpType type = rnic::QpType::rc;
+  VHandle vpd = 0;
+  VHandle vsend_cq = 0;
+  VHandle vrecv_cq = 0;
+  VHandle vsrq = 0;
+  rnic::QpCaps caps;
+  // Connection metadata (§3.2: "we add the fields of the destination
+  // physical QPN and the destination network address").
+  bool connected = false;
+  std::uint32_t dest_host = 0;
+  rnic::Qpn dest_pqpn = 0;
+  VQpn dest_vqpn = 0;
+  std::uint32_t peer_guest = 0;  // stable identity of the peer service
+  bool peer_is_migrrdma = true;  // hybrid negotiation result (§6)
+};
+
+// ---- wait-before-stop residue (final dump only, §3.4) ----
+
+/// A send WR in virtual ID space (what the application posted).
+struct VSendWr {
+  VQpn vqpn = 0;
+  rnic::SendWr wr;  // sge lkeys / rkey / remote_qpn are VIRTUAL values
+};
+
+struct VRecvWr {
+  VQpn vqpn = 0;  // 0 => SRQ post, see vsrq
+  VHandle vsrq = 0;
+  rnic::RecvWr wr;  // virtual lkeys
+};
+
+/// A completion already translated to virtual IDs, parked in a fake CQ.
+struct FakeCqe {
+  VHandle vcq = 0;
+  rnic::Cqe cqe;  // qpn field already virtual
+};
+
+struct QpCounters {
+  VQpn vqpn = 0;
+  std::uint64_t n_sent = 0;
+  std::uint64_t n_recv = 0;
+};
+
+/// Full RDMA dump for one process.
+struct RdmaImage {
+  bool final = false;  // pre-dump (pre-copy) vs final dump (stop-and-copy)
+
+  std::vector<PdRec> pds;
+  std::vector<ChannelRec> channels;
+  std::vector<CqRec> cqs;
+  std::vector<SrqRec> srqs;
+  std::vector<MrRec> mrs;
+  std::vector<DmRec> dms;
+  std::vector<MwRec> mws;
+  std::vector<QpRec> qps;
+
+  // Final dump extras.
+  std::vector<VSendWr> intercepted_sends;   // buffered during suspension
+  std::vector<VRecvWr> pending_recvs;       // posted, no message received yet
+  std::vector<VSendWr> incomplete_sends;    // WBS timeout path: replay these first
+  std::vector<FakeCqe> fake_cq_entries;     // unconsumed completions
+  std::vector<QpCounters> counters;
+
+  common::Bytes serialize() const;
+  static common::Result<RdmaImage> parse(std::span<const std::uint8_t> data);
+
+  /// Records present in `newer` but not in this image (matched by virtual
+  /// id) — the "difference" dump the paper produces at stop-and-copy.
+  RdmaImage diff_against(const RdmaImage& older) const;
+};
+
+}  // namespace migr::migrlib

@@ -1,0 +1,68 @@
+// Driver-level indirection layer (one per host RNIC, paper Fig. 2a).
+//
+// Holds the device-wide QPN translation table — physical QPN to virtual QPN,
+// maintained as an array indexed from the device's QPN base so that the
+// data-path translation the library performs on every polled CQE is a bounds
+// check plus one indexed load (§3.3: "the indirection layer maintains the
+// QPN translation table as an array ... shared with MigrRDMA Lib of each
+// process, which only has read access"). Entries default to identity:
+// MigrRDMA sets the virtual QPN equal to the physical value at creation, so
+// only post-migration mappings occupy slots.
+//
+// Also fans the per-QP suspension signal out to the guest libraries on this
+// host (§3.4) and tracks the guests for the CRIU plugin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rnic/device.hpp"
+
+namespace migr::migrlib {
+
+class GuestContext;
+
+class IndirectionLayer {
+ public:
+  explicit IndirectionLayer(rnic::Device& device)
+      : device_(device), qpn_base_(device.qpn_base()) {}
+
+  rnic::Device& device() noexcept { return device_; }
+
+  /// Install / remove a physical->virtual QPN mapping.
+  void map_qpn(rnic::Qpn pqpn, std::uint32_t vqpn) {
+    const std::size_t idx = index_of(pqpn);
+    if (idx >= table_.size()) table_.resize(idx + 64, 0);
+    table_[idx] = vqpn;
+  }
+  void unmap_qpn(rnic::Qpn pqpn) {
+    const std::size_t idx = index_of(pqpn);
+    if (idx < table_.size()) table_[idx] = 0;
+  }
+
+  /// Data-path translation: physical QPN in a CQE -> virtual QPN the
+  /// application knows. Identity when no mapping is installed.
+  std::uint32_t translate_qpn(rnic::Qpn pqpn) const {
+    const std::size_t idx = index_of(pqpn);
+    if (idx < table_.size() && table_[idx] != 0) return table_[idx];
+    return pqpn;
+  }
+
+  // ---- guest registry (used by the plugin and the suspend fan-out) ----
+  void register_guest(GuestContext* guest) { guests_.push_back(guest); }
+  void unregister_guest(GuestContext* guest) { std::erase(guests_, guest); }
+  const std::vector<GuestContext*>& guests() const noexcept { return guests_; }
+
+ private:
+  std::size_t index_of(rnic::Qpn pqpn) const {
+    // QPNs are allocated upward from the device base; see Device::alloc_qpn.
+    return static_cast<std::size_t>((pqpn - qpn_base_) & rnic::kQpnMask);
+  }
+
+  rnic::Device& device_;
+  rnic::Qpn qpn_base_;
+  std::vector<std::uint32_t> table_;
+  std::vector<GuestContext*> guests_;
+};
+
+}  // namespace migr::migrlib

@@ -1,0 +1,413 @@
+#include "migr/migration.hpp"
+
+#include "common/log.hpp"
+
+namespace migr::migrlib {
+
+using common::Bytes;
+using common::ByteReader;
+using common::ByteWriter;
+using common::Errc;
+using common::Status;
+
+MigrationController::MigrationController(sim::EventLoop& loop, net::Fabric& fabric,
+                                         GuestDirectory& directory, MigrationOptions options)
+    : loop_(loop), fabric_(fabric), directory_(directory), options_(options),
+      plugin_(options.migr_costs), psn_cursor_(options.psn_seed) {}
+
+Status MigrationController::start(GuestId id, net::HostId dest_host,
+                                  proc::SimProcess& dest_proc, MigratableApp* app,
+                                  DoneCb done) {
+  guest_id_ = id;
+  done_ = std::move(done);
+  app_ = app;
+  dest_proc_ = &dest_proc;
+
+  src_rt_ = directory_.runtime_of(id);
+  dest_rt_ = directory_.runtime_at(dest_host);
+  if (src_rt_ == nullptr || dest_rt_ == nullptr) {
+    return common::err(Errc::not_found, "unknown source or destination host");
+  }
+  if (src_rt_ == dest_rt_) {
+    return common::err(Errc::invalid_argument, "source and destination are the same host");
+  }
+  guest_ = src_rt_->find_guest(id);
+  if (guest_ == nullptr) return common::err(Errc::not_found, "no such guest");
+  src_proc_ = &guest_->process();
+  src_ctx_ = &guest_->raw();
+
+  // Hybrid limitation (§6): a service with a non-MigrRDMA partner cannot be
+  // migrated — wait-before-stop cannot run on that partner.
+  if (guest_->has_raw_peer()) {
+    return common::err(Errc::failed_precondition,
+                       "guest has non-MigrRDMA partners; migration unsupported (§6)");
+  }
+
+  ckpt_ = std::make_unique<criu::Checkpointer>(*src_proc_, options_.criu_costs);
+  restorer_ = std::make_unique<criu::Restorer>(*dest_proc_, options_.criu_costs);
+
+  xfer_service_ = "migr.xfer." + std::to_string(id);
+
+  report_ = MigrationReport{};
+  report_.start = loop_.now();
+  loop_.schedule_in(0, [this] { phase_initial_dump(); });
+  return Status::ok();
+}
+
+void MigrationController::fail(const Status& st) {
+  MIGR_ERROR() << "migration of guest " << guest_id_ << " failed: " << st.to_string();
+  report_.ok = false;
+  report_.error = st.to_string();
+  if (done_) done_(report_);
+}
+
+GuestContext* MigrationController::partner_guest(GuestId id) const {
+  MigrRdmaRuntime* rt = directory_.runtime_of(id);
+  return rt == nullptr ? nullptr : rt->find_guest(id);
+}
+
+// ---------------------------------------------------------------------------
+// Pre-copy
+// ---------------------------------------------------------------------------
+
+void MigrationController::phase_initial_dump() {
+  auto dump = ckpt_->pre_dump();
+  sim::DurationNs cost = dump.cost;
+  // CRIU's page walk competes with the NIC for memory bandwidth: brownout
+  // pressure on the source during the dump window (Kong et al. / Fig. 5).
+  src_rt_->device().add_ctrl_pressure(dump.cost);
+  if (options_.pre_setup) {
+    // Step 1': pre-dump the RDMA state alongside the memory pre-dump.
+    predump_rdma_bytes_ = plugin_.pre_dump(*guest_);
+    cost += plugin_.take_cost();
+  }
+  ByteWriter w;
+  w.bytes(dump.image.serialize());
+  w.bytes(dump.pages.serialize());
+  w.bytes(predump_rdma_bytes_);
+  Bytes payload = std::move(w).take();
+  report_.precopy_bytes += payload.size();
+
+  loop_.schedule_in(cost, [this, payload = std::move(payload)]() mutable {
+    transfer_to_dest(std::move(payload),
+                     [this](Bytes p) { phase_partial_restore(std::move(p)); });
+  });
+}
+
+void MigrationController::transfer_to_dest(Bytes payload, std::function<void(Bytes)> cb) {
+  // One-shot ctrl-plane transfer: pays real serialization time on the
+  // source port (competing with RDMA traffic) plus propagation.
+  fabric_.register_service(dest_rt_->host(), xfer_service_,
+                           [this, cb = std::move(cb)](net::HostId, Bytes&& p) {
+                             // Unregistering destroys this very lambda; keep the
+                             // continuation alive on the stack first.
+                             auto continuation = cb;
+                             fabric_.unregister_service(dest_rt_->host(), xfer_service_);
+                             continuation(std::move(p));
+                           });
+  fabric_.send_ctrl(src_rt_->host(), dest_rt_->host(), xfer_service_, std::move(payload));
+}
+
+void MigrationController::phase_partial_restore(Bytes payload) {
+  ByteReader r{payload};
+  auto mem_bytes = r.bytes();
+  auto page_bytes = r.bytes();
+  auto rdma_bytes = r.bytes();
+  if (!mem_bytes.is_ok() || !page_bytes.is_ok() || !rdma_bytes.is_ok()) {
+    return fail(common::err(Errc::invalid_argument, "corrupt initial payload"));
+  }
+  auto mem_image = criu::MemoryImage::parse(mem_bytes.value());
+  auto pages = criu::PageSet::parse(page_bytes.value());
+  if (!mem_image.is_ok() || !pages.is_ok()) {
+    return fail(common::err(Errc::invalid_argument, "corrupt memory image"));
+  }
+
+  sim::DurationNs cost = 0;
+
+  if (options_.pre_setup) {
+    // Step 2' part 1: map RDMA memory structures (on-chip memory) before
+    // the memory restoration starts (§3.2).
+    if (auto st = plugin_.premap(rdma_bytes.value(), *dest_rt_, *dest_proc_); !st.is_ok()) {
+      return fail(st);
+    }
+    cost += plugin_.take_cost();
+    pinned_ = Plugin::pinned_vma_starts(mem_image.value(), plugin_.predump_image());
+  }
+
+  auto begin_rep = restorer_->begin(mem_image.value(), pinned_);
+  if (!begin_rep.is_ok()) return fail(begin_rep.status());
+  cost += begin_rep->cost;
+  auto pages_rep = restorer_->apply_pages(pages.value());
+  if (!pages_rep.is_ok()) return fail(pages_rep.status());
+  cost += pages_rep->cost;
+
+  if (options_.pre_setup) {
+    // Step 2' part 2: full RDMA pre-setup + partner QP pre-establishment.
+    if (auto st = plugin_.pre_setup(rdma_bytes.value(), *dest_rt_, *dest_proc_);
+        !st.is_ok()) {
+      return fail(st);
+    }
+    report_.presetup_restore_rdma += plugin_.take_cost();
+    if (auto st = presetup_partners(); !st.is_ok()) return fail(st);
+    // Connecting the staged QPs (INIT/RTR/RTS per QP) is the bulk of the
+    // RestoreRDMA time pre-setup moves out of the blackout window.
+    report_.presetup_restore_rdma += plugin_.staged().take_ctrl_cost();
+    cost += report_.presetup_restore_rdma;
+  }
+
+  loop_.schedule_in(cost, [this] { phase_precopy_round(); });
+}
+
+Status MigrationController::presetup_partners() {
+  // The source notifies every partner (dest address + the partner-side
+  // physical QPNs); each partner pre-establishes replacement QPs that share
+  // the old CQ, and exchanges QPNs with the destination (§3.2).
+  partners_.clear();
+  for (const auto& q : plugin_.predump_image().qps) {
+    if (!q.connected || !q.peer_is_migrrdma || q.peer_guest == 0) continue;
+    if (q.peer_guest == guest_id_) continue;  // self-connection
+    GuestContext* partner = partner_guest(q.peer_guest);
+    if (partner == nullptr) {
+      return common::err(Errc::unavailable, "partner guest not reachable");
+    }
+    MIGR_ASSIGN_OR_RETURN(auto partner_new_pqpn, partner->partner_prepare_qp(q.dest_vqpn));
+    MIGR_ASSIGN_OR_RETURN(auto dest_pqpn, plugin_.staged().pqpn(q.vqpn));
+    const rnic::Psn psn_a = next_psn();
+    const rnic::Psn psn_b = next_psn();
+    MIGR_RETURN_IF_ERROR(plugin_.staged().connect_qp(
+        q.vqpn, directory_.locate(q.peer_guest), partner_new_pqpn, psn_a, psn_b));
+    MIGR_RETURN_IF_ERROR(partner->partner_connect_qp(q.dest_vqpn, dest_rt_->host(),
+                                                     dest_pqpn, psn_b, psn_a));
+    plugin_.staged().set_peer_endpoint(q.vqpn, directory_.locate(q.peer_guest),
+                                       partner_new_pqpn, q.peer_guest);
+    // Partner-side control-path time: brownout on the partner, not
+    // blackout anywhere (§3.2 "communication pre-setup on the partner side
+    // does not incur blackout time").
+    (void)partner->raw().take_ctrl_cost();
+    if (std::find(partners_.begin(), partners_.end(), q.peer_guest) == partners_.end()) {
+      partners_.push_back(q.peer_guest);
+    }
+  }
+  return Status::ok();
+}
+
+void MigrationController::phase_precopy_round() {
+  if (rounds_done_ >= options_.max_precopy_rounds ||
+      ckpt_->pending_dirty() <= options_.dirty_page_threshold) {
+    return phase_stop_and_copy();
+  }
+  rounds_done_++;
+  report_.precopy_rounds++;
+  auto dump = ckpt_->pre_dump();
+  src_rt_->device().add_ctrl_pressure(dump.cost);
+  ByteWriter w;
+  w.bytes(dump.image.serialize());
+  w.bytes(dump.pages.serialize());
+  Bytes payload = std::move(w).take();
+  report_.precopy_bytes += payload.size();
+
+  loop_.schedule_in(dump.cost, [this, payload = std::move(payload)]() mutable {
+    transfer_to_dest(std::move(payload), [this](Bytes p) {
+      ByteReader r{p};
+      auto mem_bytes = r.bytes();
+      auto page_bytes = r.bytes();
+      if (!mem_bytes.is_ok() || !page_bytes.is_ok()) {
+        return fail(common::err(Errc::invalid_argument, "corrupt round payload"));
+      }
+      auto mem_image = criu::MemoryImage::parse(mem_bytes.value());
+      auto pages = criu::PageSet::parse(page_bytes.value());
+      if (!mem_image.is_ok() || !pages.is_ok()) {
+        return fail(common::err(Errc::invalid_argument, "corrupt round image"));
+      }
+      sim::DurationNs cost = 0;
+      auto up = restorer_->update(mem_image.value(), pinned_);
+      if (!up.is_ok()) return fail(up.status());
+      cost += up->cost;
+      auto ap = restorer_->apply_pages(pages.value());
+      if (!ap.is_ok()) return fail(ap.status());
+      cost += ap->cost;
+      loop_.schedule_in(cost, [this] { phase_precopy_round(); });
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Stop-and-copy
+// ---------------------------------------------------------------------------
+
+void MigrationController::phase_stop_and_copy() {
+  report_.suspend_at = loop_.now();
+  if (partners_.empty()) partners_ = guest_->connected_peers();
+
+  pending_wbs_ = 1 + static_cast<int>(partners_.size());
+  wbs_completed_ = false;
+
+  guest_->set_wbs_done_callback([this] { on_wbs_one(); });
+  for (GuestId pid : partners_) {
+    GuestContext* partner = partner_guest(pid);
+    if (partner != nullptr) partner->set_wbs_done_callback([this] { on_wbs_one(); });
+  }
+
+  // §3.4: the upper bound on wait-before-stop for buggy networks.
+  wbs_timeout_handle_ = loop_.schedule_in(options_.wbs_timeout, [this] {
+    if (wbs_completed_) return;
+    MIGR_WARN() << "wait-before-stop timed out; forcing stop-and-copy";
+    report_.wbs_timed_out = true;
+    guest_->force_wbs_timeout();
+    for (GuestId pid : partners_) {
+      GuestContext* partner = partner_guest(pid);
+      if (partner != nullptr && !partner->wbs_done()) partner->force_wbs_timeout();
+    }
+  });
+
+  // Step 3: raise the suspension flags. The partner notification travels
+  // the ctrl plane; its latency is microseconds and is folded into the
+  // suspension event.
+  guest_->suspend(SuspendScope{true, 0});
+  for (GuestId pid : partners_) {
+    GuestContext* partner = partner_guest(pid);
+    if (partner != nullptr) partner->suspend(SuspendScope{false, guest_id_});
+  }
+}
+
+void MigrationController::on_wbs_one() {
+  if (wbs_completed_) return;
+  if (--pending_wbs_ > 0) return;
+  wbs_completed_ = true;
+  wbs_timeout_handle_.cancel();
+  on_wbs_complete();
+}
+
+void MigrationController::on_wbs_complete() {
+  report_.wbs_elapsed = loop_.now() - report_.suspend_at;
+  guest_->set_wbs_done_callback(nullptr);
+  for (GuestId pid : partners_) {
+    GuestContext* partner = partner_guest(pid);
+    if (partner != nullptr) partner->set_wbs_done_callback(nullptr);
+  }
+  phase_final_transfer();
+}
+
+void MigrationController::phase_final_transfer() {
+  // Step 4: freeze the service.
+  report_.freeze_at = loop_.now();
+  src_proc_->freeze();
+
+  auto dmem = ckpt_->final_dump();
+  if (!dmem.is_ok()) return fail(dmem.status());
+  report_.dump_others = dmem->cost;
+
+  sim::DurationNs rdma_dump_cost = 0;
+  if (!options_.pre_setup) {
+    // Baseline (§4): the one and only RDMA dump happens inside the
+    // blackout window.
+    predump_rdma_bytes_ = plugin_.pre_dump(*guest_);
+    rdma_dump_cost += plugin_.take_cost();
+  }
+  final_rdma_bytes_ = plugin_.final_dump(*guest_);
+  rdma_dump_cost += plugin_.take_cost();
+  report_.dump_rdma = rdma_dump_cost;
+
+  ByteWriter w;
+  w.bytes(dmem->image.serialize());
+  w.bytes(dmem->pages.serialize());
+  w.bytes(predump_rdma_bytes_);
+  w.bytes(final_rdma_bytes_);
+  Bytes payload = std::move(w).take();
+  report_.final_bytes = payload.size();
+
+  const sim::DurationNs dump_cost = report_.dump_others + rdma_dump_cost;
+  loop_.schedule_in(dump_cost, [this, payload = std::move(payload)]() mutable {
+    const sim::TimeNs xfer_start = loop_.now();
+    transfer_to_dest(std::move(payload), [this, xfer_start](Bytes p) {
+      report_.transfer = loop_.now() - xfer_start;
+      phase_final_restore(std::move(p));
+    });
+  });
+}
+
+void MigrationController::phase_final_restore(Bytes payload) {
+  ByteReader r{payload};
+  auto mem_bytes = r.bytes();
+  auto page_bytes = r.bytes();
+  auto rdma_full_bytes = r.bytes();
+  auto rdma_final_bytes = r.bytes();
+  if (!mem_bytes.is_ok() || !page_bytes.is_ok() || !rdma_full_bytes.is_ok() ||
+      !rdma_final_bytes.is_ok()) {
+    return fail(common::err(Errc::invalid_argument, "corrupt final payload"));
+  }
+  auto mem_image = criu::MemoryImage::parse(mem_bytes.value());
+  auto pages = criu::PageSet::parse(page_bytes.value());
+  if (!mem_image.is_ok() || !pages.is_ok()) {
+    return fail(common::err(Errc::invalid_argument, "corrupt final memory image"));
+  }
+
+  sim::DurationNs criu_cost = 0;
+  auto up = restorer_->update(mem_image.value(), pinned_);
+  if (!up.is_ok()) return fail(up.status());
+  criu_cost += up->cost;
+  auto ap = restorer_->apply_pages(pages.value());
+  if (!ap.is_ok()) return fail(ap.status());
+  criu_cost += ap->cost;
+  auto fin = restorer_->finish();
+  if (!fin.is_ok()) return fail(fin.status());
+  criu_cost += fin->cost;
+  report_.full_restore = criu_cost;
+
+  sim::DurationNs rdma_cost = 0;
+  if (!options_.pre_setup) {
+    // Steps 2'/6' collapsed into the blackout: restore every RDMA resource
+    // now that all memory has been restored (§4 baseline).
+    if (auto st = plugin_.pre_setup(rdma_full_bytes.value(), *dest_rt_, *dest_proc_);
+        !st.is_ok()) {
+      return fail(st);
+    }
+    rdma_cost += plugin_.take_cost();
+    if (auto st = presetup_partners(); !st.is_ok()) return fail(st);
+    rdma_cost += plugin_.staged().take_ctrl_cost();
+    rdma_cost += report_.presetup_restore_rdma;  // partner costs are in blackout here
+    report_.presetup_restore_rdma = 0;
+  }
+
+  // Step 6': map the new RDMA resources into the restored process and apply
+  // the virtualization fix-ups; step 7: replay.
+  auto owned = src_rt_->release_guest(guest_);
+  if (owned == nullptr) return fail(common::err(Errc::internal, "guest ownership lost"));
+  if (auto st = plugin_.full_restore(*guest_, rdma_final_bytes.value(), *dest_rt_);
+      !st.is_ok()) {
+    return fail(st);
+  }
+  dest_rt_->adopt_guest(std::move(owned));
+  rdma_cost += plugin_.take_cost();
+  report_.restore_rdma = rdma_cost;
+
+  // Partners switch to the pre-established QPs (step 7 on the partner).
+  for (GuestId pid : partners_) {
+    GuestContext* partner = partner_guest(pid);
+    if (partner == nullptr) continue;
+    for (VQpn vqpn : partner->qps_to_peer(guest_id_)) {
+      if (auto st = partner->partner_switch_qp(vqpn, guest_id_); !st.is_ok()) {
+        return fail(st);
+      }
+    }
+    partner->update_peer_location(guest_id_, dest_rt_->host());
+    (void)partner->raw().take_ctrl_cost();
+  }
+
+  loop_.schedule_in(criu_cost + rdma_cost, [this] { phase_resume(); });
+}
+
+void MigrationController::phase_resume() {
+  report_.resume_at = loop_.now();
+  // Source reclaims everything it still holds.
+  src_proc_->kill();
+  src_rt_->device().close(src_ctx_);
+  src_ctx_ = nullptr;
+
+  if (app_ != nullptr) app_->on_migrated(*dest_proc_);
+
+  report_.ok = true;
+  if (done_) done_(report_);
+}
+
+}  // namespace migr::migrlib

@@ -1,0 +1,153 @@
+// The migration controller: the runc-analogue that sequences the full
+// MigrRDMA live-migration workflow of Fig. 2(b) on the simulated cluster.
+//
+//   pre-copy:       1  memory pre-dump + copy        1' RDMA pre-dump + copy
+//                   2  partial restore (staging)     2' RDMA pre-setup +
+//                                                        partner QP pre-setup
+//                   (iterative dirty-page rounds until convergence)
+//   stop-and-copy:  3  raise suspension flags  ->  wait-before-stop
+//                   4  freeze the service
+//                   5  dump memory diff              5' dump RDMA diff+residue
+//                   6  final restore iteration       6' map new RDMA resources
+//                   7  replay intercepted/pending WRs, partners switch QPs
+//                   (source reclaims its resources)
+//
+// The controller also implements the §4 comparison baseline: the same
+// workflow without RDMA pre-setup, where the single RDMA dump and the whole
+// RDMA restoration sit inside the blackout window (Fig. 3's "w/o pre-setup").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "criu/checkpoint.hpp"
+#include "migr/plugin.hpp"
+#include "migr/runtime.hpp"
+
+namespace migr::migrlib {
+
+struct MigrationOptions {
+  bool pre_setup = true;            // RDMA pre-setup during partial restore (§3.2)
+  int max_precopy_rounds = 3;       // dirty-page iterations after the full copy
+  std::size_t dirty_page_threshold = 64;  // stop iterating below this many pages
+  sim::DurationNs wbs_timeout = sim::sec(5);  // §3.4 buggy-network upper bound
+  criu::CriuCosts criu_costs;
+  MigrCosts migr_costs;
+  rnic::Psn psn_seed = 500'000;
+};
+
+struct MigrationReport {
+  bool ok = false;
+  std::string error;
+
+  // Simulated timestamps of the phase boundaries.
+  sim::TimeNs start = 0;
+  sim::TimeNs suspend_at = 0;   // suspension flags raised (comm blackout begins)
+  sim::TimeNs freeze_at = 0;    // service frozen (service blackout begins)
+  sim::TimeNs resume_at = 0;    // service running on the destination
+
+  // Blackout breakdown (Fig. 3 components).
+  sim::DurationNs dump_rdma = 0;
+  sim::DurationNs dump_others = 0;
+  sim::DurationNs transfer = 0;
+  sim::DurationNs restore_rdma = 0;   // in-blackout RDMA restoration
+  sim::DurationNs full_restore = 0;
+
+  // RDMA restoration performed during pre-copy (pre-setup case): brownout,
+  // not blackout.
+  sim::DurationNs presetup_restore_rdma = 0;
+
+  sim::DurationNs wbs_elapsed = 0;  // Fig. 4
+  bool wbs_timed_out = false;
+
+  std::uint64_t precopy_rounds = 0;
+  std::uint64_t precopy_bytes = 0;
+  std::uint64_t final_bytes = 0;
+
+  sim::DurationNs service_blackout() const { return resume_at - freeze_at; }
+  sim::DurationNs comm_blackout() const { return resume_at - suspend_at; }
+  sim::DurationNs blackout_components() const {
+    return dump_rdma + dump_others + transfer + restore_rdma + full_restore;
+  }
+};
+
+/// Applications that survive migration implement this: the controller calls
+/// on_migrated once the service is restored, so the app re-registers its
+/// tasks on the destination process (the simulation's equivalent of CRIU
+/// resuming the process image).
+class MigratableApp {
+ public:
+  virtual ~MigratableApp() = default;
+  virtual void on_migrated(proc::SimProcess& new_proc) = 0;
+};
+
+class MigrationController {
+ public:
+  MigrationController(sim::EventLoop& loop, net::Fabric& fabric, GuestDirectory& directory,
+                      MigrationOptions options = {});
+
+  using DoneCb = std::function<void(const MigrationReport&)>;
+
+  /// Kick off the migration of guest `id` to `dest_host`. `dest_proc` is
+  /// the (fresh) destination container process. Returns immediately; the
+  /// workflow runs on the event loop and `done` fires at completion.
+  common::Status start(GuestId id, net::HostId dest_host, proc::SimProcess& dest_proc,
+                       MigratableApp* app, DoneCb done);
+
+  const MigrationReport& report() const noexcept { return report_; }
+
+ private:
+  void fail(const common::Status& st);
+  void phase_initial_dump();
+  void transfer_to_dest(common::Bytes payload,
+                        std::function<void(common::Bytes)> on_delivered);
+  void phase_partial_restore(common::Bytes payload);
+  common::Status presetup_partners();
+  void phase_precopy_round();
+  void phase_stop_and_copy();
+  void on_wbs_one();
+  void on_wbs_complete();
+  void phase_final_transfer();
+  void phase_final_restore(common::Bytes payload);
+  void phase_resume();
+
+  rnic::Psn next_psn() { return psn_cursor_ += 4096; }
+  GuestContext* partner_guest(GuestId id) const;
+
+  sim::EventLoop& loop_;
+  net::Fabric& fabric_;
+  GuestDirectory& directory_;
+  MigrationOptions options_;
+
+  GuestId guest_id_ = 0;
+  GuestContext* guest_ = nullptr;
+  MigrRdmaRuntime* src_rt_ = nullptr;
+  MigrRdmaRuntime* dest_rt_ = nullptr;
+  proc::SimProcess* src_proc_ = nullptr;
+  proc::SimProcess* dest_proc_ = nullptr;
+  rnic::Context* src_ctx_ = nullptr;  // reclaimed at the end
+  MigratableApp* app_ = nullptr;
+  DoneCb done_;
+
+  std::unique_ptr<criu::Checkpointer> ckpt_;
+  std::unique_ptr<criu::Restorer> restorer_;
+  Plugin plugin_;
+  std::set<proc::VirtAddr> pinned_;
+  std::vector<GuestId> partners_;
+  common::Bytes predump_rdma_bytes_;
+  common::Bytes final_rdma_bytes_;
+  criu::MemoryImage pending_mem_image_;
+
+  int rounds_done_ = 0;
+  int pending_wbs_ = 0;
+  bool wbs_completed_ = false;
+  sim::EventHandle wbs_timeout_handle_;
+  rnic::Psn psn_cursor_;
+  std::string xfer_service_;
+
+  MigrationReport report_;
+};
+
+}  // namespace migr::migrlib

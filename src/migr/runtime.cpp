@@ -1,0 +1,76 @@
+#include "migr/runtime.hpp"
+
+#include "migr/guest_lib.hpp"
+
+namespace migr::migrlib {
+
+using common::Errc;
+using common::Result;
+
+Result<GuestContext*> MigrRdmaRuntime::create_guest(proc::SimProcess& proc, GuestId id) {
+  if (guests_.contains(id)) return common::err(Errc::already_exists, "guest id in use");
+  auto guest = std::make_unique<GuestContext>(*this, proc, id);
+  GuestContext* raw = guest.get();
+  owned_.push_back(std::move(guest));
+  guests_.emplace(id, raw);
+  directory_.place(id, host());
+  return raw;
+}
+
+void MigrRdmaRuntime::destroy_guest(GuestContext* guest) {
+  if (guest == nullptr) return;
+  guests_.erase(guest->id());
+  directory_.remove(guest->id());
+  device_.close(&guest->raw());
+  std::erase_if(owned_, [guest](const auto& up) { return up.get() == guest; });
+}
+
+GuestContext* MigrRdmaRuntime::find_guest(GuestId id) const {
+  auto it = guests_.find(id);
+  return it == guests_.end() ? nullptr : it->second;
+}
+
+std::vector<GuestContext*> MigrRdmaRuntime::guests() const {
+  std::vector<GuestContext*> out;
+  out.reserve(guests_.size());
+  for (auto& [id, g] : guests_) out.push_back(g);
+  return out;
+}
+
+std::unique_ptr<GuestContext> MigrRdmaRuntime::release_guest(GuestContext* guest) {
+  std::unique_ptr<GuestContext> out;
+  for (auto& up : owned_) {
+    if (up.get() == guest) {
+      out = std::move(up);
+      break;
+    }
+  }
+  std::erase_if(owned_, [](const auto& up) { return up == nullptr; });
+  guests_.erase(guest->id());
+  return out;
+}
+
+void MigrRdmaRuntime::adopt_guest(std::unique_ptr<GuestContext> guest) {
+  GuestContext* raw = guest.get();
+  owned_.push_back(std::move(guest));
+  guests_.emplace(raw->id(), raw);
+  directory_.place(raw->id(), host());
+}
+
+Result<rnic::Qpn> MigrRdmaRuntime::fetch_pqpn(GuestId peer, std::uint32_t vqpn) {
+  stats_.pqpn_fetches++;
+  MigrRdmaRuntime* rt = directory_.runtime_of(peer);
+  GuestContext* guest = rt == nullptr ? nullptr : rt->find_guest(peer);
+  if (guest == nullptr) return common::err(Errc::unavailable, "peer guest unreachable");
+  return guest->current_pqpn_for_peer_fetch(vqpn);
+}
+
+Result<rnic::Rkey> MigrRdmaRuntime::fetch_rkey(GuestId peer, std::uint32_t vrkey) {
+  stats_.rkey_fetches++;
+  MigrRdmaRuntime* rt = directory_.runtime_of(peer);
+  GuestContext* guest = rt == nullptr ? nullptr : rt->find_guest(peer);
+  if (guest == nullptr) return common::err(Errc::unavailable, "peer guest unreachable");
+  return guest->current_prkey(vrkey);
+}
+
+}  // namespace migr::migrlib

@@ -1,0 +1,125 @@
+// Per-host MigrRDMA runtime and the cluster-wide guest directory.
+//
+// The runtime is the host-side half of MigrRDMA that is not inside one
+// process: it owns the indirection layer, creates/destroys guest libraries,
+// and serves the cross-host control-plane lookups the paper's design needs —
+// physical-QPN resolution at connection setup and rkey fetch-on-first-use
+// for one-sided operations (§3.3, "remote states that have not been
+// virtualized": fetched from the remote side and cached locally).
+//
+// The GuestDirectory models the cloud provider's control plane (§2.1
+// "virtual networks"): it maps a stable guest identity to its current host,
+// which is how partners find a service again after it migrates.
+//
+// Cross-host fetches are performed by direct object access plus an RTT
+// accounting hook, rather than by round-tripping simulated packets. This is
+// a deliberate simulation shortcut: the fetched values are identical, every
+// fetch is counted (benches report fetch counts and charge RTTs), and it
+// keeps the synchronous verbs API the applications expect.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "migr/indirection.hpp"
+#include "net/fabric.hpp"
+#include "proc/process.hpp"
+#include "rnic/device.hpp"
+
+namespace migr::migrlib {
+
+class GuestContext;
+class MigrRdmaRuntime;
+
+/// Stable, cluster-unique identity of an RDMA application instance. Keeps
+/// its value across migration — this is what applications exchange out of
+/// band instead of raw IP addresses.
+using GuestId = std::uint32_t;
+
+class GuestDirectory {
+ public:
+  void register_runtime(net::HostId host, MigrRdmaRuntime* runtime) {
+    runtimes_[host] = runtime;
+  }
+  void place(GuestId guest, net::HostId host) { placement_[guest] = host; }
+  void remove(GuestId guest) { placement_.erase(guest); }
+
+  /// Current host of a guest; 0 if unknown.
+  net::HostId locate(GuestId guest) const {
+    auto it = placement_.find(guest);
+    return it == placement_.end() ? 0 : it->second;
+  }
+  MigrRdmaRuntime* runtime_at(net::HostId host) const {
+    auto it = runtimes_.find(host);
+    return it == runtimes_.end() ? nullptr : it->second;
+  }
+  MigrRdmaRuntime* runtime_of(GuestId guest) const {
+    const net::HostId host = locate(guest);
+    return host == 0 ? nullptr : runtime_at(host);
+  }
+
+ private:
+  std::unordered_map<net::HostId, MigrRdmaRuntime*> runtimes_;
+  std::unordered_map<GuestId, net::HostId> placement_;
+};
+
+struct FetchStats {
+  std::uint64_t pqpn_fetches = 0;
+  std::uint64_t rkey_fetches = 0;
+  std::uint64_t rkey_cache_hits = 0;  // filled in by guests
+};
+
+class MigrRdmaRuntime {
+ public:
+  MigrRdmaRuntime(GuestDirectory& directory, rnic::Device& device, net::Fabric& fabric)
+      : directory_(directory), device_(device), fabric_(fabric), indirection_(device) {
+    directory_.register_runtime(device.host(), this);
+  }
+
+  net::HostId host() const noexcept { return device_.host(); }
+  rnic::Device& device() noexcept { return device_; }
+  net::Fabric& fabric() noexcept { return fabric_; }
+  GuestDirectory& directory() noexcept { return directory_; }
+  IndirectionLayer& indirection() noexcept { return indirection_; }
+
+  /// Create the MigrRDMA guest library inside `proc` and register the guest
+  /// in the directory. `id` must be cluster-unique.
+  common::Result<GuestContext*> create_guest(proc::SimProcess& proc, GuestId id);
+  void destroy_guest(GuestContext* guest);
+  GuestContext* find_guest(GuestId id) const;
+  std::vector<GuestContext*> guests() const;
+
+  /// Detach a guest from this runtime without destroying it (migration
+  /// source handing the library object over). The caller becomes the owner.
+  std::unique_ptr<GuestContext> release_guest(GuestContext* guest);
+  /// Adopt a guest restored from another host: takes ownership, registers
+  /// it, and updates the directory placement.
+  void adopt_guest(std::unique_ptr<GuestContext> guest);
+
+  // ---- cross-host control-plane lookups (§3.3) ----
+  /// Resolve a peer's virtual QPN to its current physical QPN.
+  common::Result<rnic::Qpn> fetch_pqpn(GuestId peer, std::uint32_t vqpn);
+  /// Resolve a peer's virtual rkey to the current physical rkey.
+  common::Result<rnic::Rkey> fetch_rkey(GuestId peer, std::uint32_t vrkey);
+  /// Hybrid negotiation (§6): does the peer run a MigrRDMA library?
+  bool peer_supports_migrrdma(GuestId peer) const {
+    return directory_.runtime_of(peer) != nullptr &&
+           directory_.runtime_of(peer)->find_guest(peer) != nullptr;
+  }
+
+  FetchStats& stats() noexcept { return stats_; }
+
+ private:
+  GuestDirectory& directory_;
+  rnic::Device& device_;
+  net::Fabric& fabric_;
+  IndirectionLayer indirection_;
+  std::unordered_map<GuestId, GuestContext*> guests_;
+  std::vector<std::unique_ptr<GuestContext>> owned_;
+  FetchStats stats_;
+};
+
+}  // namespace migr::migrlib

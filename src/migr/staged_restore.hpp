@@ -1,0 +1,96 @@
+// RDMA pre-setup on the migration destination (paper §3.2).
+//
+// During partial restore — while the service is still running on the source
+// — the CRIU plugin builds a StagedRestore: a full set of *new* physical
+// RDMA resources on the destination's RNIC, equivalent to the checkpointed
+// ones, keyed by the virtual IDs the application knows. Memory regions
+// whose pages are already pinned at their original virtual address register
+// immediately; the rest (late registrations that collided with the
+// restorer's temporary memory) are deferred to the end of stop-and-copy.
+//
+// At the final restore iteration the guest library adopts the staged
+// resources wholesale (GuestContext::adopt_staged), which is what makes the
+// RDMA side of stop-and-copy cheap: no connection setup remains on the
+// blackout path.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "migr/image.hpp"
+#include "migr/runtime.hpp"
+#include "proc/process.hpp"
+
+namespace migr::migrlib {
+
+class StagedRestore {
+ public:
+  /// Phase 0 (before CRIU memory restoration starts): open the device
+  /// context on the destination and re-establish on-chip memory — allocate
+  /// each DM with the original size and mremap() it to the original virtual
+  /// address (paper Table 1, "on-chip memory").
+  common::Status premap(const RdmaImage& image, MigrRdmaRuntime& runtime,
+                        proc::SimProcess& proc);
+
+  /// Phase 1 (after the first page set landed): create PDs, channels, CQs,
+  /// SRQs, QPs; register every MR whose memory is mapped at its original
+  /// address; defer the rest.
+  common::Status build(const RdmaImage& image);
+
+  /// Register one more MR (late registration / deferred conflict), once its
+  /// memory is available at the original address.
+  common::Status register_mr(const MrRec& rec);
+
+  /// Connect a staged RC QP to its (new) remote endpoint.
+  common::Status connect_qp(VQpn vqpn, net::HostId remote_host, rnic::Qpn remote_pqpn,
+                            rnic::Psn my_psn, rnic::Psn remote_psn);
+
+  common::Result<rnic::Qpn> pqpn(VQpn vqpn) const;
+
+  /// Record the peer's replacement endpoint for a QP (promoted into the
+  /// guest's QP metadata at adoption).
+  void set_peer_endpoint(VQpn vqpn, net::HostId host, rnic::Qpn pqpn, GuestId peer) {
+    peer_endpoints_[vqpn] = PeerEndpoint{host, pqpn, peer};
+  }
+
+  /// Simulated control-path time spent since the last call (the RestoreRDMA
+  /// cost that pre-setup moves out of the blackout window).
+  sim::DurationNs take_ctrl_cost() noexcept {
+    auto c = ctrl_cost_;
+    ctrl_cost_ = 0;
+    return c;
+  }
+
+  const std::vector<MrRec>& deferred_mrs() const noexcept { return deferred_; }
+
+ private:
+  friend class GuestContext;
+
+  struct PeerEndpoint {
+    net::HostId host = 0;
+    rnic::Qpn pqpn = 0;
+    GuestId peer = 0;
+  };
+
+  MigrRdmaRuntime* runtime_ = nullptr;
+  proc::SimProcess* proc_ = nullptr;
+  rnic::Context* ctx_ = nullptr;
+
+  std::unordered_map<VHandle, rnic::Handle> pds_;
+  std::unordered_map<VHandle, rnic::Handle> channels_;
+  std::unordered_map<VHandle, rnic::Handle> cqs_;
+  std::unordered_map<VHandle, rnic::Handle> srqs_;
+  std::unordered_map<VHandle, rnic::Handle> dms_;
+  std::unordered_map<VHandle, rnic::Handle> mws_;
+  // vlkey -> (new physical lkey, new physical rkey)
+  std::unordered_map<VLkey, std::pair<rnic::Lkey, rnic::Rkey>> mrs_;
+  std::unordered_map<VQpn, rnic::Qpn> qps_;
+  std::unordered_map<VQpn, PeerEndpoint> peer_endpoints_;
+  std::vector<MrRec> deferred_;
+  RdmaImage image_;
+  sim::DurationNs ctrl_cost_ = 0;
+};
+
+}  // namespace migr::migrlib

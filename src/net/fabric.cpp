@@ -1,0 +1,116 @@
+#include "net/fabric.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace migr::net {
+
+using common::Errc;
+using common::Status;
+
+Status Fabric::attach_host(HostId host) {
+  if (ports_.contains(host)) {
+    return common::err(Errc::already_exists, "host already attached");
+  }
+  ports_.emplace(host, Port{});
+  return Status::ok();
+}
+
+void Fabric::set_data_handler(HostId host, DataHandler handler) {
+  data_handlers_[host] = std::move(handler);
+}
+
+void Fabric::register_service(HostId host, std::string name, CtrlHandler handler) {
+  services_[{host, std::move(name)}] = std::move(handler);
+}
+
+void Fabric::unregister_service(HostId host, const std::string& name) {
+  services_.erase({host, name});
+}
+
+sim::TimeNs Fabric::reserve_egress(Port& port, std::uint64_t wire_bytes) {
+  const sim::TimeNs start = std::max(loop_.now(), port.egress_free_at);
+  port.egress_free_at = start + wire_time(wire_bytes);
+  return port.egress_free_at;
+}
+
+void Fabric::send_data(Packet packet) {
+  auto src_it = ports_.find(packet.src);
+  auto dst_it = ports_.find(packet.dst);
+  if (src_it == ports_.end() || dst_it == ports_.end()) {
+    MIGR_WARN() << "data packet to/from unattached host " << packet.src << "->" << packet.dst;
+    return;
+  }
+  const std::uint64_t wire_bytes = packet.payload.size() + config_.header_bytes;
+  src_it->second.stats.data_packets_tx++;
+  src_it->second.stats.data_bytes_tx += packet.payload.size();
+
+  // Serialization happens (and consumes bandwidth) even for packets that
+  // will be dropped in the network.
+  const sim::TimeNs serialized_at = reserve_egress(src_it->second, wire_bytes);
+
+  if (partitioned_.contains(packet.src) || partitioned_.contains(packet.dst) ||
+      (faults_.data_loss_prob > 0 && rng_.chance(faults_.data_loss_prob))) {
+    src_it->second.stats.data_packets_dropped++;
+    return;
+  }
+
+  const sim::TimeNs deliver_at = serialized_at + config_.propagation;
+  loop_.schedule_at(deliver_at, [this, packet = std::move(packet)]() mutable {
+    if (partitioned_.contains(packet.src) || partitioned_.contains(packet.dst)) return;
+    auto port_it = ports_.find(packet.dst);
+    if (port_it != ports_.end()) {
+      port_it->second.stats.data_packets_rx++;
+      port_it->second.stats.data_bytes_rx += packet.payload.size();
+    }
+    auto it = data_handlers_.find(packet.dst);
+    if (it != data_handlers_.end() && it->second) it->second(std::move(packet));
+  });
+}
+
+sim::TimeNs Fabric::send_ctrl(HostId src, HostId dst, const std::string& service,
+                              common::Bytes payload) {
+  auto src_it = ports_.find(src);
+  if (src_it == ports_.end() || !ports_.contains(dst)) {
+    MIGR_WARN() << "ctrl message to/from unattached host " << src << "->" << dst;
+    return loop_.now();
+  }
+  src_it->second.stats.ctrl_messages_tx++;
+  src_it->second.stats.ctrl_bytes_tx += payload.size();
+
+  // Model TCP as a stream: the message occupies the port for its full
+  // length, then arrives whole after propagation. Loss is absorbed by
+  // "TCP" (we don't simulate retransmits on the ctrl plane), but a
+  // partition kills delivery exactly like a failed node would.
+  const std::uint64_t wire_bytes = payload.size() + config_.header_bytes;
+  const sim::TimeNs serialized_at = reserve_egress(src_it->second, wire_bytes);
+  const sim::TimeNs deliver_at = serialized_at + config_.propagation;
+
+  loop_.schedule_at(deliver_at, [this, src, dst, service, payload = std::move(payload)]() mutable {
+    if (partitioned_.contains(src) || partitioned_.contains(dst)) return;
+    auto it = services_.find({dst, service});
+    if (it != services_.end() && it->second) {
+      it->second(src, std::move(payload));
+    } else {
+      MIGR_DEBUG() << "ctrl message for unknown service " << service << " on host " << dst;
+    }
+  });
+  return serialized_at;
+}
+
+void Fabric::set_partitioned(HostId host, bool partitioned) {
+  if (partitioned) {
+    partitioned_.insert(host);
+  } else {
+    partitioned_.erase(host);
+  }
+}
+
+const PortStats& Fabric::stats(HostId host) const {
+  static const PortStats kEmpty{};
+  auto it = ports_.find(host);
+  return it == ports_.end() ? kEmpty : it->second.stats;
+}
+
+}  // namespace migr::net

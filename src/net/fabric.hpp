@@ -1,0 +1,138 @@
+// Simulated data-center fabric.
+//
+// Models the paper's testbed: hosts with one NIC port each (default
+// 100 Gbps, matching the ConnectX-5 testbed), connected through a single
+// switch (fixed propagation delay). Two planes share each port's egress
+// bandwidth:
+//
+//  * data plane  — RDMA packets. Subject to fault injection (loss), which
+//    the "buggy network" tests (§3.4 handling) use.
+//  * ctrl plane  — the out-of-band TCP the paper's live-migration tooling
+//    uses (CRIU image transfer, partner notification, rkey fetch). Reliable
+//    and in-order, but still pays serialization + propagation time, so the
+//    "Transfer" component of blackout time is bandwidth-accurate.
+//
+// Hosts can be partitioned (both planes dropped) to model node failure for
+// the Hadoop failover baseline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "sim/event_loop.hpp"
+
+namespace migr::net {
+
+using HostId = std::uint32_t;
+
+struct FabricConfig {
+  double link_gbps = 100.0;                    // per-port line rate
+  sim::DurationNs propagation = sim::usec(2);  // host -> switch -> host
+  std::uint32_t mtu = 4096;                    // data-plane MTU (RoCE default-ish)
+  std::uint32_t header_bytes = 58;             // per-packet wire overhead (Eth+IP+UDP+BTH)
+};
+
+struct Faults {
+  double data_loss_prob = 0.0;  // i.i.d. drop probability on the data plane
+};
+
+/// A raw data-plane packet. The RNIC layer owns the payload format.
+struct Packet {
+  HostId src = 0;
+  HostId dst = 0;
+  common::Bytes payload;
+};
+
+struct PortStats {
+  std::uint64_t data_packets_tx = 0;
+  std::uint64_t data_packets_rx = 0;
+  std::uint64_t data_bytes_tx = 0;
+  std::uint64_t data_bytes_rx = 0;
+  std::uint64_t data_packets_dropped = 0;
+  std::uint64_t ctrl_messages_tx = 0;
+  std::uint64_t ctrl_bytes_tx = 0;
+};
+
+class Fabric {
+ public:
+  using DataHandler = std::function<void(Packet&&)>;
+  /// (source host, payload)
+  using CtrlHandler = std::function<void(HostId, common::Bytes&&)>;
+
+  Fabric(sim::EventLoop& loop, FabricConfig config = {}, std::uint64_t seed = 1)
+      : loop_(loop), config_(config), rng_(seed) {}
+
+  const FabricConfig& config() const noexcept { return config_; }
+  sim::EventLoop& loop() noexcept { return loop_; }
+
+  /// Attach a host. Host ids are caller-chosen and must be unique.
+  common::Status attach_host(HostId host);
+  bool attached(HostId host) const { return ports_.contains(host); }
+
+  /// Install the data-plane receive handler for a host (the RNIC).
+  void set_data_handler(HostId host, DataHandler handler);
+
+  /// Register a named ctrl-plane service on a host (e.g. "migr.notify").
+  void register_service(HostId host, std::string name, CtrlHandler handler);
+  void unregister_service(HostId host, const std::string& name);
+
+  /// Send a data-plane packet. Serialization on the source port + switch
+  /// propagation; may be dropped per fault config or partition.
+  void send_data(Packet packet);
+
+  /// Send a reliable ctrl-plane message to `service` on `dst`. Delivery is
+  /// in-order per (src,dst) pair. Returns the simulated time at which the
+  /// last byte leaves the source port (useful to model blocking transfers).
+  sim::TimeNs send_ctrl(HostId src, HostId dst, const std::string& service,
+                        common::Bytes payload);
+
+  /// Duration to push `bytes` through one port at line rate (no queueing).
+  sim::DurationNs wire_time(std::uint64_t bytes) const {
+    return sim::transmit_time(bytes, config_.link_gbps);
+  }
+
+  /// When `host`'s egress port finishes serializing everything queued on it.
+  /// NIC transmit schedulers pace themselves on this.
+  sim::TimeNs egress_free_at(HostId host) const {
+    auto it = ports_.find(host);
+    return it == ports_.end() ? loop_.now() : it->second.egress_free_at;
+  }
+
+  void set_faults(Faults f) noexcept { faults_ = f; }
+  const Faults& faults() const noexcept { return faults_; }
+
+  /// Partitioned hosts silently lose all traffic in and out (node failure).
+  void set_partitioned(HostId host, bool partitioned);
+  bool partitioned(HostId host) const { return partitioned_.contains(host); }
+
+  const PortStats& stats(HostId host) const;
+
+ private:
+  struct Port {
+    sim::TimeNs egress_free_at = 0;  // when the port finishes its current tx
+    PortStats stats;
+  };
+
+  /// Reserve egress time for `wire_bytes` on `src`'s port; returns the time
+  /// the last bit has been serialized.
+  sim::TimeNs reserve_egress(Port& port, std::uint64_t wire_bytes);
+
+  sim::EventLoop& loop_;
+  FabricConfig config_;
+  common::Rng rng_;
+  Faults faults_;
+  std::unordered_map<HostId, Port> ports_;
+  std::unordered_map<HostId, DataHandler> data_handlers_;
+  std::map<std::pair<HostId, std::string>, CtrlHandler> services_;
+  std::unordered_set<HostId> partitioned_;
+};
+
+}  // namespace migr::net

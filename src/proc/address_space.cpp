@@ -1,0 +1,178 @@
+#include "proc/address_space.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace migr::proc {
+
+using common::Errc;
+using common::Result;
+using common::Status;
+
+Status AddressSpace::mmap_fixed(VirtAddr addr, std::uint64_t length, std::string tag) {
+  if (length == 0 || addr != page_floor(addr)) {
+    return common::err(Errc::invalid_argument, "mmap_fixed: unaligned or empty");
+  }
+  length = page_ceil(length);
+  // Overlap check against neighbours in the ordered map.
+  auto next = vmas_.lower_bound(addr);
+  if (next != vmas_.end() && next->second.overlaps(addr, length)) {
+    return common::err(Errc::already_exists, "mmap_fixed: overlaps existing vma");
+  }
+  if (next != vmas_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second.overlaps(addr, length)) {
+      return common::err(Errc::already_exists, "mmap_fixed: overlaps existing vma");
+    }
+  }
+  vmas_.emplace(addr, Vma{addr, length, std::move(tag)});
+  for (VirtAddr p = addr; p < addr + length; p += kPageSize) {
+    pages_.emplace(p, std::make_shared<PhysPage>());
+  }
+  mapped_bytes_ += length;
+  return Status::ok();
+}
+
+Result<VirtAddr> AddressSpace::mmap(std::uint64_t length, std::string tag) {
+  length = page_ceil(length);
+  const VirtAddr addr = mmap_base_;
+  mmap_base_ += length + kPageSize;  // guard page gap
+  MIGR_RETURN_IF_ERROR(mmap_fixed(addr, length, std::move(tag)));
+  return addr;
+}
+
+Status AddressSpace::munmap(VirtAddr addr) {
+  auto it = vmas_.find(addr);
+  if (it == vmas_.end()) return common::err(Errc::not_found, "munmap: no vma at address");
+  for (VirtAddr p = addr; p < it->second.end(); p += kPageSize) {
+    pages_.erase(p);
+    dirty_.erase(p);
+  }
+  mapped_bytes_ -= it->second.length;
+  vmas_.erase(it);
+  return Status::ok();
+}
+
+Status AddressSpace::mremap(VirtAddr old_addr, VirtAddr new_addr) {
+  auto it = vmas_.find(old_addr);
+  if (it == vmas_.end()) return common::err(Errc::not_found, "mremap: no vma at address");
+  if (new_addr != page_floor(new_addr)) {
+    return common::err(Errc::invalid_argument, "mremap: unaligned target");
+  }
+  if (new_addr == old_addr) return Status::ok();
+  Vma vma = it->second;
+
+  // The target range must be free (ignoring the vma being moved, which we
+  // conceptually remove first).
+  for (auto& [start, other] : vmas_) {
+    if (start == old_addr) continue;
+    if (other.overlaps(new_addr, vma.length)) {
+      return common::err(Errc::already_exists, "mremap: target overlaps existing vma");
+    }
+  }
+
+  // Move physical pages and their dirty bits, preserving identity.
+  std::vector<std::pair<VirtAddr, PhysPagePtr>> moved;
+  moved.reserve(vma.length / kPageSize);
+  for (VirtAddr off = 0; off < vma.length; off += kPageSize) {
+    auto page_it = pages_.find(old_addr + off);
+    moved.emplace_back(new_addr + off, page_it->second);
+    const bool was_dirty = dirty_.erase(old_addr + off) > 0;
+    pages_.erase(page_it);
+    if (was_dirty) dirty_.emplace(new_addr + off, 1);
+  }
+  for (auto& [a, p] : moved) pages_.emplace(a, std::move(p));
+
+  vmas_.erase(old_addr);
+  vma.start = new_addr;
+  vmas_.emplace(new_addr, vma);
+  return Status::ok();
+}
+
+bool AddressSpace::mapped(VirtAddr addr, std::uint64_t length) const {
+  return check_range_mapped(addr, length).is_ok();
+}
+
+const Vma* AddressSpace::find_vma(VirtAddr addr) const {
+  auto it = vmas_.upper_bound(addr);
+  if (it == vmas_.begin()) return nullptr;
+  --it;
+  return it->second.contains(addr, 1) ? &it->second : nullptr;
+}
+
+std::vector<Vma> AddressSpace::vmas() const {
+  std::vector<Vma> out;
+  out.reserve(vmas_.size());
+  for (auto& [_, v] : vmas_) out.push_back(v);
+  return out;
+}
+
+Status AddressSpace::check_range_mapped(VirtAddr addr, std::uint64_t len) const {
+  // The range may span several adjacent VMAs; walk them.
+  VirtAddr cur = addr;
+  const VirtAddr end = addr + len;
+  while (cur < end) {
+    const Vma* vma = find_vma(cur);
+    if (vma == nullptr) {
+      return common::err(Errc::permission_denied, "unmapped address");
+    }
+    cur = vma->end();
+  }
+  return Status::ok();
+}
+
+Status AddressSpace::read(VirtAddr addr, std::span<std::uint8_t> out) const {
+  MIGR_RETURN_IF_ERROR(check_range_mapped(addr, out.size()));
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const VirtAddr page = page_floor(addr + done);
+    const std::uint64_t off = (addr + done) - page;
+    const std::size_t n = std::min<std::size_t>(out.size() - done, kPageSize - off);
+    auto it = pages_.find(page);
+    std::memcpy(out.data() + done, it->second->data.data() + off, n);
+    done += n;
+  }
+  return Status::ok();
+}
+
+Status AddressSpace::write(VirtAddr addr, std::span<const std::uint8_t> in) {
+  MIGR_RETURN_IF_ERROR(check_range_mapped(addr, in.size()));
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const VirtAddr page = page_floor(addr + done);
+    const std::uint64_t off = (addr + done) - page;
+    const std::size_t n = std::min<std::size_t>(in.size() - done, kPageSize - off);
+    auto it = pages_.find(page);
+    std::memcpy(it->second->data.data() + off, in.data() + done, n);
+    dirty_.emplace(page, 1);
+    done += n;
+  }
+  return Status::ok();
+}
+
+PhysPagePtr AddressSpace::page_at(VirtAddr page_addr) const {
+  auto it = pages_.find(page_floor(page_addr));
+  return it == pages_.end() ? nullptr : it->second;
+}
+
+void AddressSpace::install_page(VirtAddr page_addr, PhysPagePtr page) {
+  pages_[page_floor(page_addr)] = std::move(page);
+}
+
+std::vector<VirtAddr> AddressSpace::collect_dirty(bool clear) {
+  std::vector<VirtAddr> out;
+  out.reserve(dirty_.size());
+  for (auto& [page, _] : dirty_) {
+    // A page may have been unmapped after being dirtied.
+    if (pages_.contains(page)) out.push_back(page);
+  }
+  std::sort(out.begin(), out.end());
+  if (clear) dirty_.clear();
+  return out;
+}
+
+void AddressSpace::mark_all_dirty() {
+  for (auto& [page, _] : pages_) dirty_.emplace(page, 1);
+}
+
+}  // namespace migr::proc

@@ -1,0 +1,114 @@
+// Simulated process virtual memory.
+//
+// This substrate exists because MigrRDMA's hardest control-path problem
+// (paper §3.2) is *where pages live during restore*: CRIU stages a restoring
+// process's memory at a temporary virtual address and only remaps it to the
+// application's original addresses in the final restore iteration, which
+// breaks MR registration during pre-copy. To reproduce that, we need a real
+// notion of VMAs, physical pages shared across remaps, page-granularity
+// dirty tracking for iterative pre-copy, and NIC-initiated DMA that dirties
+// pages behind the application's back.
+//
+// Physical pages are reference-counted blocks; mremap() moves the virtual
+// mapping while preserving physical identity, exactly like the mremap(2)
+// behaviour the paper relies on for on-chip memory and MR structures.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace migr::proc {
+
+using VirtAddr = std::uint64_t;
+
+constexpr std::uint64_t kPageSize = 4096;
+
+inline VirtAddr page_floor(VirtAddr a) { return a & ~(kPageSize - 1); }
+inline VirtAddr page_ceil(VirtAddr a) { return page_floor(a + kPageSize - 1); }
+
+/// One physical page. Shared between virtual mappings across mremap.
+struct PhysPage {
+  std::array<std::uint8_t, kPageSize> data{};
+};
+using PhysPagePtr = std::shared_ptr<PhysPage>;
+
+/// A virtual memory area: a contiguous, page-aligned mapping.
+struct Vma {
+  VirtAddr start = 0;
+  std::uint64_t length = 0;  // bytes, page multiple
+  std::string tag;           // who mapped it: "heap", "qp_buf", "criu_staging", ...
+
+  VirtAddr end() const noexcept { return start + length; }
+  bool contains(VirtAddr a, std::uint64_t len) const noexcept {
+    return a >= start && a + len <= end();
+  }
+  bool overlaps(VirtAddr a, std::uint64_t len) const noexcept {
+    return a < end() && a + len > start;
+  }
+};
+
+class AddressSpace {
+ public:
+  /// Map [addr, addr+length) at a fixed address (MAP_FIXED semantics minus
+  /// the clobbering: overlap with an existing VMA is an error).
+  common::Status mmap_fixed(VirtAddr addr, std::uint64_t length, std::string tag);
+
+  /// Map `length` bytes wherever there is room (bump allocation from a high
+  /// "mmap region", like the kernel's mmap base).
+  common::Result<VirtAddr> mmap(std::uint64_t length, std::string tag);
+
+  /// Unmap an exact existing VMA (partial unmap unsupported, like early CRIU).
+  common::Status munmap(VirtAddr addr);
+
+  /// Move the VMA starting at old_addr to new_addr, preserving physical
+  /// pages (and their dirty bits). Fails if the target range overlaps
+  /// another VMA.
+  common::Status mremap(VirtAddr old_addr, VirtAddr new_addr);
+
+  bool mapped(VirtAddr addr, std::uint64_t length) const;
+  const Vma* find_vma(VirtAddr addr) const;
+  std::vector<Vma> vmas() const;
+
+  /// Byte-granularity access; fails (permission_denied) on unmapped ranges.
+  /// Writes mark the touched pages dirty — this is what both application
+  /// stores and NIC DMA go through, so one-sided WRITEs from a remote peer
+  /// dirty pages the pre-copy loop will pick up.
+  common::Status read(VirtAddr addr, std::span<std::uint8_t> out) const;
+  common::Status write(VirtAddr addr, std::span<const std::uint8_t> in);
+
+  /// Direct physical-page access for checkpoint/restore machinery.
+  PhysPagePtr page_at(VirtAddr page_addr) const;
+  void install_page(VirtAddr page_addr, PhysPagePtr page);
+
+  /// Dirty-page tracking for pre-copy. Returns addresses of dirty pages;
+  /// `clear` resets the bits (soft-dirty style).
+  std::vector<VirtAddr> collect_dirty(bool clear = true);
+  void mark_all_dirty();
+  std::size_t dirty_count() const noexcept { return dirty_.size(); }
+
+  std::uint64_t mapped_bytes() const noexcept { return mapped_bytes_; }
+
+  /// Bump-allocation cursor of mmap(). Checkpointed/restored by CRIU so a
+  /// migrated process keeps allocating from where the source left off.
+  VirtAddr mmap_cursor() const noexcept { return mmap_base_; }
+  void set_mmap_cursor(VirtAddr v) noexcept { mmap_base_ = v; }
+
+ private:
+  common::Status check_range_mapped(VirtAddr addr, std::uint64_t len) const;
+
+  std::map<VirtAddr, Vma> vmas_;  // keyed by start
+  std::unordered_map<VirtAddr, PhysPagePtr> pages_;  // keyed by page addr
+  std::unordered_map<VirtAddr, char> dirty_;  // page addr -> present (set)
+  VirtAddr mmap_base_ = 0x7f00'0000'0000ULL;
+  std::uint64_t mapped_bytes_ = 0;
+};
+
+}  // namespace migr::proc

@@ -1,0 +1,82 @@
+// A simulated process: an address space plus application tasks on the event
+// loop. Freezing a process (what CRIU does at stop-and-copy) parks its tasks
+// — but deliberately does NOT stop the RNIC, which keeps executing posted
+// work requests against the process's memory. That asymmetry is the core
+// difficulty the paper's wait-before-stop exists to solve.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proc/address_space.hpp"
+#include "sim/event_loop.hpp"
+
+namespace migr::proc {
+
+using Pid = std::uint32_t;
+
+class SimProcess {
+ public:
+  SimProcess(Pid pid, std::string name, sim::EventLoop& loop)
+      : pid_(pid), name_(std::move(name)), loop_(loop) {}
+
+  ~SimProcess() { kill(); }
+  SimProcess(const SimProcess&) = delete;
+  SimProcess& operator=(const SimProcess&) = delete;
+
+  Pid pid() const noexcept { return pid_; }
+  const std::string& name() const noexcept { return name_; }
+  AddressSpace& mem() noexcept { return mem_; }
+  const AddressSpace& mem() const noexcept { return mem_; }
+  sim::EventLoop& loop() noexcept { return loop_; }
+
+  bool frozen() const noexcept { return frozen_; }
+  bool alive() const noexcept { return alive_; }
+
+  /// Freeze application tasks (they stop firing until thawed). Idempotent.
+  void freeze() noexcept { frozen_ = true; }
+  void thaw() noexcept { frozen_ = false; }
+
+  /// Terminate: all tasks cancelled, process marked dead.
+  void kill() {
+    alive_ = false;
+    for (auto& h : tasks_) h.cancel();
+    tasks_.clear();
+  }
+
+  /// Run `fn` every `period` ns while the process is alive and not frozen.
+  /// This is how application "threads" (perftest loops, Hadoop workers, the
+  /// MigrRDMA guest-lib threads) are modelled. Note: a guest-lib task that
+  /// must keep running across the freeze (the wait-before-stop thread before
+  /// the freeze point) uses spawn_daemon instead.
+  sim::EventHandle spawn_poller(sim::DurationNs period, std::function<void()> fn) {
+    auto handle = loop_.schedule_every(period, [this, fn = std::move(fn)]() {
+      if (alive_ && !frozen_) fn();
+    });
+    tasks_.push_back(handle);
+    return handle;
+  }
+
+  /// Like spawn_poller but keeps firing while frozen (still stops on kill).
+  sim::EventHandle spawn_daemon(sim::DurationNs period, std::function<void()> fn) {
+    auto handle = loop_.schedule_every(period, [this, fn = std::move(fn)]() {
+      if (alive_) fn();
+    });
+    tasks_.push_back(handle);
+    return handle;
+  }
+
+ private:
+  Pid pid_;
+  std::string name_;
+  sim::EventLoop& loop_;
+  AddressSpace mem_;
+  bool frozen_ = false;
+  bool alive_ = true;
+  std::vector<sim::EventHandle> tasks_;
+};
+
+}  // namespace migr::proc

@@ -1,0 +1,148 @@
+// Core verbs-level types mirroring the ib_verbs surface the paper
+// manipulates: QP numbers and access keys are NIC-assigned opaque values —
+// the exact values MigrRDMA must virtualize because they differ between the
+// migration source's NIC and the destination's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "proc/address_space.hpp"
+
+namespace migr::rnic {
+
+/// 24-bit queue-pair number, unique per device (InfiniBand spec §3.5.3).
+using Qpn = std::uint32_t;
+constexpr Qpn kQpnMask = 0xFF'FFFF;
+
+/// Local / remote memory access keys, NIC-assigned.
+using Lkey = std::uint32_t;
+using Rkey = std::uint32_t;
+
+/// Packet sequence number (24-bit in hardware; we keep 64-bit monotonic
+/// internally and never wrap — simpler and equivalent for simulation).
+using Psn = std::uint64_t;
+
+using Handle = std::uint32_t;  // context-local object handle (PD/CQ/...)
+
+enum class QpType : std::uint8_t { rc, ud };
+
+/// InfiniBand QP state machine (spec §10.3).
+enum class QpState : std::uint8_t { reset, init, rtr, rts, sqd, sqe, err };
+
+/// MR/MW access permissions, same semantics as IBV_ACCESS_*.
+enum Access : std::uint32_t {
+  kAccessNone = 0,
+  kAccessLocalWrite = 1u << 0,
+  kAccessRemoteWrite = 1u << 1,
+  kAccessRemoteRead = 1u << 2,
+  kAccessRemoteAtomic = 1u << 3,
+  kAccessMwBind = 1u << 4,
+};
+
+enum class WrOpcode : std::uint8_t {
+  send,
+  send_with_imm,
+  rdma_write,
+  rdma_write_with_imm,
+  rdma_read,
+  atomic_cmp_and_swp,
+  atomic_fetch_and_add,
+  bind_mw,
+};
+
+inline bool is_one_sided(WrOpcode op) {
+  return op == WrOpcode::rdma_write || op == WrOpcode::rdma_write_with_imm ||
+         op == WrOpcode::rdma_read || op == WrOpcode::atomic_cmp_and_swp ||
+         op == WrOpcode::atomic_fetch_and_add;
+}
+inline bool is_two_sided(WrOpcode op) {
+  return op == WrOpcode::send || op == WrOpcode::send_with_imm;
+}
+
+enum class CqeStatus : std::uint8_t {
+  success,
+  local_protection_err,  // bad lkey / unmapped buffer
+  remote_access_err,     // bad rkey on the responder
+  retry_exceeded,        // peer unreachable
+  wr_flush_err,          // QP transitioned to error, WR flushed
+};
+
+enum class CqeOpcode : std::uint8_t {
+  send,
+  rdma_write,
+  rdma_read,
+  atomic,
+  bind_mw,
+  recv,  // receive completion (two-sided or write-with-imm)
+};
+
+/// QP queue capacities.
+struct QpCaps {
+  std::uint32_t max_send_wr = 128;
+  std::uint32_t max_recv_wr = 128;
+};
+
+/// Scatter/gather element.
+struct Sge {
+  proc::VirtAddr addr = 0;
+  std::uint32_t length = 0;
+  Lkey lkey = 0;
+};
+
+/// Send-queue work request (ibv_send_wr).
+struct SendWr {
+  std::uint64_t wr_id = 0;
+  WrOpcode opcode = WrOpcode::send;
+  std::vector<Sge> sge;
+  bool signaled = true;
+
+  // RDMA one-sided
+  proc::VirtAddr remote_addr = 0;
+  Rkey rkey = 0;
+
+  // Atomics (8-byte operand at remote_addr)
+  std::uint64_t compare_add = 0;
+  std::uint64_t swap = 0;
+
+  // Immediate data
+  std::uint32_t imm = 0;
+
+  // UD addressing (address handle fields)
+  net::HostId remote_host = 0;
+  Qpn remote_qpn = 0;
+
+  std::uint64_t total_length() const {
+    std::uint64_t n = 0;
+    for (const auto& s : sge) n += s.length;
+    return n;
+  }
+};
+
+/// Receive-queue work request (ibv_recv_wr).
+struct RecvWr {
+  std::uint64_t wr_id = 0;
+  std::vector<Sge> sge;
+
+  std::uint64_t total_length() const {
+    std::uint64_t n = 0;
+    for (const auto& s : sge) n += s.length;
+    return n;
+  }
+};
+
+/// Completion-queue entry (ibv_wc).
+struct Cqe {
+  std::uint64_t wr_id = 0;
+  CqeStatus status = CqeStatus::success;
+  CqeOpcode opcode = CqeOpcode::send;
+  std::uint32_t byte_len = 0;
+  Qpn qpn = 0;  // local QP the completed WR belongs to — the field MigrRDMA
+                // must translate physical->virtual on every poll (§3.3)
+  bool has_imm = false;
+  std::uint32_t imm = 0;
+  Qpn src_qp = 0;  // source QPN for UD receives
+};
+
+}  // namespace migr::rnic

@@ -1,0 +1,60 @@
+#include "rnic/wire.hpp"
+
+namespace migr::rnic {
+
+using common::ByteReader;
+using common::ByteWriter;
+
+common::Bytes WirePacket::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u32(dst_qpn);
+  w.u32(src_qpn);
+  w.u64(psn);
+  std::uint8_t flags = 0;
+  if (first) flags |= 1;
+  if (last) flags |= 2;
+  if (has_imm) flags |= 4;
+  w.u8(flags);
+  w.u32(imm);
+  w.u64(remote_addr);
+  w.u32(rkey);
+  w.u32(msg_len);
+  w.u32(offset);
+  w.u8(atomic_op);
+  w.u64(compare_add);
+  w.u64(swap);
+  w.u64(resp_token);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+common::Result<WirePacket> WirePacket::parse(std::span<const std::uint8_t> data) {
+  ByteReader r{data};
+  WirePacket p;
+  MIGR_ASSIGN_OR_RETURN(auto op, r.u8());
+  if (op > static_cast<std::uint8_t>(PktOp::nak)) {
+    return common::err(common::Errc::invalid_argument, "bad packet opcode");
+  }
+  p.op = static_cast<PktOp>(op);
+  MIGR_ASSIGN_OR_RETURN(p.dst_qpn, r.u32());
+  MIGR_ASSIGN_OR_RETURN(p.src_qpn, r.u32());
+  MIGR_ASSIGN_OR_RETURN(p.psn, r.u64());
+  MIGR_ASSIGN_OR_RETURN(auto flags, r.u8());
+  p.first = (flags & 1) != 0;
+  p.last = (flags & 2) != 0;
+  p.has_imm = (flags & 4) != 0;
+  MIGR_ASSIGN_OR_RETURN(p.imm, r.u32());
+  MIGR_ASSIGN_OR_RETURN(p.remote_addr, r.u64());
+  MIGR_ASSIGN_OR_RETURN(p.rkey, r.u32());
+  MIGR_ASSIGN_OR_RETURN(p.msg_len, r.u32());
+  MIGR_ASSIGN_OR_RETURN(p.offset, r.u32());
+  MIGR_ASSIGN_OR_RETURN(p.atomic_op, r.u8());
+  MIGR_ASSIGN_OR_RETURN(p.compare_add, r.u64());
+  MIGR_ASSIGN_OR_RETURN(p.swap, r.u64());
+  MIGR_ASSIGN_OR_RETURN(p.resp_token, r.u64());
+  MIGR_ASSIGN_OR_RETURN(p.payload, r.bytes());
+  return p;
+}
+
+}  // namespace migr::rnic

@@ -1,0 +1,60 @@
+// RoCE-like wire format for the simulated fabric. One WirePacket is one
+// MTU-bounded transport packet; the header layout loosely follows the IB
+// Base Transport Header plus the RETH/AtomicETH extended headers, carrying
+// exactly the fields MigrRDMA cares about: destination QPN (routing), PSN
+// (go-back-N reliability), and rkey/remote address (one-sided validation).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "rnic/types.hpp"
+
+namespace migr::rnic {
+
+enum class PktOp : std::uint8_t {
+  send,         // two-sided payload packet
+  write,        // one-sided write payload packet
+  read_req,     // one-sided read request (no payload)
+  read_resp,    // read response payload packet
+  atomic_req,   // CAS / FAA request
+  atomic_resp,  // atomic response (original value)
+  ack,          // cumulative acknowledgement
+  nak,          // go-back-N: "retransmit from psn"
+};
+
+struct WirePacket {
+  PktOp op = PktOp::send;
+  Qpn dst_qpn = 0;
+  Qpn src_qpn = 0;
+  Psn psn = 0;       // request packets: sequence; ack/nak: cumulative/expected
+  bool first = false;  // first packet of a message
+  bool last = false;   // last packet of a message
+  bool has_imm = false;
+  std::uint32_t imm = 0;
+
+  // RETH (write / read_req / atomic_req)
+  proc::VirtAddr remote_addr = 0;
+  Rkey rkey = 0;
+  std::uint32_t msg_len = 0;  // total message length (first pkt / read_req)
+
+  // Payload placement within the message.
+  std::uint32_t offset = 0;
+
+  // AtomicETH
+  std::uint8_t atomic_op = 0;  // 0 = CAS, 1 = FAA
+  std::uint64_t compare_add = 0;
+  std::uint64_t swap = 0;
+
+  // Read/atomic bookkeeping token: requester-side WQE identity echoed in
+  // responses, so retried requests match up.
+  std::uint64_t resp_token = 0;
+
+  common::Bytes payload;
+
+  common::Bytes serialize() const;
+  static common::Result<WirePacket> parse(std::span<const std::uint8_t> data);
+};
+
+}  // namespace migr::rnic

@@ -1,0 +1,65 @@
+// Convenience aggregation of a simulated deployment: one event loop, one
+// fabric, N hosts each with an RNIC, and processes. Used by examples, tests
+// and benches; the migration library itself takes the individual pieces.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "proc/process.hpp"
+#include "rnic/device.hpp"
+#include "sim/event_loop.hpp"
+
+namespace migr::rnic {
+
+class World {
+ public:
+  explicit World(net::FabricConfig fabric_config = {}, std::uint64_t seed = 42)
+      : fabric_(loop_, fabric_config, seed), seed_(seed) {}
+
+  sim::EventLoop& loop() noexcept { return loop_; }
+  net::Fabric& fabric() noexcept { return fabric_; }
+
+  /// Add a host with an RNIC attached to the fabric.
+  Device& add_device(net::HostId host, DeviceConfig config = {}) {
+    devices_.push_back(std::make_unique<Device>(loop_, fabric_, host, config, seed_ + host));
+    return *devices_.back();
+  }
+
+  proc::SimProcess& add_process(std::string name) {
+    procs_.push_back(std::make_unique<proc::SimProcess>(next_pid_++, std::move(name), loop_));
+    return *procs_.back();
+  }
+
+  /// Remove a process (kills its tasks). The caller must have torn down its
+  /// RNIC contexts first.
+  void remove_process(proc::SimProcess& p) {
+    std::erase_if(procs_, [&p](const auto& up) { return up.get() == &p; });
+  }
+
+ private:
+  sim::EventLoop loop_;
+  net::Fabric fabric_;
+  std::uint64_t seed_;
+  proc::Pid next_pid_ = 100;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<std::unique_ptr<proc::SimProcess>> procs_;
+};
+
+/// Out-of-band RC connection establishment between two contexts, as an
+/// application would do over TCP: exchange QPNs + initial PSNs, then walk
+/// both QPs RESET->INIT->RTR->RTS.
+inline common::Status rc_connect(Context& a, Qpn qpn_a, Context& b, Qpn qpn_b,
+                                 Psn psn_a = 1000, Psn psn_b = 2000) {
+  MIGR_RETURN_IF_ERROR(a.modify_qp_init(qpn_a));
+  MIGR_RETURN_IF_ERROR(b.modify_qp_init(qpn_b));
+  MIGR_RETURN_IF_ERROR(a.modify_qp_rtr(qpn_a, b.device().host(), qpn_b, psn_b));
+  MIGR_RETURN_IF_ERROR(b.modify_qp_rtr(qpn_b, a.device().host(), qpn_a, psn_a));
+  MIGR_RETURN_IF_ERROR(a.modify_qp_rts(qpn_a, psn_a));
+  MIGR_RETURN_IF_ERROR(b.modify_qp_rts(qpn_b, psn_b));
+  return common::Status::ok();
+}
+
+}  // namespace migr::rnic

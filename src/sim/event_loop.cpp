@@ -1,0 +1,62 @@
+#include "sim/event_loop.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace migr::sim {
+
+EventHandle EventLoop::schedule_at(TimeNs at, Fn fn) {
+  if (at < now_) at = now_;
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{at, next_seq_++, alive, std::move(fn)});
+  return EventHandle{std::move(alive)};
+}
+
+EventHandle EventLoop::schedule_every(DurationNs period, Fn fn, DurationNs first_delay) {
+  assert(period > 0);
+  auto alive = std::make_shared<bool>(true);
+  // The periodic wrapper reschedules itself while the shared flag is set.
+  // A self-referencing shared_ptr to the wrapper lets it re-enqueue itself.
+  auto wrapper = std::make_shared<std::function<void()>>();
+  *wrapper = [this, period, alive, wrapper, fn = std::move(fn)]() {
+    if (!*alive) return;
+    fn();
+    if (!*alive) return;
+    queue_.push(Event{now_ + period, next_seq_++, alive, *wrapper});
+  };
+  const DurationNs delay = first_delay >= 0 ? first_delay : period;
+  queue_.push(Event{now_ + delay, next_seq_++, alive, *wrapper});
+  return EventHandle{std::move(alive)};
+}
+
+bool EventLoop::dispatch_one() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    assert(ev.at >= now_);
+    if (!*ev.alive) continue;  // cancelled
+    now_ = ev.at;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t EventLoop::run() {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && dispatch_one()) ++n;
+  return n;
+}
+
+std::uint64_t EventLoop::run_until(TimeNs deadline) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty() && queue_.top().at <= deadline) {
+    if (dispatch_one()) ++n;
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace migr::sim

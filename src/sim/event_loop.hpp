@@ -1,0 +1,94 @@
+// Discrete-event simulation core.
+//
+// One EventLoop drives an entire simulated deployment (all hosts, NICs,
+// links, processes). Events at equal timestamps fire in scheduling order
+// (stable), which makes every run bit-for-bit reproducible — a property the
+// migration tests lean on when asserting exact WR-ID sequences across a
+// migration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace migr::sim {
+
+/// Cancellation handle for a scheduled event or periodic task. Destroying
+/// the handle does NOT cancel (handles are observers); call cancel().
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() noexcept {
+    if (alive_) *alive_ = false;
+  }
+  bool pending() const noexcept { return alive_ && *alive_; }
+
+ private:
+  friend class EventLoop;
+  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class EventLoop {
+ public:
+  using Fn = std::function<void()>;
+
+  TimeNs now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `at` (clamped to now()).
+  EventHandle schedule_at(TimeNs at, Fn fn);
+
+  /// Schedule `fn` after `delay` ns of simulated time.
+  EventHandle schedule_in(DurationNs delay, Fn fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Schedule `fn` every `period` ns, first firing after `period` (or
+  /// `first_delay` if given). The task reschedules itself until cancelled.
+  EventHandle schedule_every(DurationNs period, Fn fn, DurationNs first_delay = -1);
+
+  /// Run events until the queue is empty or stop() is called.
+  /// Returns the number of events dispatched.
+  std::uint64_t run();
+
+  /// Run events with timestamp <= deadline; leaves now() == deadline unless
+  /// stopped early. Returns the number of events dispatched.
+  std::uint64_t run_until(TimeNs deadline);
+
+  /// Convenience: run_until(now() + d).
+  std::uint64_t run_for(DurationNs d) { return run_until(now_ + d); }
+
+  /// Stop the current run()/run_until() after the in-flight event returns.
+  void stop() noexcept { stopped_ = true; }
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimeNs at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::shared_ptr<bool> alive;
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool dispatch_one();
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace migr::sim

@@ -1,0 +1,36 @@
+// Simulated time. The whole system (fabric, RNIC engines, CRIU phases,
+// application tasks) advances on one discrete-event clock in nanoseconds.
+// Using a strong alias rather than std::chrono keeps the event-loop core
+// trivial and the arithmetic explicit in the cost models.
+#pragma once
+
+#include <cstdint>
+
+namespace migr::sim {
+
+/// Nanoseconds of simulated time since world creation.
+using TimeNs = std::int64_t;
+
+/// Durations, also in nanoseconds.
+using DurationNs = std::int64_t;
+
+constexpr DurationNs kNanosecond = 1;
+constexpr DurationNs kMicrosecond = 1'000;
+constexpr DurationNs kMillisecond = 1'000'000;
+constexpr DurationNs kSecond = 1'000'000'000;
+
+constexpr DurationNs usec(double v) { return static_cast<DurationNs>(v * kMicrosecond); }
+constexpr DurationNs msec(double v) { return static_cast<DurationNs>(v * kMillisecond); }
+constexpr DurationNs sec(double v) { return static_cast<DurationNs>(v * kSecond); }
+
+constexpr double to_usec(DurationNs d) { return static_cast<double>(d) / kMicrosecond; }
+constexpr double to_msec(DurationNs d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double to_sec(DurationNs d) { return static_cast<double>(d) / kSecond; }
+
+/// Time to serialize `bytes` onto a link of `gbps` gigabits per second.
+constexpr DurationNs transmit_time(std::uint64_t bytes, double gbps) {
+  // bytes * 8 bits / (gbps * 1e9 bits/s) seconds -> ns
+  return static_cast<DurationNs>(static_cast<double>(bytes) * 8.0 / gbps);
+}
+
+}  // namespace migr::sim

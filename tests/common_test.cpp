@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/ring.hpp"
+#include "common/rng.hpp"
+
+namespace migr::common {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.is_ok());
+  EXPECT_EQ(st.code(), Errc::ok);
+  EXPECT_EQ(st.to_string(), "ok");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status st = err(Errc::not_found, "no such QP");
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), Errc::not_found);
+  EXPECT_EQ(st.to_string(), "not_found: no such QP");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = err(Errc::timeout, "slow");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), Errc::timeout);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> half(int v) {
+  if (v % 2 != 0) return err(Errc::invalid_argument, "odd");
+  return v / 2;
+}
+
+Status quarter_check(int v, int* out) {
+  MIGR_ASSIGN_OR_RETURN(auto h, half(v));
+  MIGR_ASSIGN_OR_RETURN(auto q, half(h));
+  *out = q;
+  return Status::ok();
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(quarter_check(8, &out).is_ok());
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(quarter_check(6, &out).code(), Errc::invalid_argument);
+}
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.5);
+  w.boolean(true);
+  w.str("hello");
+
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.u8().value(), 7);
+  EXPECT_EQ(r.u16().value(), 0xBEEF);
+  EXPECT_EQ(r.u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64().value(), -42);
+  EXPECT_EQ(r.f64().value(), 3.5);
+  EXPECT_TRUE(r.boolean().value());
+  EXPECT_EQ(r.str().value(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, TruncationIsAnErrorNotACrash) {
+  ByteWriter w;
+  w.u64(1);
+  Bytes data = std::move(w).take();
+  data.resize(4);
+  ByteReader r{data};
+  EXPECT_EQ(r.u64().code(), Errc::invalid_argument);
+}
+
+TEST(Bytes, LengthPrefixedTruncation) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes follow, but nothing does
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.bytes().code(), Errc::invalid_argument);
+}
+
+TEST(Ring, PushPopFifo) {
+  Ring<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.push(i));
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.push(99));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(ring.pop(), i);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(Ring, MonotonicHeadTail) {
+  Ring<int> ring(2);
+  ring.push(1);
+  ring.push(2);
+  ring.pop();
+  ring.push(3);
+  EXPECT_EQ(ring.head(), 1u);
+  EXPECT_EQ(ring.tail(), 3u);
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.at(0), 2);
+  EXPECT_EQ(ring.at(1), 3);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    const auto v = rng.range(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace migr::common

@@ -1,0 +1,133 @@
+// Error-path and configuration coverage for the migration controller.
+#include <gtest/gtest.h>
+
+#include "apps/perftest.hpp"
+#include "migr/migration.hpp"
+#include "rnic/world.hpp"
+
+namespace migr::migrlib {
+namespace {
+
+using common::Errc;
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() {
+    for (net::HostId h = 1; h <= 3; ++h) {
+      devices_[h] = &world_.add_device(h);
+      runtimes_[h] =
+          std::make_unique<MigrRdmaRuntime>(directory_, *devices_[h], world_.fabric());
+    }
+  }
+
+  rnic::World world_;
+  GuestDirectory directory_;
+  std::unordered_map<net::HostId, rnic::Device*> devices_;
+  std::unordered_map<net::HostId, std::unique_ptr<MigrRdmaRuntime>> runtimes_;
+};
+
+TEST_F(ControllerTest, RejectsUnknownGuest) {
+  MigrationController ctl(world_.loop(), world_.fabric(), directory_);
+  auto& dest = world_.add_process("d");
+  EXPECT_EQ(ctl.start(999, 2, dest, nullptr, [](const MigrationReport&) {}).code(),
+            Errc::not_found);
+}
+
+TEST_F(ControllerTest, RejectsUnknownDestinationHost) {
+  auto* g = runtimes_[1]->create_guest(world_.add_process("a"), 10).value();
+  (void)g;
+  MigrationController ctl(world_.loop(), world_.fabric(), directory_);
+  auto& dest = world_.add_process("d");
+  EXPECT_EQ(ctl.start(10, 77, dest, nullptr, [](const MigrationReport&) {}).code(),
+            Errc::not_found);
+}
+
+TEST_F(ControllerTest, RejectsSameHostMigration) {
+  auto* g = runtimes_[1]->create_guest(world_.add_process("a"), 10).value();
+  (void)g;
+  MigrationController ctl(world_.loop(), world_.fabric(), directory_);
+  auto& dest = world_.add_process("d");
+  EXPECT_EQ(ctl.start(10, 1, dest, nullptr, [](const MigrationReport&) {}).code(),
+            Errc::invalid_argument);
+}
+
+TEST_F(ControllerTest, IdleGuestMigratesInstantlyThroughWbs) {
+  // A guest with resources but zero traffic: WBS has nothing to wait for.
+  auto* g = runtimes_[1]->create_guest(world_.add_process("a"), 10).value();
+  (void)g->alloc_pd().value();
+  MigrationController ctl(world_.loop(), world_.fabric(), directory_);
+  auto& dest = world_.add_process("d");
+  MigrationReport rep;
+  bool done = false;
+  ASSERT_TRUE(ctl.start(10, 2, dest, nullptr, [&](const MigrationReport& r) {
+                   rep = r;
+                   done = true;
+                 })
+                  .is_ok());
+  while (!done) world_.loop().run_until(world_.loop().now() + sim::msec(1));
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_LT(rep.wbs_elapsed, sim::msec(1));
+  EXPECT_FALSE(rep.wbs_timed_out);
+  EXPECT_EQ(directory_.locate(10), 2u);
+}
+
+TEST_F(ControllerTest, PrecopyRoundsRespectConfiguredMaximum) {
+  auto* g = runtimes_[1]->create_guest(world_.add_process("a"), 10).value();
+  auto pd = g->alloc_pd().value();
+  // A continuously-dirtied buffer never converges below the threshold; the
+  // controller must cap the rounds.
+  auto addr = g->process().mem().mmap(1 << 20, "hot").value();
+  (void)g->reg_mr(pd, addr, 1 << 20, rnic::kAccessLocalWrite).value();
+  auto dirtier = world_.loop().schedule_every(sim::usec(50), [&] {
+    for (std::uint64_t off = 0; off < (1 << 20); off += 4096) {
+      std::uint8_t b = 1;
+      (void)g->process().mem().write(addr + off, {&b, 1});
+    }
+  });
+
+  MigrationOptions opts;
+  opts.max_precopy_rounds = 2;
+  opts.dirty_page_threshold = 1;
+  MigrationController ctl(world_.loop(), world_.fabric(), directory_, opts);
+  auto& dest = world_.add_process("d");
+  MigrationReport rep;
+  bool done = false;
+  ASSERT_TRUE(ctl.start(10, 2, dest, nullptr, [&](const MigrationReport& r) {
+                   rep = r;
+                   done = true;
+                 })
+                  .is_ok());
+  while (!done) world_.loop().run_until(world_.loop().now() + sim::msec(1));
+  dirtier.cancel();
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.precopy_rounds, 2u);
+  // The hot pages went through the final (stop-and-copy) transfer.
+  EXPECT_GT(rep.final_bytes, 1u << 19);
+}
+
+TEST_F(ControllerTest, BackToBackMigrationsOfSameGuest) {
+  auto* g = runtimes_[1]->create_guest(world_.add_process("a"), 10).value();
+  auto pd = g->alloc_pd().value();
+  auto addr = g->process().mem().mmap(4096, "buf").value();
+  auto mr = g->reg_mr(pd, addr, 4096, rnic::kAccessLocalWrite).value();
+  (void)mr;
+  for (net::HostId hop : {2u, 3u, 1u}) {
+    MigrationController ctl(world_.loop(), world_.fabric(), directory_);
+    auto& dest = world_.add_process("d" + std::to_string(hop));
+    MigrationReport rep;
+    bool done = false;
+    ASSERT_TRUE(ctl.start(10, hop, dest, nullptr, [&](const MigrationReport& r) {
+                     rep = r;
+                     done = true;
+                   })
+                    .is_ok());
+    while (!done) world_.loop().run_until(world_.loop().now() + sim::msec(1));
+    ASSERT_TRUE(rep.ok) << "hop to " << hop << ": " << rep.error;
+    EXPECT_EQ(directory_.locate(10), hop);
+  }
+  // MR still usable after three hops: re-register-free, same virtual key.
+  EXPECT_EQ(g->mr_count(), 1u);
+}
+
+}  // namespace
+}  // namespace migr::migrlib

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+
+namespace migr::net {
+namespace {
+
+class FabricTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fabric_.attach_host(1).is_ok());
+    ASSERT_TRUE(fabric_.attach_host(2).is_ok());
+  }
+
+  sim::EventLoop loop_;
+  Fabric fabric_{loop_, FabricConfig{}, 99};
+};
+
+common::Bytes make_payload(std::size_t n, std::uint8_t fill = 0xCD) {
+  return common::Bytes(n, fill);
+}
+
+TEST_F(FabricTest, DuplicateAttachRejected) {
+  EXPECT_EQ(fabric_.attach_host(1).code(), common::Errc::already_exists);
+}
+
+TEST_F(FabricTest, DataPacketDelivered) {
+  std::size_t received = 0;
+  fabric_.set_data_handler(2, [&](Packet&& p) {
+    received = p.payload.size();
+    EXPECT_EQ(p.src, 1u);
+  });
+  fabric_.send_data(Packet{1, 2, make_payload(1000)});
+  loop_.run();
+  EXPECT_EQ(received, 1000u);
+}
+
+TEST_F(FabricTest, DeliveryPaysSerializationAndPropagation) {
+  sim::TimeNs arrival = -1;
+  fabric_.set_data_handler(2, [&](Packet&&) { arrival = loop_.now(); });
+  const std::size_t bytes = 4096;
+  fabric_.send_data(Packet{1, 2, make_payload(bytes)});
+  loop_.run();
+  const auto expected = fabric_.wire_time(bytes + fabric_.config().header_bytes) +
+                        fabric_.config().propagation;
+  EXPECT_EQ(arrival, expected);
+}
+
+TEST_F(FabricTest, EgressSerializesBackToBack) {
+  std::vector<sim::TimeNs> arrivals;
+  fabric_.set_data_handler(2, [&](Packet&&) { arrivals.push_back(loop_.now()); });
+  for (int i = 0; i < 3; ++i) fabric_.send_data(Packet{1, 2, make_payload(4096)});
+  loop_.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  const auto per_pkt = fabric_.wire_time(4096 + fabric_.config().header_bytes);
+  EXPECT_EQ(arrivals[1] - arrivals[0], per_pkt);
+  EXPECT_EQ(arrivals[2] - arrivals[1], per_pkt);
+}
+
+TEST_F(FabricTest, LossInjectionDropsSome) {
+  fabric_.set_faults(Faults{.data_loss_prob = 0.5});
+  int received = 0;
+  fabric_.set_data_handler(2, [&](Packet&&) { received++; });
+  for (int i = 0; i < 200; ++i) fabric_.send_data(Packet{1, 2, make_payload(100)});
+  loop_.run();
+  EXPECT_GT(received, 50);
+  EXPECT_LT(received, 150);
+  EXPECT_EQ(fabric_.stats(1).data_packets_dropped + static_cast<std::uint64_t>(received),
+            200u);
+}
+
+TEST_F(FabricTest, PartitionKillsBothPlanes) {
+  int data = 0, ctrl = 0;
+  fabric_.set_data_handler(2, [&](Packet&&) { data++; });
+  fabric_.register_service(2, "svc", [&](HostId, common::Bytes&&) { ctrl++; });
+  fabric_.set_partitioned(2, true);
+  fabric_.send_data(Packet{1, 2, make_payload(10)});
+  fabric_.send_ctrl(1, 2, "svc", make_payload(10));
+  loop_.run();
+  EXPECT_EQ(data, 0);
+  EXPECT_EQ(ctrl, 0);
+  fabric_.set_partitioned(2, false);
+  fabric_.send_data(Packet{1, 2, make_payload(10)});
+  fabric_.send_ctrl(1, 2, "svc", make_payload(10));
+  loop_.run();
+  EXPECT_EQ(data, 1);
+  EXPECT_EQ(ctrl, 1);
+}
+
+TEST_F(FabricTest, CtrlPlaneRoutedByService) {
+  std::string got;
+  fabric_.register_service(2, "migr.notify", [&](HostId src, common::Bytes&& b) {
+    got.assign(b.begin(), b.end());
+    EXPECT_EQ(src, 1u);
+  });
+  common::Bytes msg{'h', 'i'};
+  fabric_.send_ctrl(1, 2, "migr.notify", msg);
+  loop_.run();
+  EXPECT_EQ(got, "hi");
+}
+
+TEST_F(FabricTest, CtrlPlaneInOrderPerPair) {
+  std::vector<int> order;
+  fabric_.register_service(2, "svc", [&](HostId, common::Bytes&& b) {
+    order.push_back(b[0]);
+  });
+  for (int i = 0; i < 5; ++i) {
+    fabric_.send_ctrl(1, 2, "svc", common::Bytes{static_cast<std::uint8_t>(i)});
+  }
+  loop_.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(FabricTest, CtrlTransferTimeScalesWithSize) {
+  // A 100 MB image at 100 Gbps should take ~8 ms of port time.
+  const auto done = fabric_.send_ctrl(1, 2, "svc", make_payload(100 << 20));
+  EXPECT_NEAR(sim::to_msec(done), 8.39, 0.1);
+}
+
+TEST_F(FabricTest, UnregisteredServiceIsSilentlyDropped) {
+  fabric_.send_ctrl(1, 2, "ghost", make_payload(1));
+  loop_.run();  // no crash, nothing delivered
+  SUCCEED();
+}
+
+TEST_F(FabricTest, StatsCount) {
+  fabric_.set_data_handler(2, [](Packet&&) {});
+  fabric_.send_data(Packet{1, 2, make_payload(500)});
+  loop_.run();
+  EXPECT_EQ(fabric_.stats(1).data_packets_tx, 1u);
+  EXPECT_EQ(fabric_.stats(1).data_bytes_tx, 500u);
+  EXPECT_EQ(fabric_.stats(2).data_packets_rx, 1u);
+  EXPECT_EQ(fabric_.stats(2).data_bytes_rx, 500u);
+}
+
+}  // namespace
+}  // namespace migr::net

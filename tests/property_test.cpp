@@ -1,0 +1,341 @@
+// Property-style parameterized sweeps (TEST_P) over the core invariants:
+//
+//  * transport: for any message size / loss rate / opcode, completions
+//    arrive in posting order, exactly once, content intact;
+//  * migration: for any QP count / opcode / pre-setup choice, the §5.3
+//    correctness criteria hold across a live migration, and the report's
+//    blackout components are consistent;
+//  * serialization: random RdmaImages and page sets round-trip;
+//  * address space: random operation sequences agree with a reference model.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "apps/perftest.hpp"
+#include "common/rng.hpp"
+#include "migr/migration.hpp"
+#include "rnic/world.hpp"
+
+namespace migr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Transport properties
+// ---------------------------------------------------------------------------
+
+struct TransportParam {
+  std::uint32_t msg_size;
+  double loss;
+  rnic::WrOpcode opcode;
+};
+
+class TransportProperty : public ::testing::TestWithParam<TransportParam> {};
+
+TEST_P(TransportProperty, OrderedExactlyOnceDelivery) {
+  const auto param = GetParam();
+  rnic::World world;
+  world.fabric().set_faults(net::Faults{.data_loss_prob = param.loss});
+  auto& dev_a = world.add_device(1);
+  auto& dev_b = world.add_device(2);
+  (void)dev_a;
+  (void)dev_b;
+  migrlib::GuestDirectory dir;
+  migrlib::MigrRdmaRuntime rt1(dir, dev_a, world.fabric());
+  migrlib::MigrRdmaRuntime rt2(dir, dev_b, world.fabric());
+
+  apps::PerftestConfig cfg;
+  cfg.num_qps = 2;
+  cfg.msg_size = param.msg_size;
+  cfg.queue_depth = 32;
+  cfg.opcode = param.opcode;
+  cfg.max_messages_per_qp = 200;
+  apps::PerftestPeer tx(rt1, world.add_process("tx"), 1, apps::PerftestPeer::Role::sender,
+                        cfg);
+  apps::PerftestPeer rx(rt2, world.add_process("rx"), 2, apps::PerftestPeer::Role::receiver,
+                        cfg);
+  for (std::uint32_t i = 0; i < cfg.num_qps; ++i) {
+    ASSERT_TRUE(apps::PerftestPeer::connect_pair(tx, i, rx, i).is_ok());
+  }
+  tx.start();
+  rx.start();
+  const sim::TimeNs deadline = world.loop().now() + sim::sec(20);
+  while (!tx.finished() && world.loop().now() < deadline) {
+    world.loop().run_until(world.loop().now() + sim::msec(10));
+  }
+  ASSERT_TRUE(tx.finished()) << "stream did not finish under loss " << param.loss;
+  EXPECT_EQ(tx.stats().completed_msgs, 400u);
+  EXPECT_EQ(tx.stats().order_violations, 0u);
+  EXPECT_EQ(tx.stats().errors, 0u);
+  if (rnic::is_two_sided(param.opcode)) {
+    EXPECT_EQ(rx.stats().recv_msgs, 400u);
+    EXPECT_EQ(rx.stats().order_violations, 0u);
+    EXPECT_EQ(rx.stats().content_corruptions, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TransportProperty,
+    ::testing::Values(
+        TransportParam{64, 0.0, rnic::WrOpcode::send},
+        TransportParam{64, 0.02, rnic::WrOpcode::send},
+        TransportParam{512, 0.05, rnic::WrOpcode::send},
+        TransportParam{4096, 0.0, rnic::WrOpcode::send},
+        TransportParam{4096, 0.02, rnic::WrOpcode::send},
+        TransportParam{16384, 0.01, rnic::WrOpcode::send},
+        TransportParam{64, 0.0, rnic::WrOpcode::rdma_write},
+        TransportParam{4096, 0.02, rnic::WrOpcode::rdma_write},
+        TransportParam{65536, 0.01, rnic::WrOpcode::rdma_write},
+        TransportParam{65536, 0.0, rnic::WrOpcode::rdma_write}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return (rnic::is_two_sided(p.opcode) ? std::string("send_") : std::string("write_")) +
+             std::to_string(p.msg_size) + "B_loss" +
+             std::to_string(static_cast<int>(p.loss * 100));
+    });
+
+// ---------------------------------------------------------------------------
+// Migration properties
+// ---------------------------------------------------------------------------
+
+struct MigrationParam {
+  std::uint32_t qps;
+  rnic::WrOpcode opcode;
+  bool pre_setup;
+};
+
+class MigrationProperty : public ::testing::TestWithParam<MigrationParam> {};
+
+TEST_P(MigrationProperty, CorrectnessAndReportConsistency) {
+  const auto param = GetParam();
+  rnic::World world;
+  migrlib::GuestDirectory dir;
+  std::vector<std::unique_ptr<migrlib::MigrRdmaRuntime>> rts;
+  for (net::HostId h = 1; h <= 3; ++h) {
+    rts.push_back(
+        std::make_unique<migrlib::MigrRdmaRuntime>(dir, world.add_device(h), world.fabric()));
+  }
+  apps::PerftestConfig cfg;
+  cfg.num_qps = param.qps;
+  cfg.msg_size = 8192;
+  cfg.queue_depth = 16;
+  cfg.opcode = param.opcode;
+  apps::PerftestPeer tx(*rts[0], world.add_process("tx"), 1, apps::PerftestPeer::Role::sender,
+                        cfg);
+  apps::PerftestPeer rx(*rts[2], world.add_process("rx"), 2,
+                        apps::PerftestPeer::Role::receiver, cfg);
+  for (std::uint32_t i = 0; i < cfg.num_qps; ++i) {
+    ASSERT_TRUE(apps::PerftestPeer::connect_pair(tx, i, rx, i).is_ok());
+  }
+  tx.start();
+  rx.start();
+  world.loop().run_until(world.loop().now() + sim::msec(3));
+
+  auto& dest = world.add_process("dest");
+  migrlib::MigrationOptions opts;
+  opts.pre_setup = param.pre_setup;
+  migrlib::MigrationController ctl(world.loop(), world.fabric(), dir, opts);
+  migrlib::MigrationReport report;
+  bool done = false;
+  ASSERT_TRUE(ctl.start(1, 2, dest, &tx, [&](const migrlib::MigrationReport& r) {
+                   report = r;
+                   done = true;
+                 })
+                  .is_ok());
+  const sim::TimeNs deadline = world.loop().now() + sim::sec(60);
+  while (!done && world.loop().now() < deadline) {
+    world.loop().run_until(world.loop().now() + sim::msec(1));
+  }
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(report.ok) << report.error;
+  world.loop().run_until(world.loop().now() + sim::msec(20));
+
+  // §5.3 invariants survive the migration.
+  EXPECT_EQ(tx.stats().order_violations, 0u);
+  EXPECT_EQ(tx.stats().errors, 0u);
+  EXPECT_EQ(rx.stats().order_violations, 0u);
+  EXPECT_EQ(rx.stats().content_corruptions, 0u);
+  EXPECT_EQ(rx.stats().errors, 0u);
+
+  // Report consistency: ordered timestamps, components sum into blackout.
+  EXPECT_LE(report.start, report.suspend_at);
+  EXPECT_LE(report.suspend_at, report.freeze_at);
+  EXPECT_LT(report.freeze_at, report.resume_at);
+  EXPECT_GE(report.wbs_elapsed, 0);
+  EXPECT_GT(report.transfer, 0);
+  EXPECT_GT(report.full_restore, 0);
+  // The service blackout is the freeze->resume window; its parts must not
+  // exceed it (scheduling may add slack but never subtract).
+  EXPECT_LE(report.blackout_components(), report.service_blackout() + sim::msec(1));
+  if (param.pre_setup) {
+    EXPECT_GT(report.presetup_restore_rdma, 0);
+  } else {
+    EXPECT_GT(report.restore_rdma, 0);
+    EXPECT_EQ(report.presetup_restore_rdma, 0);
+  }
+  // Traffic resumed after migration.
+  const auto msgs_before = tx.stats().completed_msgs;
+  world.loop().run_until(world.loop().now() + sim::msec(10));
+  EXPECT_GT(tx.stats().completed_msgs, msgs_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MigrationProperty,
+    ::testing::Values(MigrationParam{1, rnic::WrOpcode::rdma_write, true},
+                      MigrationParam{4, rnic::WrOpcode::rdma_write, true},
+                      MigrationParam{16, rnic::WrOpcode::rdma_write, true},
+                      MigrationParam{4, rnic::WrOpcode::rdma_write, false},
+                      MigrationParam{16, rnic::WrOpcode::rdma_write, false},
+                      MigrationParam{1, rnic::WrOpcode::send, true},
+                      MigrationParam{4, rnic::WrOpcode::send, true},
+                      MigrationParam{16, rnic::WrOpcode::send, true},
+                      MigrationParam{4, rnic::WrOpcode::send, false}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return std::string(rnic::is_two_sided(p.opcode) ? "send" : "write") + "_qp" +
+             std::to_string(p.qps) + (p.pre_setup ? "_presetup" : "_nopresetup");
+    });
+
+// ---------------------------------------------------------------------------
+// Serialization round-trip properties
+// ---------------------------------------------------------------------------
+
+class ImageRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImageRoundTrip, RandomRdmaImage) {
+  common::Rng rng(GetParam());
+  migrlib::RdmaImage img;
+  img.final = rng.chance(0.5);
+  const int n = static_cast<int>(rng.range(0, 20));
+  for (int i = 0; i < n; ++i) {
+    img.pds.push_back({static_cast<std::uint32_t>(rng.next())});
+    migrlib::MrRec mr;
+    mr.vlkey = static_cast<std::uint32_t>(rng.next());
+    mr.addr = rng.next();
+    mr.length = rng.range(1, 1 << 20);
+    mr.access = static_cast<std::uint32_t>(rng.range(0, 31));
+    img.mrs.push_back(mr);
+    migrlib::QpRec qp;
+    qp.vqpn = static_cast<std::uint32_t>(rng.next());
+    qp.connected = rng.chance(0.5);
+    qp.dest_host = static_cast<std::uint32_t>(rng.range(1, 100));
+    qp.dest_pqpn = static_cast<std::uint32_t>(rng.next());
+    qp.peer_guest = static_cast<std::uint32_t>(rng.next());
+    img.qps.push_back(qp);
+    migrlib::VSendWr s;
+    s.vqpn = qp.vqpn;
+    s.wr.wr_id = rng.next();
+    s.wr.opcode = rng.chance(0.5) ? rnic::WrOpcode::send : rnic::WrOpcode::rdma_write;
+    s.wr.sge.resize(rng.range(0, 3));
+    for (auto& sge : s.wr.sge) {
+      sge.addr = rng.next();
+      sge.length = static_cast<std::uint32_t>(rng.range(1, 1 << 16));
+      sge.lkey = static_cast<std::uint32_t>(rng.next());
+    }
+    img.intercepted_sends.push_back(s);
+    migrlib::FakeCqe f;
+    f.vcq = static_cast<std::uint32_t>(rng.next());
+    f.cqe.wr_id = rng.next();
+    f.cqe.qpn = static_cast<std::uint32_t>(rng.next());
+    f.cqe.byte_len = static_cast<std::uint32_t>(rng.next());
+    img.fake_cq_entries.push_back(f);
+  }
+  auto parsed = migrlib::RdmaImage::parse(img.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->serialize(), img.serialize());  // canonical round trip
+  EXPECT_EQ(parsed->pds.size(), img.pds.size());
+  EXPECT_EQ(parsed->qps.size(), img.qps.size());
+  EXPECT_EQ(parsed->intercepted_sends.size(), img.intercepted_sends.size());
+  for (std::size_t i = 0; i < img.qps.size(); ++i) {
+    EXPECT_EQ(parsed->qps[i].vqpn, img.qps[i].vqpn);
+    EXPECT_EQ(parsed->qps[i].dest_pqpn, img.qps[i].dest_pqpn);
+    EXPECT_EQ(parsed->qps[i].peer_guest, img.qps[i].peer_guest);
+  }
+}
+
+TEST_P(ImageRoundTrip, TruncationNeverCrashes) {
+  common::Rng rng(GetParam() ^ 0xABCD);
+  migrlib::RdmaImage img;
+  for (int i = 0; i < 5; ++i) {
+    img.pds.push_back({static_cast<std::uint32_t>(rng.next())});
+    img.cqs.push_back({static_cast<std::uint32_t>(rng.next()),
+                       static_cast<std::uint32_t>(rng.range(1, 4096)), 0});
+  }
+  auto bytes = img.serialize();
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 3) {
+    common::Bytes truncated(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    auto r = migrlib::RdmaImage::parse(truncated);  // must not crash
+    (void)r;
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImageRoundTrip, ::testing::Values(1, 2, 3, 7, 42, 1337));
+
+// ---------------------------------------------------------------------------
+// Address-space model check
+// ---------------------------------------------------------------------------
+
+class AddressSpaceModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AddressSpaceModel, RandomOpsAgreeWithReferenceModel) {
+  common::Rng rng(GetParam());
+  proc::AddressSpace mem;
+  std::map<std::uint64_t, std::uint8_t> model;  // addr -> byte
+  std::vector<std::pair<proc::VirtAddr, std::uint64_t>> vmas;
+
+  for (int step = 0; step < 400; ++step) {
+    const auto op = rng.range(0, 9);
+    if (op <= 2 || vmas.empty()) {  // mmap
+      const std::uint64_t len = rng.range(1, 4) * proc::kPageSize;
+      auto r = mem.mmap(len, "m");
+      ASSERT_TRUE(r.is_ok());
+      vmas.emplace_back(r.value(), len);
+    } else if (op <= 5) {  // write
+      const auto& [start, len] = vmas[rng.below(vmas.size())];
+      const std::uint64_t off = rng.below(len);
+      const std::uint64_t n = rng.range(1, std::min<std::uint64_t>(len - off, 64));
+      std::vector<std::uint8_t> data(n);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+      ASSERT_TRUE(mem.write(start + off, data).is_ok());
+      for (std::uint64_t i = 0; i < n; ++i) model[start + off + i] = data[i];
+    } else if (op <= 7) {  // read
+      const auto& [start, len] = vmas[rng.below(vmas.size())];
+      const std::uint64_t off = rng.below(len);
+      const std::uint64_t n = rng.range(1, std::min<std::uint64_t>(len - off, 64));
+      std::vector<std::uint8_t> data(n);
+      ASSERT_TRUE(mem.read(start + off, data).is_ok());
+      for (std::uint64_t i = 0; i < n; ++i) {
+        auto it = model.find(start + off + i);
+        const std::uint8_t expect = it == model.end() ? 0 : it->second;
+        ASSERT_EQ(data[i], expect) << "addr " << std::hex << start + off + i;
+      }
+    } else if (op == 8 && !vmas.empty()) {  // mremap to a fresh spot
+      const std::size_t vi = rng.below(vmas.size());
+      auto [start, len] = vmas[vi];
+      const proc::VirtAddr target = 0x2000'0000'0000ULL + step * (1ull << 24);
+      ASSERT_TRUE(mem.mremap(start, target).is_ok());
+      // Move the model entries.
+      std::map<std::uint64_t, std::uint8_t> moved;
+      for (auto it = model.lower_bound(start); it != model.end() && it->first < start + len;) {
+        moved[target + (it->first - start)] = it->second;
+        it = model.erase(it);
+      }
+      model.merge(moved);
+      vmas[vi] = {target, len};
+    } else {  // munmap
+      const std::size_t vi = rng.below(vmas.size());
+      auto [start, len] = vmas[vi];
+      ASSERT_TRUE(mem.munmap(start).is_ok());
+      for (auto it = model.lower_bound(start); it != model.end() && it->first < start + len;) {
+        it = model.erase(it);
+      }
+      vmas.erase(vmas.begin() + static_cast<std::ptrdiff_t>(vi));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddressSpaceModel, ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace migr

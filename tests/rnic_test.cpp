@@ -1,0 +1,788 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "rnic/device.hpp"
+#include "rnic/world.hpp"
+
+namespace migr::rnic {
+namespace {
+
+using common::Errc;
+
+/// Two hosts, one process + context each, one PD/CQ each, helpers to make
+/// buffers and connected RC QP pairs.
+class RnicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_a_ = &world_.add_device(1);
+    dev_b_ = &world_.add_device(2);
+    proc_a_ = &world_.add_process("a");
+    proc_b_ = &world_.add_process("b");
+    ctx_a_ = world_to_ctx(*dev_a_, *proc_a_);
+    ctx_b_ = world_to_ctx(*dev_b_, *proc_b_);
+    pd_a_ = ctx_a_->alloc_pd().value();
+    pd_b_ = ctx_b_->alloc_pd().value();
+    cq_a_ = ctx_a_->create_cq(1024).value();
+    cq_b_ = ctx_b_->create_cq(1024).value();
+  }
+
+  static Context* world_to_ctx(Device& d, proc::SimProcess& p) {
+    auto r = d.open(p);
+    EXPECT_TRUE(r.is_ok());
+    return r.value();
+  }
+
+  struct Buf {
+    proc::VirtAddr addr;
+    Mr mr;
+  };
+
+  Buf make_buf(Context& ctx, Handle pd, std::uint64_t size,
+               std::uint32_t access = kAccessLocalWrite | kAccessRemoteWrite |
+                                      kAccessRemoteRead | kAccessRemoteAtomic) {
+    auto va = ctx.process().mem().mmap(size, "buf");
+    EXPECT_TRUE(va.is_ok());
+    auto mr = ctx.reg_mr(pd, va.value(), size, access);
+    EXPECT_TRUE(mr.is_ok());
+    return Buf{va.value(), mr.value()};
+  }
+
+  /// Create a connected RC QP pair (a side, b side).
+  std::pair<Qpn, Qpn> connect_pair(QpCaps caps = {}) {
+    QpInitAttr attr_a{QpType::rc, pd_a_, cq_a_, cq_a_, 0, caps};
+    QpInitAttr attr_b{QpType::rc, pd_b_, cq_b_, cq_b_, 0, caps};
+    Qpn qa = ctx_a_->create_qp(attr_a).value();
+    Qpn qb = ctx_b_->create_qp(attr_b).value();
+    EXPECT_TRUE(rc_connect(*ctx_a_, qa, *ctx_b_, qb).is_ok());
+    return {qa, qb};
+  }
+
+  /// Drain one CQE from a CQ, running the loop until it shows up.
+  Cqe wait_cqe(Context& ctx, Handle cq, sim::DurationNs limit = sim::msec(100)) {
+    Cqe cqe;
+    const sim::TimeNs deadline = world_.loop().now() + limit;
+    while (world_.loop().now() < deadline) {
+      if (ctx.poll_cq(cq, {&cqe, 1}) == 1) return cqe;
+      if (world_.loop().empty()) break;
+      world_.loop().run_until(world_.loop().now() + sim::usec(10));
+    }
+    ADD_FAILURE() << "no CQE within limit";
+    return cqe;
+  }
+
+  void fill_pattern(proc::SimProcess& p, proc::VirtAddr addr, std::size_t n,
+                    std::uint8_t seed) {
+    std::vector<std::uint8_t> data(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] = static_cast<std::uint8_t>(seed + i * 7);
+    ASSERT_TRUE(p.mem().write(addr, data).is_ok());
+  }
+
+  void expect_pattern(proc::SimProcess& p, proc::VirtAddr addr, std::size_t n,
+                      std::uint8_t seed) {
+    std::vector<std::uint8_t> data(n);
+    ASSERT_TRUE(p.mem().read(addr, data).is_ok());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(data[i], static_cast<std::uint8_t>(seed + i * 7)) << "at offset " << i;
+    }
+  }
+
+  World world_;
+  Device* dev_a_ = nullptr;
+  Device* dev_b_ = nullptr;
+  proc::SimProcess* proc_a_ = nullptr;
+  proc::SimProcess* proc_b_ = nullptr;
+  Context* ctx_a_ = nullptr;
+  Context* ctx_b_ = nullptr;
+  Handle pd_a_ = 0, pd_b_ = 0, cq_a_ = 0, cq_b_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Control path
+// ---------------------------------------------------------------------------
+
+TEST_F(RnicTest, QpnsDifferAcrossDevices) {
+  auto [qa, qb] = connect_pair();
+  // Devices draw QPNs from randomized bases; the premise of virtualization.
+  EXPECT_NE(qa, qb);
+  EXPECT_LE(qa, kQpnMask);
+  EXPECT_LE(qb, kQpnMask);
+}
+
+TEST_F(RnicTest, KeysAreOpaqueNonDense) {
+  auto b1 = make_buf(*ctx_a_, pd_a_, 4096);
+  auto b2 = make_buf(*ctx_a_, pd_a_, 4096);
+  EXPECT_NE(b1.mr.lkey, b2.mr.lkey);
+  EXPECT_NE(b1.mr.lkey + 1, b2.mr.lkey);  // not dense
+}
+
+TEST_F(RnicTest, RegMrRequiresMappedMemory) {
+  auto r = ctx_a_->reg_mr(pd_a_, 0xDEAD0000, 4096, kAccessLocalWrite);
+  EXPECT_EQ(r.code(), Errc::permission_denied);
+}
+
+TEST_F(RnicTest, RemoteWriteRequiresLocalWrite) {
+  auto va = proc_a_->mem().mmap(4096, "buf").value();
+  auto r = ctx_a_->reg_mr(pd_a_, va, 4096, kAccessRemoteWrite);
+  EXPECT_EQ(r.code(), Errc::invalid_argument);
+}
+
+TEST_F(RnicTest, QpStateMachineEnforced) {
+  QpInitAttr attr{QpType::rc, pd_a_, cq_a_, cq_a_, 0, {}};
+  Qpn q = ctx_a_->create_qp(attr).value();
+  EXPECT_EQ(ctx_a_->query_qp_state(q).value(), QpState::reset);
+  // RTR before INIT is rejected.
+  EXPECT_EQ(ctx_a_->modify_qp_rtr(q, 2, 77, 0).code(), Errc::failed_precondition);
+  ASSERT_TRUE(ctx_a_->modify_qp_init(q).is_ok());
+  EXPECT_EQ(ctx_a_->modify_qp_init(q).code(), Errc::failed_precondition);
+  ASSERT_TRUE(ctx_a_->modify_qp_rtr(q, 2, 77, 0).is_ok());
+  ASSERT_TRUE(ctx_a_->modify_qp_rts(q, 0).is_ok());
+  EXPECT_EQ(ctx_a_->query_qp_state(q).value(), QpState::rts);
+}
+
+TEST_F(RnicTest, PostSendRequiresRts) {
+  QpInitAttr attr{QpType::rc, pd_a_, cq_a_, cq_a_, 0, {}};
+  Qpn q = ctx_a_->create_qp(attr).value();
+  SendWr wr;
+  wr.opcode = WrOpcode::send;
+  EXPECT_EQ(ctx_a_->post_send(q, wr).code(), Errc::failed_precondition);
+}
+
+TEST_F(RnicTest, SqFullIsResourceExhausted) {
+  QpCaps caps{.max_send_wr = 2, .max_recv_wr = 2};
+  auto [qa, qb] = connect_pair(caps);
+  auto buf = make_buf(*ctx_a_, pd_a_, 4096);
+  SendWr wr;
+  wr.opcode = WrOpcode::rdma_read;  // reads stay in SQ until responses
+  auto remote = make_buf(*ctx_b_, pd_b_, 4096);
+  wr.remote_addr = remote.addr;
+  wr.rkey = remote.mr.rkey;
+  wr.sge = {{buf.addr, 64, buf.mr.lkey}};
+  EXPECT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  EXPECT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  EXPECT_EQ(ctx_a_->post_send(qa, wr).code(), Errc::resource_exhausted);
+}
+
+TEST_F(RnicTest, DeviceQpLimit) {
+  DeviceConfig cfg;
+  cfg.max_qp = 2;
+  Device& d = world_.add_device(9, cfg);
+  auto& p = world_.add_process("p9");
+  Context* ctx = d.open(p).value();
+  Handle pd = ctx->alloc_pd().value();
+  Handle cq = ctx->create_cq(16).value();
+  QpInitAttr attr{QpType::rc, pd, cq, cq, 0, {}};
+  EXPECT_TRUE(ctx->create_qp(attr).is_ok());
+  EXPECT_TRUE(ctx->create_qp(attr).is_ok());
+  EXPECT_EQ(ctx->create_qp(attr).code(), Errc::resource_exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Two-sided SEND/RECV
+// ---------------------------------------------------------------------------
+
+TEST_F(RnicTest, SendRecvSmallMessage) {
+  auto [qa, qb] = connect_pair();
+  auto sbuf = make_buf(*ctx_a_, pd_a_, 4096);
+  auto rbuf = make_buf(*ctx_b_, pd_b_, 4096);
+  fill_pattern(*proc_a_, sbuf.addr, 64, 3);
+
+  RecvWr rwr;
+  rwr.wr_id = 900;
+  rwr.sge = {{rbuf.addr, 4096, rbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_b_->post_recv(qb, rwr).is_ok());
+
+  SendWr swr;
+  swr.wr_id = 100;
+  swr.opcode = WrOpcode::send;
+  swr.sge = {{sbuf.addr, 64, sbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, swr).is_ok());
+
+  Cqe scqe = wait_cqe(*ctx_a_, cq_a_);
+  EXPECT_EQ(scqe.wr_id, 100u);
+  EXPECT_EQ(scqe.status, CqeStatus::success);
+  EXPECT_EQ(scqe.opcode, CqeOpcode::send);
+  EXPECT_EQ(scqe.qpn, qa);
+
+  Cqe rcqe = wait_cqe(*ctx_b_, cq_b_);
+  EXPECT_EQ(rcqe.wr_id, 900u);
+  EXPECT_EQ(rcqe.opcode, CqeOpcode::recv);
+  EXPECT_EQ(rcqe.byte_len, 64u);
+  EXPECT_EQ(rcqe.qpn, qb);
+  expect_pattern(*proc_b_, rbuf.addr, 64, 3);
+}
+
+TEST_F(RnicTest, SendMultiPacketMessage) {
+  auto [qa, qb] = connect_pair();
+  const std::size_t size = 3 * 4096 + 500;  // 4 packets
+  auto sbuf = make_buf(*ctx_a_, pd_a_, size);
+  auto rbuf = make_buf(*ctx_b_, pd_b_, size);
+  fill_pattern(*proc_a_, sbuf.addr, size, 11);
+
+  RecvWr rwr;
+  rwr.sge = {{rbuf.addr, static_cast<std::uint32_t>(size), rbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_b_->post_recv(qb, rwr).is_ok());
+  SendWr swr;
+  swr.opcode = WrOpcode::send;
+  swr.sge = {{sbuf.addr, static_cast<std::uint32_t>(size), sbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, swr).is_ok());
+
+  Cqe rcqe = wait_cqe(*ctx_b_, cq_b_);
+  EXPECT_EQ(rcqe.byte_len, size);
+  expect_pattern(*proc_b_, rbuf.addr, size, 11);
+  wait_cqe(*ctx_a_, cq_a_);
+}
+
+TEST_F(RnicTest, SendWithImmCarriesImmediate) {
+  auto [qa, qb] = connect_pair();
+  auto sbuf = make_buf(*ctx_a_, pd_a_, 64);
+  auto rbuf = make_buf(*ctx_b_, pd_b_, 64);
+  RecvWr rwr;
+  rwr.sge = {{rbuf.addr, 64, rbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_b_->post_recv(qb, rwr).is_ok());
+  SendWr swr;
+  swr.opcode = WrOpcode::send_with_imm;
+  swr.imm = 0xABCD1234;
+  swr.sge = {{sbuf.addr, 16, sbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, swr).is_ok());
+  Cqe rcqe = wait_cqe(*ctx_b_, cq_b_);
+  EXPECT_TRUE(rcqe.has_imm);
+  EXPECT_EQ(rcqe.imm, 0xABCD1234u);
+}
+
+TEST_F(RnicTest, SendWithoutRecvRetriesUntilRecvPosted) {
+  auto [qa, qb] = connect_pair();
+  auto sbuf = make_buf(*ctx_a_, pd_a_, 64);
+  auto rbuf = make_buf(*ctx_b_, pd_b_, 64);
+  SendWr swr;
+  swr.opcode = WrOpcode::send;
+  swr.sge = {{sbuf.addr, 16, sbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, swr).is_ok());
+  // Run a while: no recv posted, so no completion yet (RNR retry loop).
+  world_.loop().run_until(world_.loop().now() + sim::msec(1));
+  Cqe cqe;
+  EXPECT_EQ(ctx_a_->poll_cq(cq_a_, {&cqe, 1}), 0);
+  // Now post the recv; the retry delivers it.
+  RecvWr rwr;
+  rwr.sge = {{rbuf.addr, 64, rbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_b_->post_recv(qb, rwr).is_ok());
+  Cqe rcqe = wait_cqe(*ctx_b_, cq_b_, sim::msec(50));
+  EXPECT_EQ(rcqe.status, CqeStatus::success);
+}
+
+TEST_F(RnicTest, UnsignaledSendProducesNoCqe) {
+  auto [qa, qb] = connect_pair();
+  auto sbuf = make_buf(*ctx_a_, pd_a_, 64);
+  auto rbuf = make_buf(*ctx_b_, pd_b_, 64);
+  RecvWr rwr;
+  rwr.sge = {{rbuf.addr, 64, rbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_b_->post_recv(qb, rwr).is_ok());
+  SendWr swr;
+  swr.opcode = WrOpcode::send;
+  swr.signaled = false;
+  swr.sge = {{sbuf.addr, 16, sbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, swr).is_ok());
+  wait_cqe(*ctx_b_, cq_b_);  // receive side completes
+  Cqe cqe;
+  EXPECT_EQ(ctx_a_->poll_cq(cq_a_, {&cqe, 1}), 0);
+}
+
+// ---------------------------------------------------------------------------
+// One-sided WRITE / READ / ATOMIC
+// ---------------------------------------------------------------------------
+
+TEST_F(RnicTest, RdmaWrite) {
+  auto [qa, qb] = connect_pair();
+  const std::size_t size = 2 * 4096 + 17;
+  auto src = make_buf(*ctx_a_, pd_a_, size);
+  auto dst = make_buf(*ctx_b_, pd_b_, size);
+  fill_pattern(*proc_a_, src.addr, size, 42);
+
+  SendWr wr;
+  wr.wr_id = 5;
+  wr.opcode = WrOpcode::rdma_write;
+  wr.remote_addr = dst.addr;
+  wr.rkey = dst.mr.rkey;
+  wr.sge = {{src.addr, static_cast<std::uint32_t>(size), src.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  Cqe cqe = wait_cqe(*ctx_a_, cq_a_);
+  EXPECT_EQ(cqe.status, CqeStatus::success);
+  EXPECT_EQ(cqe.opcode, CqeOpcode::rdma_write);
+  expect_pattern(*proc_b_, dst.addr, size, 42);
+  // One-sided: no CQE on the passive side.
+  Cqe none;
+  EXPECT_EQ(ctx_b_->poll_cq(cq_b_, {&none, 1}), 0);
+}
+
+TEST_F(RnicTest, RdmaWriteDirtiesTargetPages) {
+  auto [qa, qb] = connect_pair();
+  auto src = make_buf(*ctx_a_, pd_a_, 4096);
+  auto dst = make_buf(*ctx_b_, pd_b_, 4096);
+  proc_b_->mem().collect_dirty();  // clear
+  SendWr wr;
+  wr.opcode = WrOpcode::rdma_write;
+  wr.remote_addr = dst.addr;
+  wr.rkey = dst.mr.rkey;
+  wr.sge = {{src.addr, 100, src.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  wait_cqe(*ctx_a_, cq_a_);
+  // The NIC dirtied the page behind the application's back: this is what
+  // pre-copy must chase during migration.
+  EXPECT_EQ(proc_b_->mem().collect_dirty().size(), 1u);
+}
+
+TEST_F(RnicTest, RdmaWriteWithImmConsumesRecv) {
+  auto [qa, qb] = connect_pair();
+  auto src = make_buf(*ctx_a_, pd_a_, 64);
+  auto dst = make_buf(*ctx_b_, pd_b_, 64);
+  RecvWr rwr;
+  rwr.wr_id = 31;
+  ASSERT_TRUE(ctx_b_->post_recv(qb, rwr).is_ok());
+  SendWr wr;
+  wr.opcode = WrOpcode::rdma_write_with_imm;
+  wr.imm = 77;
+  wr.remote_addr = dst.addr;
+  wr.rkey = dst.mr.rkey;
+  wr.sge = {{src.addr, 32, src.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  Cqe rcqe = wait_cqe(*ctx_b_, cq_b_);
+  EXPECT_EQ(rcqe.wr_id, 31u);
+  EXPECT_TRUE(rcqe.has_imm);
+  EXPECT_EQ(rcqe.imm, 77u);
+  EXPECT_EQ(rcqe.byte_len, 32u);
+  wait_cqe(*ctx_a_, cq_a_);
+}
+
+TEST_F(RnicTest, RdmaRead) {
+  auto [qa, qb] = connect_pair();
+  const std::size_t size = 4096 + 100;
+  auto local = make_buf(*ctx_a_, pd_a_, size);
+  auto remote = make_buf(*ctx_b_, pd_b_, size);
+  fill_pattern(*proc_b_, remote.addr, size, 99);
+
+  SendWr wr;
+  wr.opcode = WrOpcode::rdma_read;
+  wr.remote_addr = remote.addr;
+  wr.rkey = remote.mr.rkey;
+  wr.sge = {{local.addr, static_cast<std::uint32_t>(size), local.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  Cqe cqe = wait_cqe(*ctx_a_, cq_a_);
+  EXPECT_EQ(cqe.opcode, CqeOpcode::rdma_read);
+  EXPECT_EQ(cqe.byte_len, size);
+  expect_pattern(*proc_a_, local.addr, size, 99);
+}
+
+TEST_F(RnicTest, AtomicFetchAndAdd) {
+  auto [qa, qb] = connect_pair();
+  auto local = make_buf(*ctx_a_, pd_a_, 4096);
+  auto remote = make_buf(*ctx_b_, pd_b_, 4096);
+  std::uint64_t initial = 1000;
+  ASSERT_TRUE(proc_b_->mem()
+                  .write(remote.addr, {reinterpret_cast<std::uint8_t*>(&initial), 8})
+                  .is_ok());
+  SendWr wr;
+  wr.opcode = WrOpcode::atomic_fetch_and_add;
+  wr.remote_addr = remote.addr;
+  wr.rkey = remote.mr.rkey;
+  wr.compare_add = 5;
+  wr.sge = {{local.addr, 8, local.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  Cqe cqe = wait_cqe(*ctx_a_, cq_a_);
+  EXPECT_EQ(cqe.opcode, CqeOpcode::atomic);
+  // Original value lands in the local SGE.
+  std::uint64_t fetched = 0;
+  ASSERT_TRUE(proc_a_->mem().read(local.addr, {reinterpret_cast<std::uint8_t*>(&fetched), 8}).is_ok());
+  EXPECT_EQ(fetched, 1000u);
+  std::uint64_t updated = 0;
+  ASSERT_TRUE(proc_b_->mem().read(remote.addr, {reinterpret_cast<std::uint8_t*>(&updated), 8}).is_ok());
+  EXPECT_EQ(updated, 1005u);
+}
+
+TEST_F(RnicTest, AtomicCompareAndSwap) {
+  auto [qa, qb] = connect_pair();
+  auto local = make_buf(*ctx_a_, pd_a_, 4096);
+  auto remote = make_buf(*ctx_b_, pd_b_, 4096);
+  std::uint64_t initial = 7;
+  ASSERT_TRUE(proc_b_->mem().write(remote.addr, {reinterpret_cast<std::uint8_t*>(&initial), 8}).is_ok());
+  SendWr wr;
+  wr.opcode = WrOpcode::atomic_cmp_and_swp;
+  wr.remote_addr = remote.addr;
+  wr.rkey = remote.mr.rkey;
+  wr.compare_add = 7;   // expected
+  wr.swap = 123;        // new value
+  wr.sge = {{local.addr, 8, local.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  wait_cqe(*ctx_a_, cq_a_);
+  std::uint64_t updated = 0;
+  ASSERT_TRUE(proc_b_->mem().read(remote.addr, {reinterpret_cast<std::uint8_t*>(&updated), 8}).is_ok());
+  EXPECT_EQ(updated, 123u);
+
+  // Failed CAS leaves memory unchanged.
+  wr.compare_add = 7;
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  wait_cqe(*ctx_a_, cq_a_);
+  ASSERT_TRUE(proc_b_->mem().read(remote.addr, {reinterpret_cast<std::uint8_t*>(&updated), 8}).is_ok());
+  EXPECT_EQ(updated, 123u);
+}
+
+TEST_F(RnicTest, BadRkeyFailsTheQp) {
+  auto [qa, qb] = connect_pair();
+  auto src = make_buf(*ctx_a_, pd_a_, 64);
+  SendWr wr;
+  wr.wr_id = 66;
+  wr.opcode = WrOpcode::rdma_write;
+  wr.remote_addr = 0x1000;
+  wr.rkey = 0xBAD;
+  wr.sge = {{src.addr, 32, src.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  Cqe cqe = wait_cqe(*ctx_a_, cq_a_);
+  EXPECT_EQ(cqe.wr_id, 66u);
+  EXPECT_EQ(cqe.status, CqeStatus::remote_access_err);
+  EXPECT_EQ(ctx_a_->query_qp_state(qa).value(), QpState::err);
+}
+
+TEST_F(RnicTest, RemoteReadDeniedWithoutAccess) {
+  auto [qa, qb] = connect_pair();
+  auto local = make_buf(*ctx_a_, pd_a_, 64);
+  auto remote = make_buf(*ctx_b_, pd_b_, 64, kAccessLocalWrite);  // no remote read
+  SendWr wr;
+  wr.opcode = WrOpcode::rdma_read;
+  wr.remote_addr = remote.addr;
+  wr.rkey = remote.mr.rkey;
+  wr.sge = {{local.addr, 32, local.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  Cqe cqe = wait_cqe(*ctx_a_, cq_a_);
+  EXPECT_EQ(cqe.status, CqeStatus::remote_access_err);
+}
+
+TEST_F(RnicTest, WriteOutOfBoundsDenied) {
+  auto [qa, qb] = connect_pair();
+  auto src = make_buf(*ctx_a_, pd_a_, 8192);
+  auto dst = make_buf(*ctx_b_, pd_b_, 4096);
+  SendWr wr;
+  wr.opcode = WrOpcode::rdma_write;
+  wr.remote_addr = dst.addr + 4000;  // runs past the MR
+  wr.rkey = dst.mr.rkey;
+  wr.sge = {{src.addr, 200, src.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  Cqe cqe = wait_cqe(*ctx_a_, cq_a_);
+  EXPECT_EQ(cqe.status, CqeStatus::remote_access_err);
+}
+
+// ---------------------------------------------------------------------------
+// Ordering, loss recovery
+// ---------------------------------------------------------------------------
+
+TEST_F(RnicTest, CompletionsInPostingOrder) {
+  auto [qa, qb] = connect_pair();
+  auto src = make_buf(*ctx_a_, pd_a_, 1 << 20);
+  auto dst = make_buf(*ctx_b_, pd_b_, 1 << 20);
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    SendWr wr;
+    wr.wr_id = i;
+    wr.opcode = WrOpcode::rdma_write;
+    wr.remote_addr = dst.addr + i * 1024;
+    wr.rkey = dst.mr.rkey;
+    wr.sge = {{src.addr + i * 1024, 1024, src.mr.lkey}};
+    ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  }
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    Cqe cqe = wait_cqe(*ctx_a_, cq_a_);
+    ASSERT_EQ(cqe.wr_id, i);
+  }
+}
+
+TEST_F(RnicTest, LossRecoveryDeliversEverythingInOrder) {
+  world_.fabric().set_faults(net::Faults{.data_loss_prob = 0.05});
+  auto [qa, qb] = connect_pair(QpCaps{.max_send_wr = 256, .max_recv_wr = 256});
+  auto sbuf = make_buf(*ctx_a_, pd_a_, 256 * 512);
+  auto rbuf = make_buf(*ctx_b_, pd_b_, 256 * 512);
+  // 100 sends, wr_id carries the sequence; receiver must see 0..99 in order.
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    RecvWr rwr;
+    rwr.wr_id = i;
+    rwr.sge = {{rbuf.addr + i * 512, 512, rbuf.mr.lkey}};
+    ASSERT_TRUE(ctx_b_->post_recv(qb, rwr).is_ok());
+  }
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    std::vector<std::uint8_t> marker(8);
+    std::memcpy(marker.data(), &i, 8);
+    ASSERT_TRUE(proc_a_->mem().write(sbuf.addr + i * 512, marker).is_ok());
+    SendWr wr;
+    wr.wr_id = i;
+    wr.opcode = WrOpcode::send;
+    wr.sge = {{sbuf.addr + i * 512, 512, sbuf.mr.lkey}};
+    ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  }
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    Cqe cqe = wait_cqe(*ctx_b_, cq_b_, sim::sec(5));
+    ASSERT_EQ(cqe.status, CqeStatus::success);
+    ASSERT_EQ(cqe.wr_id, i) << "out of order or lost";
+    std::uint64_t marker = 0;
+    ASSERT_TRUE(proc_b_->mem().read(rbuf.addr + i * 512, {reinterpret_cast<std::uint8_t*>(&marker), 8}).is_ok());
+    ASSERT_EQ(marker, i) << "content corrupted";
+  }
+  EXPECT_GT(dev_a_->counters().retransmits + dev_b_->counters().out_of_sequence, 0u);
+}
+
+TEST_F(RnicTest, PartitionExhaustsRetriesAndErrorsQp) {
+  auto [qa, qb] = connect_pair();
+  auto src = make_buf(*ctx_a_, pd_a_, 64);
+  auto dst = make_buf(*ctx_b_, pd_b_, 64);
+  world_.fabric().set_partitioned(2, true);
+  Qpn errored = 0;
+  ctx_a_->set_qp_error_handler([&](Qpn q) { errored = q; });
+  SendWr wr;
+  wr.wr_id = 1;
+  wr.opcode = WrOpcode::rdma_write;
+  wr.remote_addr = dst.addr;
+  wr.rkey = dst.mr.rkey;
+  wr.sge = {{src.addr, 32, src.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  // 7 retries x 50 ms timeout before the QP gives up.
+  world_.loop().run_until(world_.loop().now() + sim::msec(500));
+  EXPECT_EQ(errored, qa);
+  EXPECT_EQ(ctx_a_->query_qp_state(qa).value(), QpState::err);
+  Cqe cqe;
+  ASSERT_EQ(ctx_a_->poll_cq(cq_a_, {&cqe, 1}), 1);
+  EXPECT_EQ(cqe.status, CqeStatus::retry_exceeded);
+}
+
+// ---------------------------------------------------------------------------
+// SRQ, UD, completion channels, MW, DM
+// ---------------------------------------------------------------------------
+
+TEST_F(RnicTest, SrqSharedAcrossQps) {
+  Handle srq = ctx_b_->create_srq(pd_b_, 64).value();
+  QpInitAttr attr_b{QpType::rc, pd_b_, cq_b_, cq_b_, srq, {}};
+  QpInitAttr attr_a{QpType::rc, pd_a_, cq_a_, cq_a_, 0, {}};
+  Qpn qb1 = ctx_b_->create_qp(attr_b).value();
+  Qpn qb2 = ctx_b_->create_qp(attr_b).value();
+  Qpn qa1 = ctx_a_->create_qp(attr_a).value();
+  Qpn qa2 = ctx_a_->create_qp(attr_a).value();
+  ASSERT_TRUE(rc_connect(*ctx_a_, qa1, *ctx_b_, qb1).is_ok());
+  ASSERT_TRUE(rc_connect(*ctx_a_, qa2, *ctx_b_, qb2).is_ok());
+
+  auto sbuf = make_buf(*ctx_a_, pd_a_, 4096);
+  auto rbuf = make_buf(*ctx_b_, pd_b_, 4096);
+  for (int i = 0; i < 2; ++i) {
+    RecvWr rwr;
+    rwr.wr_id = 70 + static_cast<std::uint64_t>(i);
+    rwr.sge = {{rbuf.addr + static_cast<std::uint64_t>(i) * 1024, 1024, rbuf.mr.lkey}};
+    ASSERT_TRUE(ctx_b_->post_srq_recv(srq, rwr).is_ok());
+  }
+  // Posting directly to a QP that uses an SRQ is an error.
+  EXPECT_EQ(ctx_b_->post_recv(qb1, RecvWr{}).code(), Errc::invalid_argument);
+
+  SendWr wr;
+  wr.opcode = WrOpcode::send;
+  wr.sge = {{sbuf.addr, 128, sbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa1, wr).is_ok());
+  ASSERT_TRUE(ctx_a_->post_send(qa2, wr).is_ok());
+  Cqe c1 = wait_cqe(*ctx_b_, cq_b_);
+  Cqe c2 = wait_cqe(*ctx_b_, cq_b_);
+  // Both QPs delivered, each consuming one SRQ WQE; CQE carries the QPN.
+  EXPECT_NE(c1.qpn, c2.qpn);
+  EXPECT_TRUE((c1.qpn == qb1 && c2.qpn == qb2) || (c1.qpn == qb2 && c2.qpn == qb1));
+}
+
+TEST_F(RnicTest, UdSendRecvCarriesSrcQp) {
+  QpInitAttr attr_a{QpType::ud, pd_a_, cq_a_, cq_a_, 0, {}};
+  QpInitAttr attr_b{QpType::ud, pd_b_, cq_b_, cq_b_, 0, {}};
+  Qpn qa = ctx_a_->create_qp(attr_a).value();
+  Qpn qb = ctx_b_->create_qp(attr_b).value();
+  ASSERT_TRUE(ctx_a_->modify_qp_init(qa).is_ok());
+  ASSERT_TRUE(ctx_a_->modify_qp_rtr(qa, 0, 0, 0).is_ok());
+  ASSERT_TRUE(ctx_a_->modify_qp_rts(qa, 0).is_ok());
+  ASSERT_TRUE(ctx_b_->modify_qp_init(qb).is_ok());
+  ASSERT_TRUE(ctx_b_->modify_qp_rtr(qb, 0, 0, 0).is_ok());
+  ASSERT_TRUE(ctx_b_->modify_qp_rts(qb, 0).is_ok());
+
+  auto sbuf = make_buf(*ctx_a_, pd_a_, 4096);
+  auto rbuf = make_buf(*ctx_b_, pd_b_, 4096);
+  RecvWr rwr;
+  rwr.sge = {{rbuf.addr, 4096, rbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_b_->post_recv(qb, rwr).is_ok());
+
+  SendWr wr;
+  wr.opcode = WrOpcode::send;
+  wr.remote_host = 2;
+  wr.remote_qpn = qb;
+  wr.sge = {{sbuf.addr, 256, sbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  Cqe scqe = wait_cqe(*ctx_a_, cq_a_);
+  EXPECT_EQ(scqe.status, CqeStatus::success);
+  Cqe rcqe = wait_cqe(*ctx_b_, cq_b_);
+  EXPECT_EQ(rcqe.src_qp, qa);
+  EXPECT_EQ(rcqe.byte_len, 256u);
+}
+
+TEST_F(RnicTest, UdOversizeMessageRejected) {
+  QpInitAttr attr{QpType::ud, pd_a_, cq_a_, cq_a_, 0, {}};
+  Qpn qa = ctx_a_->create_qp(attr).value();
+  ASSERT_TRUE(ctx_a_->modify_qp_init(qa).is_ok());
+  ASSERT_TRUE(ctx_a_->modify_qp_rtr(qa, 0, 0, 0).is_ok());
+  ASSERT_TRUE(ctx_a_->modify_qp_rts(qa, 0).is_ok());
+  auto sbuf = make_buf(*ctx_a_, pd_a_, 8192);
+  SendWr wr;
+  wr.opcode = WrOpcode::send;
+  wr.remote_host = 2;
+  wr.remote_qpn = 1;
+  wr.sge = {{sbuf.addr, 8000, sbuf.mr.lkey}};
+  EXPECT_EQ(ctx_a_->post_send(qa, wr).code(), Errc::invalid_argument);
+}
+
+TEST_F(RnicTest, CompletionChannelEventOnArm) {
+  Handle ch = ctx_b_->create_comp_channel().value();
+  Handle cq = ctx_b_->create_cq(64, ch).value();
+  QpInitAttr attr_b{QpType::rc, pd_b_, cq, cq, 0, {}};
+  QpInitAttr attr_a{QpType::rc, pd_a_, cq_a_, cq_a_, 0, {}};
+  Qpn qb = ctx_b_->create_qp(attr_b).value();
+  Qpn qa = ctx_a_->create_qp(attr_a).value();
+  ASSERT_TRUE(rc_connect(*ctx_a_, qa, *ctx_b_, qb).is_ok());
+
+  auto sbuf = make_buf(*ctx_a_, pd_a_, 64);
+  auto rbuf = make_buf(*ctx_b_, pd_b_, 64);
+  RecvWr rwr;
+  rwr.sge = {{rbuf.addr, 64, rbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_b_->post_recv(qb, rwr).is_ok());
+  ASSERT_TRUE(ctx_b_->req_notify_cq(cq).is_ok());
+  EXPECT_FALSE(ctx_b_->get_cq_event(ch).has_value());
+
+  SendWr wr;
+  wr.opcode = WrOpcode::send;
+  wr.sge = {{sbuf.addr, 16, sbuf.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  world_.loop().run_until(world_.loop().now() + sim::msec(1));
+
+  auto ev = ctx_b_->get_cq_event(ch);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(*ev, cq);
+  ctx_b_->ack_cq_events(ch, 1);
+  // One event per arm: a second completion without re-arming emits nothing.
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  world_.loop().run_until(world_.loop().now() + sim::msec(1));
+  EXPECT_FALSE(ctx_b_->get_cq_event(ch).has_value());
+}
+
+TEST_F(RnicTest, MemoryWindowBindAndRemoteUse) {
+  auto [qa, qb] = connect_pair();
+  auto src = make_buf(*ctx_a_, pd_a_, 4096);
+  auto dst = make_buf(*ctx_b_, pd_b_, 8192,
+                      kAccessLocalWrite | kAccessRemoteWrite | kAccessMwBind);
+  Handle mw = ctx_b_->alloc_mw(pd_b_).value();
+  // Window covers only the second KB of the MR.
+  auto rkey = ctx_b_->bind_mw(qb, mw, dst.mr.lkey, dst.addr + 1024, 1024,
+                              kAccessRemoteWrite, /*wr_id=*/500);
+  ASSERT_TRUE(rkey.is_ok());
+  Cqe bind_cqe = wait_cqe(*ctx_b_, cq_b_);
+  EXPECT_EQ(bind_cqe.opcode, CqeOpcode::bind_mw);
+  EXPECT_EQ(bind_cqe.wr_id, 500u);
+
+  // Write inside the window: ok.
+  SendWr wr;
+  wr.opcode = WrOpcode::rdma_write;
+  wr.remote_addr = dst.addr + 1024;
+  wr.rkey = rkey.value();
+  wr.sge = {{src.addr, 512, src.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  EXPECT_EQ(wait_cqe(*ctx_a_, cq_a_).status, CqeStatus::success);
+
+  // Write outside the window with the MW rkey: remote access error.
+  wr.remote_addr = dst.addr;  // before the window
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  EXPECT_EQ(wait_cqe(*ctx_a_, cq_a_).status, CqeStatus::remote_access_err);
+}
+
+TEST_F(RnicTest, MwBindRequiresMwBindAccessOnMr) {
+  auto [qa, qb] = connect_pair();
+  auto dst = make_buf(*ctx_b_, pd_b_, 4096, kAccessLocalWrite | kAccessRemoteWrite);
+  Handle mw = ctx_b_->alloc_mw(pd_b_).value();
+  auto rkey = ctx_b_->bind_mw(qb, mw, dst.mr.lkey, dst.addr, 1024, kAccessRemoteWrite, 1);
+  EXPECT_EQ(rkey.code(), Errc::permission_denied);
+}
+
+TEST_F(RnicTest, DeviceMemoryAllocMapAndUse) {
+  const std::uint64_t dm_size = 8192;
+  auto dm = ctx_a_->alloc_dm(dm_size);
+  ASSERT_TRUE(dm.is_ok());
+  EXPECT_TRUE(proc_a_->mem().mapped(dm->mapped_at, dm_size));
+  // Register an MR over the on-chip memory and use it as a send source.
+  auto mr = ctx_a_->reg_mr(pd_a_, dm->mapped_at, dm_size, kAccessLocalWrite);
+  ASSERT_TRUE(mr.is_ok());
+  EXPECT_LT(dev_a_->device_memory_free(), dev_a_->config().device_memory_bytes);
+  ASSERT_TRUE(ctx_a_->free_dm(dm->handle).is_ok());
+  EXPECT_EQ(dev_a_->device_memory_free(), dev_a_->config().device_memory_bytes);
+}
+
+TEST_F(RnicTest, DeviceMemoryExhaustion) {
+  auto r1 = ctx_a_->alloc_dm(dev_a_->config().device_memory_bytes);
+  ASSERT_TRUE(r1.is_ok());
+  EXPECT_EQ(ctx_a_->alloc_dm(4096).code(), Errc::resource_exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Opaqueness + counters (the paper's premise)
+// ---------------------------------------------------------------------------
+
+TEST_F(RnicTest, CommodityHardwareRefusesStateExtraction) {
+  auto [qa, qb] = connect_pair();
+  EXPECT_EQ(dev_a_->migros_extract_qp(qa).code(), Errc::failed_precondition);
+  EXPECT_EQ(dev_a_->migros_inject_qp(qa, MigrosQpState{}).code(), Errc::failed_precondition);
+}
+
+TEST_F(RnicTest, MigrationAwareHardwareAllowsIt) {
+  DeviceConfig cfg;
+  cfg.migration_aware_hw = true;
+  Device& d = world_.add_device(8, cfg);
+  auto& p = world_.add_process("p8");
+  Context* ctx = d.open(p).value();
+  Handle pd = ctx->alloc_pd().value();
+  Handle cq = ctx->create_cq(16).value();
+  Qpn q = ctx->create_qp({QpType::rc, pd, cq, cq, 0, {}}).value();
+  auto st = d.migros_extract_qp(q);
+  ASSERT_TRUE(st.is_ok());
+  EXPECT_TRUE(d.migros_inject_qp(q, st.value()).is_ok());
+}
+
+TEST_F(RnicTest, PortCountersTrackBytes) {
+  auto [qa, qb] = connect_pair();
+  auto src = make_buf(*ctx_a_, pd_a_, 1 << 16);
+  auto dst = make_buf(*ctx_b_, pd_b_, 1 << 16);
+  SendWr wr;
+  wr.opcode = WrOpcode::rdma_write;
+  wr.remote_addr = dst.addr;
+  wr.rkey = dst.mr.rkey;
+  wr.sge = {{src.addr, 1 << 16, src.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  wait_cqe(*ctx_a_, cq_a_);
+  EXPECT_GE(dev_a_->counters().tx_bytes, 1u << 16);
+  EXPECT_GE(dev_b_->counters().rx_bytes, 1u << 16);
+}
+
+TEST_F(RnicTest, NSentNRecvCountersForWbs) {
+  auto [qa, qb] = connect_pair();
+  auto sbuf = make_buf(*ctx_a_, pd_a_, 4096);
+  auto rbuf = make_buf(*ctx_b_, pd_b_, 4096);
+  for (int i = 0; i < 3; ++i) {
+    RecvWr rwr;
+    rwr.sge = {{rbuf.addr, 1024, rbuf.mr.lkey}};
+    ASSERT_TRUE(ctx_b_->post_recv(qb, rwr).is_ok());
+  }
+  for (int i = 0; i < 2; ++i) {
+    SendWr wr;
+    wr.opcode = WrOpcode::send;
+    wr.sge = {{sbuf.addr, 64, sbuf.mr.lkey}};
+    ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  }
+  world_.loop().run_until(world_.loop().now() + sim::msec(1));
+  EXPECT_EQ(ctx_a_->find_qp(qa)->n_sent, 2u);
+  EXPECT_EQ(ctx_b_->find_qp(qb)->n_recv, 2u);
+  // One RECV remains posted with no matching send: an "inflight RECV" that
+  // wait-before-stop must replay after migration (§3.4).
+  EXPECT_EQ(ctx_b_->find_qp(qb)->rq.size(), 1u);
+}
+
+}  // namespace
+}  // namespace migr::rnic

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.hpp"
+
+namespace migr::sim {
+namespace {
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_in(30, [&] { order.push_back(3); });
+  loop.schedule_in(10, [&] { order.push_back(1); });
+  loop.schedule_in(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, EqualTimestampsAreFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_in(100, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool fired = false;
+  auto h = loop.schedule_in(10, [&] { fired = true; });
+  h.cancel();
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockToDeadline) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_in(10, [&] { count++; });
+  loop.schedule_in(100, [&] { count++; });
+  loop.run_until(50);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(loop.now(), 50);
+  loop.run_until(100);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoop, NestedSchedulingDuringRun) {
+  EventLoop loop;
+  std::vector<TimeNs> at;
+  loop.schedule_in(10, [&] {
+    at.push_back(loop.now());
+    loop.schedule_in(5, [&] { at.push_back(loop.now()); });
+  });
+  loop.run();
+  EXPECT_EQ(at, (std::vector<TimeNs>{10, 15}));
+}
+
+TEST(EventLoop, PeriodicTaskFiresUntilCancelled) {
+  EventLoop loop;
+  int ticks = 0;
+  EventHandle h = loop.schedule_every(10, [&] {
+    if (++ticks == 3) h.cancel();
+  });
+  loop.run_until(1000);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(EventLoop, PeriodicFirstDelayOverride) {
+  EventLoop loop;
+  TimeNs first = -1;
+  auto h = loop.schedule_every(100, [&] {
+    if (first < 0) first = loop.now();
+  }, /*first_delay=*/7);
+  loop.run_until(500);
+  h.cancel();
+  EXPECT_EQ(first, 7);
+}
+
+TEST(EventLoop, StopBreaksRun) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_in(1, [&] {
+    count++;
+    loop.stop();
+  });
+  loop.schedule_in(2, [&] { count++; });
+  loop.run();
+  EXPECT_EQ(count, 1);
+  loop.run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoop, PastEventsClampToNow) {
+  EventLoop loop;
+  loop.schedule_in(100, [] {});
+  loop.run();
+  ASSERT_EQ(loop.now(), 100);
+  TimeNs fired_at = -1;
+  loop.schedule_at(5, [&] { fired_at = loop.now(); });  // in the past
+  loop.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Time, TransmitTime) {
+  // 1250 bytes at 100 Gbps = 100 ns.
+  EXPECT_EQ(transmit_time(1250, 100.0), 100);
+  // 4 KiB at 100 Gbps ≈ 327 ns.
+  EXPECT_NEAR(static_cast<double>(transmit_time(4096, 100.0)), 327.68, 1.0);
+}
+
+}  // namespace
+}  // namespace migr::sim

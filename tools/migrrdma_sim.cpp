@@ -1,0 +1,188 @@
+// migrrdma-sim: command-line scenario runner.
+//
+// Runs one configurable live migration of a perftest workload on the
+// simulated cluster and prints the full report — the quickest way to
+// explore the parameter space outside the fixed benchmark sweeps.
+//
+// Usage:
+//   migrrdma_sim [--qps N] [--msg BYTES] [--depth N] [--opcode write|send]
+//                [--no-presetup] [--migrate-receiver] [--loss P]
+//                [--wbs-timeout-ms T] [--precopy-rounds N] [--seed S]
+//
+// Examples:
+//   migrrdma_sim --qps 256 --msg 4096
+//   migrrdma_sim --qps 16 --msg 2097152 --depth 4 --migrate-receiver
+//   migrrdma_sim --loss 1.0 --wbs-timeout-ms 3      # buggy-network path
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/perftest.hpp"
+#include "migr/migration.hpp"
+#include "rnic/world.hpp"
+
+using namespace migr;
+
+namespace {
+
+struct Options {
+  std::uint32_t qps = 16;
+  std::uint32_t msg = 65536;
+  std::uint32_t depth = 16;
+  rnic::WrOpcode opcode = rnic::WrOpcode::rdma_write;
+  bool presetup = true;
+  bool migrate_receiver = false;
+  double loss = 0.0;
+  sim::DurationNs wbs_timeout = sim::sec(5);
+  int precopy_rounds = 3;
+  std::uint64_t seed = 42;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--qps N] [--msg BYTES] [--depth N] [--opcode write|send]\n"
+               "          [--no-presetup] [--migrate-receiver] [--loss P]\n"
+               "          [--wbs-timeout-ms T] [--precopy-rounds N] [--seed S]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", name);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (arg == "--qps") {
+      o.qps = static_cast<std::uint32_t>(std::strtoul(need_value("--qps"), nullptr, 10));
+    } else if (arg == "--msg") {
+      o.msg = static_cast<std::uint32_t>(std::strtoul(need_value("--msg"), nullptr, 10));
+    } else if (arg == "--depth") {
+      o.depth = static_cast<std::uint32_t>(std::strtoul(need_value("--depth"), nullptr, 10));
+    } else if (arg == "--opcode") {
+      const std::string v = need_value("--opcode");
+      if (v == "write") {
+        o.opcode = rnic::WrOpcode::rdma_write;
+      } else if (v == "send") {
+        o.opcode = rnic::WrOpcode::send;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--no-presetup") {
+      o.presetup = false;
+    } else if (arg == "--migrate-receiver") {
+      o.migrate_receiver = true;
+    } else if (arg == "--loss") {
+      o.loss = std::strtod(need_value("--loss"), nullptr);
+    } else if (arg == "--wbs-timeout-ms") {
+      o.wbs_timeout = sim::msec(std::strtod(need_value("--wbs-timeout-ms"), nullptr));
+    } else if (arg == "--precopy-rounds") {
+      o.precopy_rounds = std::atoi(need_value("--precopy-rounds"));
+    } else if (arg == "--seed") {
+      o.seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (o.qps == 0 || o.msg == 0 || o.depth == 0) usage(argv[0]);
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  rnic::World world({}, opt.seed);
+  world.fabric().set_faults(net::Faults{.data_loss_prob = opt.loss});
+  migrlib::GuestDirectory directory;
+  std::vector<std::unique_ptr<migrlib::MigrRdmaRuntime>> rts;
+  for (net::HostId h = 1; h <= 3; ++h) {
+    rts.push_back(std::make_unique<migrlib::MigrRdmaRuntime>(directory, world.add_device(h),
+                                                             world.fabric()));
+  }
+
+  apps::PerftestConfig cfg;
+  cfg.num_qps = opt.qps;
+  cfg.msg_size = opt.msg;
+  cfg.queue_depth = opt.depth;
+  cfg.opcode = opt.opcode;
+  apps::PerftestPeer sender(*rts[0], world.add_process("tx"), 100,
+                            apps::PerftestPeer::Role::sender, cfg);
+  apps::PerftestPeer receiver(*rts[2], world.add_process("rx"), 200,
+                              apps::PerftestPeer::Role::receiver, cfg);
+  for (std::uint32_t i = 0; i < opt.qps; ++i) {
+    auto st = apps::PerftestPeer::connect_pair(sender, i, receiver, i);
+    if (!st.is_ok()) {
+      std::fprintf(stderr, "connect failed: %s\n", st.to_string().c_str());
+      return 1;
+    }
+  }
+  sender.start();
+  receiver.start();
+  world.loop().run_for(sim::msec(5));
+
+  const double warm_gbps = static_cast<double>(sender.stats().completed_bytes) * 8.0 /
+                           static_cast<double>(world.loop().now());
+  std::printf("workload: %u QP(s), %u B %s, depth %u — warm throughput %.1f Gbps\n",
+              opt.qps, opt.msg, rnic::is_two_sided(opt.opcode) ? "SEND" : "WRITE",
+              opt.depth, warm_gbps);
+
+  migrlib::MigrationOptions mopts;
+  mopts.pre_setup = opt.presetup;
+  mopts.wbs_timeout = opt.wbs_timeout;
+  mopts.max_precopy_rounds = opt.precopy_rounds;
+  migrlib::MigrationController ctl(world.loop(), world.fabric(), directory, mopts);
+  auto& dest = world.add_process("restored");
+  migrlib::MigrationReport report;
+  bool done = false;
+  const migrlib::GuestId target = opt.migrate_receiver ? 200 : 100;
+  migrlib::MigratableApp* app = opt.migrate_receiver
+                                    ? static_cast<migrlib::MigratableApp*>(&receiver)
+                                    : &sender;
+  auto st = ctl.start(target, 2, dest, app, [&](const migrlib::MigrationReport& r) {
+    report = r;
+    done = true;
+  });
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "cannot start migration: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  while (!done && world.loop().now() < sim::sec(120)) world.loop().run_for(sim::msec(1));
+  if (!report.ok) {
+    std::fprintf(stderr, "migration failed: %s\n", report.error.c_str());
+    return 1;
+  }
+  world.loop().run_for(sim::msec(20));
+
+  std::printf("\nmigration of the %s (%s RDMA pre-setup):\n",
+              opt.migrate_receiver ? "receiver" : "sender",
+              opt.presetup ? "with" : "WITHOUT");
+  std::printf("  pre-copy rounds        %llu (%.2f MiB copied)\n",
+              static_cast<unsigned long long>(report.precopy_rounds + 1),
+              static_cast<double>(report.precopy_bytes) / (1 << 20));
+  std::printf("  wait-before-stop       %.3f ms%s\n", sim::to_msec(report.wbs_elapsed),
+              report.wbs_timed_out ? "  [TIMED OUT -> replay]" : "");
+  std::printf("  blackout breakdown     DumpRDMA %.2f | DumpOthers %.2f | Transfer %.2f | "
+              "RestoreRDMA %.2f | FullRestore %.2f ms\n",
+              sim::to_msec(report.dump_rdma), sim::to_msec(report.dump_others),
+              sim::to_msec(report.transfer), sim::to_msec(report.restore_rdma),
+              sim::to_msec(report.full_restore));
+  std::printf("  service blackout       %.2f ms\n", sim::to_msec(report.service_blackout()));
+  std::printf("  comm blackout          %.2f ms\n", sim::to_msec(report.comm_blackout()));
+  std::printf("  pre-setup moved        %.2f ms of RDMA restore into the brownout\n",
+              sim::to_msec(report.presetup_restore_rdma));
+
+  const auto& s = rnic::is_two_sided(opt.opcode) ? receiver.stats() : sender.stats();
+  std::printf("\ncorrectness: order violations %llu, corruptions %llu, errors %llu\n",
+              static_cast<unsigned long long>(s.order_violations),
+              static_cast<unsigned long long>(s.content_corruptions),
+              static_cast<unsigned long long>(s.errors));
+  return (s.order_violations + s.content_corruptions + s.errors) == 0 ? 0 : 1;
+}
