@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lkey.dir/bench_ablation_lkey.cpp.o"
+  "CMakeFiles/bench_ablation_lkey.dir/bench_ablation_lkey.cpp.o.d"
+  "bench_ablation_lkey"
+  "bench_ablation_lkey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lkey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wbs.dir/bench_ablation_wbs.cpp.o"
+  "CMakeFiles/bench_ablation_wbs.dir/bench_ablation_wbs.cpp.o.d"
+  "bench_ablation_wbs"
+  "bench_ablation_wbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

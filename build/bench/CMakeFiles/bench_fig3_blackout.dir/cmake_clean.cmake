@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_blackout.dir/bench_fig3_blackout.cpp.o"
+  "CMakeFiles/bench_fig3_blackout.dir/bench_fig3_blackout.cpp.o.d"
+  "bench_fig3_blackout"
+  "bench_fig3_blackout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_blackout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_wbs.dir/bench_fig4_wbs.cpp.o"
+  "CMakeFiles/bench_fig4_wbs.dir/bench_fig4_wbs.cpp.o.d"
+  "bench_fig4_wbs"
+  "bench_fig4_wbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_wbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hadoop.dir/bench_fig6_hadoop.cpp.o"
+  "CMakeFiles/bench_fig6_hadoop.dir/bench_fig6_hadoop.cpp.o.d"
+  "bench_fig6_hadoop"
+  "bench_fig6_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

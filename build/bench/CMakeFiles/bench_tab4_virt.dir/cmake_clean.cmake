@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_virt.dir/bench_tab4_virt.cpp.o"
+  "CMakeFiles/bench_tab4_virt.dir/bench_tab4_virt.cpp.o.d"
+  "bench_tab4_virt"
+  "bench_tab4_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

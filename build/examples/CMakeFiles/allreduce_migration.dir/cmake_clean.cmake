@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allreduce_migration.dir/allreduce_migration.cpp.o"
+  "CMakeFiles/allreduce_migration.dir/allreduce_migration.cpp.o.d"
+  "allreduce_migration"
+  "allreduce_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allreduce_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buggy_network.dir/buggy_network.cpp.o"
+  "CMakeFiles/buggy_network.dir/buggy_network.cpp.o.d"
+  "buggy_network"
+  "buggy_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buggy_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hadoop_migration.cpp" "examples/CMakeFiles/hadoop_migration.dir/hadoop_migration.cpp.o" "gcc" "examples/CMakeFiles/hadoop_migration.dir/hadoop_migration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/migr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/migr/CMakeFiles/migr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rnic/CMakeFiles/migr_rnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/migr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/criu/CMakeFiles/migr_criu.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/migr_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/migr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/migr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hadoop_migration.dir/hadoop_migration.cpp.o"
+  "CMakeFiles/hadoop_migration.dir/hadoop_migration.cpp.o.d"
+  "hadoop_migration"
+  "hadoop_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hadoop_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

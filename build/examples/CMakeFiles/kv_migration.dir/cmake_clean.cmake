@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_migration.dir/kv_migration.cpp.o"
+  "CMakeFiles/kv_migration.dir/kv_migration.cpp.o.d"
+  "kv_migration"
+  "kv_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

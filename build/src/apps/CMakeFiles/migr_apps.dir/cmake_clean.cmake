@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migr_apps.dir/minihadoop.cpp.o"
+  "CMakeFiles/migr_apps.dir/minihadoop.cpp.o.d"
+  "CMakeFiles/migr_apps.dir/msg_node.cpp.o"
+  "CMakeFiles/migr_apps.dir/msg_node.cpp.o.d"
+  "CMakeFiles/migr_apps.dir/perftest.cpp.o"
+  "CMakeFiles/migr_apps.dir/perftest.cpp.o.d"
+  "libmigr_apps.a"
+  "libmigr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migr_common.dir/log.cpp.o"
+  "CMakeFiles/migr_common.dir/log.cpp.o.d"
+  "CMakeFiles/migr_common.dir/result.cpp.o"
+  "CMakeFiles/migr_common.dir/result.cpp.o.d"
+  "libmigr_common.a"
+  "libmigr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migr_criu.dir/checkpoint.cpp.o"
+  "CMakeFiles/migr_criu.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/migr_criu.dir/image.cpp.o"
+  "CMakeFiles/migr_criu.dir/image.cpp.o.d"
+  "libmigr_criu.a"
+  "libmigr_criu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migr_criu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmigr_criu.a"
+)

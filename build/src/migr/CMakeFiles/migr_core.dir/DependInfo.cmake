@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/migr/guest_lib.cpp" "src/migr/CMakeFiles/migr_core.dir/guest_lib.cpp.o" "gcc" "src/migr/CMakeFiles/migr_core.dir/guest_lib.cpp.o.d"
+  "/root/repo/src/migr/guest_restore.cpp" "src/migr/CMakeFiles/migr_core.dir/guest_restore.cpp.o" "gcc" "src/migr/CMakeFiles/migr_core.dir/guest_restore.cpp.o.d"
+  "/root/repo/src/migr/image.cpp" "src/migr/CMakeFiles/migr_core.dir/image.cpp.o" "gcc" "src/migr/CMakeFiles/migr_core.dir/image.cpp.o.d"
+  "/root/repo/src/migr/migration.cpp" "src/migr/CMakeFiles/migr_core.dir/migration.cpp.o" "gcc" "src/migr/CMakeFiles/migr_core.dir/migration.cpp.o.d"
+  "/root/repo/src/migr/plugin.cpp" "src/migr/CMakeFiles/migr_core.dir/plugin.cpp.o" "gcc" "src/migr/CMakeFiles/migr_core.dir/plugin.cpp.o.d"
+  "/root/repo/src/migr/runtime.cpp" "src/migr/CMakeFiles/migr_core.dir/runtime.cpp.o" "gcc" "src/migr/CMakeFiles/migr_core.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/migr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/migr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/migr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/migr_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rnic/CMakeFiles/migr_rnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/criu/CMakeFiles/migr_criu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migr_core.dir/guest_lib.cpp.o"
+  "CMakeFiles/migr_core.dir/guest_lib.cpp.o.d"
+  "CMakeFiles/migr_core.dir/guest_restore.cpp.o"
+  "CMakeFiles/migr_core.dir/guest_restore.cpp.o.d"
+  "CMakeFiles/migr_core.dir/image.cpp.o"
+  "CMakeFiles/migr_core.dir/image.cpp.o.d"
+  "CMakeFiles/migr_core.dir/migration.cpp.o"
+  "CMakeFiles/migr_core.dir/migration.cpp.o.d"
+  "CMakeFiles/migr_core.dir/plugin.cpp.o"
+  "CMakeFiles/migr_core.dir/plugin.cpp.o.d"
+  "CMakeFiles/migr_core.dir/runtime.cpp.o"
+  "CMakeFiles/migr_core.dir/runtime.cpp.o.d"
+  "libmigr_core.a"
+  "libmigr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

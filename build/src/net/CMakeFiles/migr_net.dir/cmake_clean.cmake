@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migr_net.dir/fabric.cpp.o"
+  "CMakeFiles/migr_net.dir/fabric.cpp.o.d"
+  "libmigr_net.a"
+  "libmigr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migr_proc.dir/address_space.cpp.o"
+  "CMakeFiles/migr_proc.dir/address_space.cpp.o.d"
+  "libmigr_proc.a"
+  "libmigr_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migr_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

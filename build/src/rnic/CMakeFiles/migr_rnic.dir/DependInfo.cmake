@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rnic/device.cpp" "src/rnic/CMakeFiles/migr_rnic.dir/device.cpp.o" "gcc" "src/rnic/CMakeFiles/migr_rnic.dir/device.cpp.o.d"
+  "/root/repo/src/rnic/transport.cpp" "src/rnic/CMakeFiles/migr_rnic.dir/transport.cpp.o" "gcc" "src/rnic/CMakeFiles/migr_rnic.dir/transport.cpp.o.d"
+  "/root/repo/src/rnic/wire.cpp" "src/rnic/CMakeFiles/migr_rnic.dir/wire.cpp.o" "gcc" "src/rnic/CMakeFiles/migr_rnic.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/migr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/migr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/migr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/migr_proc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migr_rnic.dir/device.cpp.o"
+  "CMakeFiles/migr_rnic.dir/device.cpp.o.d"
+  "CMakeFiles/migr_rnic.dir/transport.cpp.o"
+  "CMakeFiles/migr_rnic.dir/transport.cpp.o.d"
+  "CMakeFiles/migr_rnic.dir/wire.cpp.o"
+  "CMakeFiles/migr_rnic.dir/wire.cpp.o.d"
+  "libmigr_rnic.a"
+  "libmigr_rnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migr_rnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migr_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/migr_sim.dir/event_loop.cpp.o.d"
+  "libmigr_sim.a"
+  "libmigr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/criu_test.dir/criu_test.cpp.o"
+  "CMakeFiles/criu_test.dir/criu_test.cpp.o.d"
+  "criu_test"
+  "criu_test.pdb"
+  "criu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/criu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migr_test.dir/migr_test.cpp.o"
+  "CMakeFiles/migr_test.dir/migr_test.cpp.o.d"
+  "migr_test"
+  "migr_test.pdb"
+  "migr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

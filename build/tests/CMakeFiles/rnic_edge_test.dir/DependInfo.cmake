@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rnic_edge_test.cpp" "tests/CMakeFiles/rnic_edge_test.dir/rnic_edge_test.cpp.o" "gcc" "tests/CMakeFiles/rnic_edge_test.dir/rnic_edge_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rnic/CMakeFiles/migr_rnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/migr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/migr_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/migr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/migr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

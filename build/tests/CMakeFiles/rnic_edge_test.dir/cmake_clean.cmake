@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnic_edge_test.dir/rnic_edge_test.cpp.o"
+  "CMakeFiles/rnic_edge_test.dir/rnic_edge_test.cpp.o.d"
+  "rnic_edge_test"
+  "rnic_edge_test.pdb"
+  "rnic_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnic_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

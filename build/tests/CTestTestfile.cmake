@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/proc_test[1]_include.cmake")
+include("/root/repo/build/tests/rnic_test[1]_include.cmake")
+include("/root/repo/build/tests/criu_test[1]_include.cmake")
+include("/root/repo/build/tests/migr_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/guest_test[1]_include.cmake")
+include("/root/repo/build/tests/rnic_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_test[1]_include.cmake")

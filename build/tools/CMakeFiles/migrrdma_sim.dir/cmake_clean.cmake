@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migrrdma_sim.dir/migrrdma_sim.cpp.o"
+  "CMakeFiles/migrrdma_sim.dir/migrrdma_sim.cpp.o.d"
+  "migrrdma_sim"
+  "migrrdma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migrrdma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
