@@ -56,6 +56,16 @@ Row run_case(std::uint32_t qps, bool presetup, bool migrate_sender) {
     std::fprintf(stderr, "migration failed: %s\n", row.rep.error.c_str());
     std::exit(1);
   }
+  // The controller publishes the same breakdown to the shared registry;
+  // read it back from there so a drift between the two would show up here.
+  auto snap = obs::Registry::global().snapshot();
+  if (snapshot_value(snap, "migr.report.restore_rdma_ns") !=
+          static_cast<double>(row.rep.restore_rdma) ||
+      snapshot_value(snap, "migr.report.dump_rdma_ns") !=
+          static_cast<double>(row.rep.dump_rdma)) {
+    std::fprintf(stderr, "registry breakdown disagrees with MigrationReport!\n");
+    std::exit(1);
+  }
   // Sanity: migration must not corrupt the stream (§5.3 check built in).
   cluster.run_for(sim::msec(5));
   if (receiver.stats().order_violations != 0 || receiver.stats().content_corruptions != 0) {
@@ -94,5 +104,7 @@ int main() {
       "100 Gbps fabric, perftest WRITE workload)");
   migr::bench::run_panel("migrating the sender", /*migrate_sender=*/true);
   migr::bench::run_panel("migrating the receiver", /*migrate_sender=*/false);
+  // Cross-layer summary accumulated over every migration of the sweep.
+  migr::bench::print_registry_section("migr.");
   return 0;
 }

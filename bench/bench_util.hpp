@@ -11,6 +11,7 @@
 
 #include "apps/perftest.hpp"
 #include "migr/migration.hpp"
+#include "obs/metrics.hpp"
 #include "rnic/world.hpp"
 
 namespace migr::bench {
@@ -70,6 +71,36 @@ class Cluster {
   std::unordered_map<net::HostId, rnic::Device*> devices_;
   std::unordered_map<net::HostId, std::unique_ptr<MigrRdmaRuntime>> runtimes_;
 };
+
+/// Read one instrument (or source field) out of a registry snapshot by its
+/// full rendered name, e.g. "rnic.retransmits{host=1}" or
+/// "fabric.port{host=1}.data_bytes_tx". Returns 0 when absent.
+inline double snapshot_value(const std::vector<obs::SnapshotEntry>& snap,
+                             const std::string& name) {
+  for (const auto& e : snap) {
+    if (e.name == name) return e.value;
+  }
+  return 0;
+}
+
+/// Snapshot the global registry, print every entry under `prefix`, and
+/// return the snapshot for programmatic use. Benches call this after a sweep
+/// to report cross-layer counters without threading stats structs around.
+inline std::vector<obs::SnapshotEntry> print_registry_section(const std::string& prefix) {
+  auto snap = obs::Registry::global().snapshot();
+  std::printf("\n-- registry: %s --\n", prefix.empty() ? "(all)" : prefix.c_str());
+  for (const auto& e : snap) {
+    if (!prefix.empty() && e.name.rfind(prefix, 0) != 0) continue;
+    if (e.kind == obs::SnapshotEntry::Kind::histogram) {
+      std::printf("  %-44s count=%llu p50=%lld p99=%lld max=%lld\n", e.name.c_str(),
+                  static_cast<unsigned long long>(e.count), static_cast<long long>(e.p50),
+                  static_cast<long long>(e.p99), static_cast<long long>(e.max));
+    } else {
+      std::printf("  %-44s %.0f\n", e.name.c_str(), e.value);
+    }
+  }
+  return snap;
+}
 
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");

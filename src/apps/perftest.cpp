@@ -57,9 +57,24 @@ PerftestPeer::PerftestPeer(MigrRdmaRuntime& runtime, proc::SimProcess& proc, Gue
     }
   }
   in_ready_.assign(slots_.size(), false);
+
+  stats_source_id_ = obs::Registry::global().register_source(
+      "perftest", {{"guest", std::to_string(id_)}}, [this] {
+        return std::vector<std::pair<std::string, double>>{
+            {"completed_msgs", static_cast<double>(stats_.completed_msgs)},
+            {"completed_bytes", static_cast<double>(stats_.completed_bytes)},
+            {"recv_msgs", static_cast<double>(stats_.recv_msgs)},
+            {"errors", static_cast<double>(stats_.errors)},
+            {"order_violations", static_cast<double>(stats_.order_violations)},
+            {"content_corruptions", static_cast<double>(stats_.content_corruptions)},
+        };
+      });
 }
 
-PerftestPeer::~PerftestPeer() { stop(); }
+PerftestPeer::~PerftestPeer() {
+  stop();
+  obs::Registry::global().unregister_source(stats_source_id_);
+}
 
 Status PerftestPeer::connect_pair(PerftestPeer& a, std::uint32_t a_slot, PerftestPeer& b,
                                   std::uint32_t b_slot) {

@@ -41,6 +41,8 @@ struct PerftestConfig {
   std::uint64_t max_messages_per_qp = 0;  // 0 = unbounded (bandwidth mode)
 };
 
+// Registered with the process-wide obs::Registry by each PerftestPeer (as
+// "perftest{guest=G}"); the struct stays the accessor API.
 struct PerftestStats {
   std::uint64_t completed_msgs = 0;
   std::uint64_t completed_bytes = 0;
@@ -119,6 +121,7 @@ class PerftestPeer : public migrlib::MigratableApp {
   VHandle cq_ = 0;
   std::vector<QpSlot> slots_;
   PerftestStats stats_;
+  std::uint64_t stats_source_id_ = 0;
   sim::EventHandle task_;
   bool running_ = false;
 };

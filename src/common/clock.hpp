@@ -1,0 +1,17 @@
+// Abstract source of simulated time. Lives in common (not sim) so that the
+// telemetry layer and the logger can stamp output with sim time without
+// depending on the event-loop library; sim::EventLoop implements it.
+#pragma once
+
+#include <cstdint>
+
+namespace migr::common {
+
+class SimTimeSource {
+ public:
+  virtual ~SimTimeSource() = default;
+  /// Nanoseconds of simulated time since world creation.
+  virtual std::int64_t now_ns() const = 0;
+};
+
+}  // namespace migr::common

@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 
@@ -29,10 +30,27 @@ Logger::Logger() {
   };
 }
 
-void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::set_time_source(const SimTimeSource* src) {
+  std::lock_guard<std::mutex> lock(mu_);
+  time_source_ = src;
+}
+
+std::int64_t Logger::sim_now_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return time_source_ == nullptr ? -1 : time_source_->now_ns();
+}
 
 void Logger::log(LogLevel lvl, std::string_view msg) {
-  if (enabled(lvl) && sink_) sink_(lvl, msg);
+  if (!enabled(lvl)) return;
+  // Copy the sink under the lock, call it while still holding the lock so
+  // lines are not interleaved; sinks must not call back into the logger.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) sink_(lvl, msg);
 }
 
 namespace detail {
@@ -44,7 +62,18 @@ const char* basename_of(const char* path) {
 }
 }  // namespace
 
-LogLine::LogLine(LogLevel lvl, const char* file, int line) : lvl_(lvl) {
+LogLine::LogLine(LogLevel lvl, const char* file, int line, std::int64_t sim_ts_ns)
+    : lvl_(lvl) {
+  if (sim_ts_ns < 0) sim_ts_ns = Logger::instance().sim_now_ns();
+  if (sim_ts_ns >= 0) {
+    // Sim time in seconds with µs resolution: matches the span timestamps
+    // in trace exports, so logs and spans interleave on the same axis.
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "[t=%" PRId64 ".%06" PRId64 "s] ",
+                  sim_ts_ns / 1'000'000'000,
+                  (sim_ts_ns % 1'000'000'000) / 1'000);
+    os_ << buf;
+  }
   os_ << basename_of(file) << ':' << line << ' ';
 }
 

@@ -1,13 +1,22 @@
 // Minimal leveled logger. Logging inside the simulator carries the simulated
-// timestamp (when provided by the caller) so traces read in sim time, not
-// wall time. Off by default in tests/benches; enable with Logger::set_level.
+// timestamp (from an installed SimTimeSource, or passed explicitly with
+// MIGR_LOG_AT) so traces read in sim time, not wall time. Off by default in
+// tests/benches; enable with Logger::set_level.
+//
+// Thread-safe: level reads are atomic; sink/time-source swapping and log()
+// itself are serialized by a mutex, so a test capturing logs while another
+// thread emits cannot race.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "common/clock.hpp"
 
 namespace migr::common {
 
@@ -21,25 +30,39 @@ class Logger {
 
   static Logger& instance();
 
-  void set_level(LogLevel lvl) noexcept { level_ = lvl; }
-  LogLevel level() const noexcept { return level_; }
-  bool enabled(LogLevel lvl) const noexcept { return lvl >= level_ && level_ != LogLevel::off; }
+  void set_level(LogLevel lvl) noexcept { level_.store(lvl, std::memory_order_relaxed); }
+  LogLevel level() const noexcept { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel lvl) const noexcept {
+    const LogLevel cur = level();
+    return lvl >= cur && cur != LogLevel::off;
+  }
 
   /// Replace the output sink (default: stderr). Used by tests to capture logs.
   void set_sink(Sink sink);
+
+  /// Install a simulated clock; when set, every LogLine without an explicit
+  /// timestamp is prefixed with the current sim time. Pass nullptr to detach
+  /// (the source must stay valid while installed).
+  void set_time_source(const SimTimeSource* src);
+  /// Current sim time in ns, or -1 if no source is installed.
+  std::int64_t sim_now_ns() const;
 
   void log(LogLevel lvl, std::string_view msg);
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::warn;
+  std::atomic<LogLevel> level_{LogLevel::warn};
+  mutable std::mutex mu_;  // guards sink_ and time_source_
   Sink sink_;
+  const SimTimeSource* time_source_ = nullptr;
 };
 
 namespace detail {
 class LogLine {
  public:
-  LogLine(LogLevel lvl, const char* file, int line);
+  /// sim_ts_ns < 0 means "no explicit timestamp": the logger's installed
+  /// time source (if any) supplies one.
+  LogLine(LogLevel lvl, const char* file, int line, std::int64_t sim_ts_ns = -1);
   ~LogLine();
   template <typename T>
   LogLine& operator<<(const T& v) {
@@ -57,6 +80,13 @@ class LogLine {
   if (!::migr::common::Logger::instance().enabled(lvl)) {                  \
   } else                                                                   \
     ::migr::common::detail::LogLine(lvl, __FILE__, __LINE__)
+
+/// Like MIGR_LOG but stamps the line with an explicit sim timestamp (ns),
+/// e.g. MIGR_LOG_AT(LogLevel::info, loop.now()) << "...";
+#define MIGR_LOG_AT(lvl, ts_ns)                                            \
+  if (!::migr::common::Logger::instance().enabled(lvl)) {                  \
+  } else                                                                   \
+    ::migr::common::detail::LogLine(lvl, __FILE__, __LINE__, (ts_ns))
 
 #define MIGR_TRACE() MIGR_LOG(::migr::common::LogLevel::trace)
 #define MIGR_DEBUG() MIGR_LOG(::migr::common::LogLevel::debug)

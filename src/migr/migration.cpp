@@ -1,6 +1,8 @@
 #include "migr/migration.hpp"
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace migr::migrlib {
 
@@ -9,6 +11,22 @@ using common::ByteReader;
 using common::ByteWriter;
 using common::Errc;
 using common::Status;
+
+namespace {
+// Workflow spans (Fig. 2(b) steps) are emitted with explicit sim timestamps
+// and durations taken from the same values that land in MigrationReport, so
+// a trace is field-for-field consistent with the report.
+void trace_span(sim::TimeNs start, sim::DurationNs dur, std::string_view name,
+                std::string args = {}) {
+  auto& t = obs::Tracer::global();
+  if (t.enabled()) t.complete(start, dur, name, "migr", std::move(args));
+}
+
+void trace_instant(sim::TimeNs at, std::string_view name, std::string args = {}) {
+  auto& t = obs::Tracer::global();
+  if (t.enabled()) t.instant(at, name, "migr", std::move(args));
+}
+}  // namespace
 
 MigrationController::MigrationController(sim::EventLoop& loop, net::Fabric& fabric,
                                          GuestDirectory& directory, MigrationOptions options)
@@ -50,6 +68,10 @@ Status MigrationController::start(GuestId id, net::HostId dest_host,
 
   report_ = MigrationReport{};
   report_.start = loop_.now();
+  obs::Registry::global().counter("migr.migrations_started").inc();
+  trace_instant(report_.start, "migration_start",
+                "\"guest\":" + std::to_string(guest_id_) +
+                    ",\"dest_host\":" + std::to_string(dest_host));
   loop_.schedule_in(0, [this] { phase_initial_dump(); });
   return Status::ok();
 }
@@ -58,6 +80,8 @@ void MigrationController::fail(const Status& st) {
   MIGR_ERROR() << "migration of guest " << guest_id_ << " failed: " << st.to_string();
   report_.ok = false;
   report_.error = st.to_string();
+  obs::Registry::global().counter("migr.migrations_failed").inc();
+  trace_instant(loop_.now(), "migration_failed", "\"guest\":" + std::to_string(guest_id_));
   if (done_) done_(report_);
 }
 
@@ -87,6 +111,8 @@ void MigrationController::phase_initial_dump() {
   w.bytes(predump_rdma_bytes_);
   Bytes payload = std::move(w).take();
   report_.precopy_bytes += payload.size();
+  trace_span(loop_.now(), cost, "pre_dump",
+             "\"bytes\":" + std::to_string(payload.size()));
 
   loop_.schedule_in(cost, [this, payload = std::move(payload)]() mutable {
     transfer_to_dest(std::move(payload),
@@ -153,7 +179,11 @@ void MigrationController::phase_partial_restore(Bytes payload) {
     // RestoreRDMA time pre-setup moves out of the blackout window.
     report_.presetup_restore_rdma += plugin_.staged().take_ctrl_cost();
     cost += report_.presetup_restore_rdma;
+    // Nested inside the partial-restore window; its duration is exactly the
+    // report's presetup_restore_rdma (brownout, not blackout).
+    trace_span(loop_.now(), report_.presetup_restore_rdma, "rdma_pre_setup");
   }
+  trace_span(loop_.now(), cost, "partial_restore");
 
   loop_.schedule_in(cost, [this] { phase_precopy_round(); });
 }
@@ -205,6 +235,9 @@ void MigrationController::phase_precopy_round() {
   w.bytes(dump.pages.serialize());
   Bytes payload = std::move(w).take();
   report_.precopy_bytes += payload.size();
+  trace_span(loop_.now(), dump.cost, "precopy_round",
+             "\"round\":" + std::to_string(rounds_done_) +
+                 ",\"bytes\":" + std::to_string(payload.size()));
 
   loop_.schedule_in(dump.cost, [this, payload = std::move(payload)]() mutable {
     transfer_to_dest(std::move(payload), [this](Bytes p) {
@@ -237,6 +270,8 @@ void MigrationController::phase_precopy_round() {
 
 void MigrationController::phase_stop_and_copy() {
   report_.suspend_at = loop_.now();
+  trace_instant(report_.suspend_at, "suspend",
+                "\"partners\":" + std::to_string(partners_.size()));
   if (partners_.empty()) partners_ = guest_->connected_peers();
 
   pending_wbs_ = 1 + static_cast<int>(partners_.size());
@@ -280,6 +315,8 @@ void MigrationController::on_wbs_one() {
 
 void MigrationController::on_wbs_complete() {
   report_.wbs_elapsed = loop_.now() - report_.suspend_at;
+  trace_span(report_.suspend_at, report_.wbs_elapsed, "wait_before_stop",
+             report_.wbs_timed_out ? "\"timed_out\":true" : "\"timed_out\":false");
   guest_->set_wbs_done_callback(nullptr);
   for (GuestId pid : partners_) {
     GuestContext* partner = partner_guest(pid);
@@ -291,6 +328,7 @@ void MigrationController::on_wbs_complete() {
 void MigrationController::phase_final_transfer() {
   // Step 4: freeze the service.
   report_.freeze_at = loop_.now();
+  trace_instant(report_.freeze_at, "freeze");
   src_proc_->freeze();
 
   auto dmem = ckpt_->final_dump();
@@ -316,11 +354,18 @@ void MigrationController::phase_final_transfer() {
   Bytes payload = std::move(w).take();
   report_.final_bytes = payload.size();
 
+  // Blackout-component spans laid out back to back, durations identical to
+  // the report fields (the dump costs elapse sequentially via schedule_in).
+  trace_span(report_.freeze_at, report_.dump_others, "dump_others");
+  trace_span(report_.freeze_at + report_.dump_others, report_.dump_rdma, "dump_rdma");
+
   const sim::DurationNs dump_cost = report_.dump_others + rdma_dump_cost;
   loop_.schedule_in(dump_cost, [this, payload = std::move(payload)]() mutable {
     const sim::TimeNs xfer_start = loop_.now();
     transfer_to_dest(std::move(payload), [this, xfer_start](Bytes p) {
       report_.transfer = loop_.now() - xfer_start;
+      trace_span(xfer_start, report_.transfer, "transfer",
+                 "\"bytes\":" + std::to_string(report_.final_bytes));
       phase_final_restore(std::move(p));
     });
   });
@@ -394,6 +439,13 @@ void MigrationController::phase_final_restore(Bytes payload) {
     (void)partner->raw().take_ctrl_cost();
   }
 
+  // Steps 6/6'/7 back to back: durations equal the report fields.
+  const sim::TimeNs restore_start = loop_.now();
+  trace_span(restore_start, report_.full_restore, "full_restore");
+  trace_span(restore_start + report_.full_restore, report_.restore_rdma, "restore_rdma");
+  trace_instant(restore_start + report_.full_restore, "map_resources");
+  trace_instant(restore_start + report_.full_restore + report_.restore_rdma, "replay");
+
   loop_.schedule_in(criu_cost + rdma_cost, [this] { phase_resume(); });
 }
 
@@ -407,6 +459,30 @@ void MigrationController::phase_resume() {
   if (app_ != nullptr) app_->on_migrated(*dest_proc_);
 
   report_.ok = true;
+  trace_instant(report_.resume_at, "resume", "\"guest\":" + std::to_string(guest_id_));
+  trace_span(report_.start, report_.resume_at - report_.start, "migration",
+             "\"guest\":" + std::to_string(guest_id_));
+
+  // Publish the report's timing breakdown so benches (and --metrics) can
+  // read it from the shared registry.
+  auto& reg = obs::Registry::global();
+  reg.counter("migr.migrations_completed").inc();
+  reg.gauge("migr.report.dump_rdma_ns").set(static_cast<double>(report_.dump_rdma));
+  reg.gauge("migr.report.dump_others_ns").set(static_cast<double>(report_.dump_others));
+  reg.gauge("migr.report.transfer_ns").set(static_cast<double>(report_.transfer));
+  reg.gauge("migr.report.restore_rdma_ns").set(static_cast<double>(report_.restore_rdma));
+  reg.gauge("migr.report.full_restore_ns").set(static_cast<double>(report_.full_restore));
+  reg.gauge("migr.report.presetup_restore_rdma_ns")
+      .set(static_cast<double>(report_.presetup_restore_rdma));
+  reg.gauge("migr.report.wbs_elapsed_ns").set(static_cast<double>(report_.wbs_elapsed));
+  reg.gauge("migr.report.service_blackout_ns")
+      .set(static_cast<double>(report_.service_blackout()));
+  reg.gauge("migr.report.comm_blackout_ns").set(static_cast<double>(report_.comm_blackout()));
+  reg.histogram("migr.blackout_ns", {},
+                {sim::usec(100), sim::usec(500), sim::msec(1), sim::msec(5), sim::msec(10),
+                 sim::msec(50), sim::msec(100), sim::msec(500), sim::sec(1)})
+      .observe(report_.service_blackout());
+
   if (done_) done_(report_);
 }
 

@@ -26,6 +26,7 @@
 #include "common/result.hpp"
 #include "migr/indirection.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 #include "proc/process.hpp"
 #include "rnic/device.hpp"
 
@@ -66,6 +67,9 @@ class GuestDirectory {
   std::unordered_map<GuestId, net::HostId> placement_;
 };
 
+// Each runtime registers its FetchStats with the process-wide obs::Registry
+// (as "migr.fetch{host=H}"), so one snapshot covers every host's control-
+// plane lookup traffic; the struct stays the accessor API.
 struct FetchStats {
   std::uint64_t pqpn_fetches = 0;
   std::uint64_t rkey_fetches = 0;
@@ -77,7 +81,18 @@ class MigrRdmaRuntime {
   MigrRdmaRuntime(GuestDirectory& directory, rnic::Device& device, net::Fabric& fabric)
       : directory_(directory), device_(device), fabric_(fabric), indirection_(device) {
     directory_.register_runtime(device.host(), this);
+    stats_source_id_ = obs::Registry::global().register_source(
+        "migr.fetch", {{"host", std::to_string(device_.host())}}, [this] {
+          return std::vector<std::pair<std::string, double>>{
+              {"pqpn_fetches", static_cast<double>(stats_.pqpn_fetches)},
+              {"rkey_fetches", static_cast<double>(stats_.rkey_fetches)},
+              {"rkey_cache_hits", static_cast<double>(stats_.rkey_cache_hits)},
+          };
+        });
   }
+  ~MigrRdmaRuntime() { obs::Registry::global().unregister_source(stats_source_id_); }
+  MigrRdmaRuntime(const MigrRdmaRuntime&) = delete;
+  MigrRdmaRuntime& operator=(const MigrRdmaRuntime&) = delete;
 
   net::HostId host() const noexcept { return device_.host(); }
   rnic::Device& device() noexcept { return device_; }
@@ -120,6 +135,7 @@ class MigrRdmaRuntime {
   std::unordered_map<GuestId, GuestContext*> guests_;
   std::vector<std::unique_ptr<GuestContext>> owned_;
   FetchStats stats_;
+  std::uint64_t stats_source_id_ = 0;
 };
 
 }  // namespace migr::migrlib

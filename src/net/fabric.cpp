@@ -9,12 +9,50 @@ namespace migr::net {
 using common::Errc;
 using common::Status;
 
+Fabric::~Fabric() {
+  for (auto& [host, port] : ports_) {
+    (void)host;
+    if (port.source_id != 0) obs::Registry::global().unregister_source(port.source_id);
+  }
+}
+
 Status Fabric::attach_host(HostId host) {
   if (ports_.contains(host)) {
     return common::err(Errc::already_exists, "host already attached");
   }
-  ports_.emplace(host, Port{});
+  Port port;
+  // Register the port's stats with the process-wide registry so one
+  // snapshot covers all fabric layers; the struct stays the accessor API.
+  port.source_id = obs::Registry::global().register_source(
+      "fabric.port", {{"host", std::to_string(host)}}, [this, host] {
+        const PortStats& s = stats(host);
+        return std::vector<std::pair<std::string, double>>{
+            {"data_packets_tx", static_cast<double>(s.data_packets_tx)},
+            {"data_packets_rx", static_cast<double>(s.data_packets_rx)},
+            {"data_bytes_tx", static_cast<double>(s.data_bytes_tx)},
+            {"data_bytes_rx", static_cast<double>(s.data_bytes_rx)},
+            {"data_packets_dropped", static_cast<double>(s.data_packets_dropped)},
+            {"ctrl_messages_tx", static_cast<double>(s.ctrl_messages_tx)},
+            {"ctrl_bytes_tx", static_cast<double>(s.ctrl_bytes_tx)},
+        };
+      });
+  ports_.emplace(host, std::move(port));
   return Status::ok();
+}
+
+Fabric::LinkCounters& Fabric::link_counters(HostId src, HostId dst) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    auto& reg = obs::Registry::global();
+    const obs::Labels labels{{"link", std::to_string(src) + "-" + std::to_string(dst)}};
+    LinkCounters lc;
+    lc.bytes = &reg.counter("fabric.link.bytes", labels);
+    lc.packets = &reg.counter("fabric.link.packets", labels);
+    lc.drops = &reg.counter("fabric.link.drops", labels);
+    it = links_.emplace(key, lc).first;
+  }
+  return it->second;
 }
 
 void Fabric::set_data_handler(HostId host, DataHandler handler) {
@@ -45,6 +83,9 @@ void Fabric::send_data(Packet packet) {
   const std::uint64_t wire_bytes = packet.payload.size() + config_.header_bytes;
   src_it->second.stats.data_packets_tx++;
   src_it->second.stats.data_bytes_tx += packet.payload.size();
+  LinkCounters& link = link_counters(packet.src, packet.dst);
+  link.packets->inc();
+  link.bytes->inc(packet.payload.size());
 
   // Serialization happens (and consumes bandwidth) even for packets that
   // will be dropped in the network.
@@ -53,6 +94,7 @@ void Fabric::send_data(Packet packet) {
   if (partitioned_.contains(packet.src) || partitioned_.contains(packet.dst) ||
       (faults_.data_loss_prob > 0 && rng_.chance(faults_.data_loss_prob))) {
     src_it->second.stats.data_packets_dropped++;
+    link.drops->inc();
     return;
   }
 
@@ -78,6 +120,9 @@ sim::TimeNs Fabric::send_ctrl(HostId src, HostId dst, const std::string& service
   }
   src_it->second.stats.ctrl_messages_tx++;
   src_it->second.stats.ctrl_bytes_tx += payload.size();
+  LinkCounters& link = link_counters(src, dst);
+  link.packets->inc();
+  link.bytes->inc(payload.size());
 
   // Model TCP as a stream: the message occupies the port for its full
   // length, then arrives whole after propagation. Loss is absorbed by

@@ -27,6 +27,7 @@
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 
 namespace migr::net {
@@ -51,6 +52,9 @@ struct Packet {
   common::Bytes payload;
 };
 
+// Per-port counters. Each attached port also registers itself with the
+// process-wide obs::Registry (as "fabric.port{host=H}"), so one registry
+// snapshot covers the fabric without callers touching this struct.
 struct PortStats {
   std::uint64_t data_packets_tx = 0;
   std::uint64_t data_packets_rx = 0;
@@ -69,6 +73,9 @@ class Fabric {
 
   Fabric(sim::EventLoop& loop, FabricConfig config = {}, std::uint64_t seed = 1)
       : loop_(loop), config_(config), rng_(seed) {}
+  ~Fabric();
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
 
   const FabricConfig& config() const noexcept { return config_; }
   sim::EventLoop& loop() noexcept { return loop_; }
@@ -119,7 +126,17 @@ class Fabric {
   struct Port {
     sim::TimeNs egress_free_at = 0;  // when the port finishes its current tx
     PortStats stats;
+    std::uint64_t source_id = 0;  // obs registry source handle
   };
+
+  /// Registry counters for one directed link (src->dst through the switch),
+  /// resolved once per pair and cached for O(1) hot-path increments.
+  struct LinkCounters {
+    obs::Counter* bytes = nullptr;
+    obs::Counter* packets = nullptr;
+    obs::Counter* drops = nullptr;
+  };
+  LinkCounters& link_counters(HostId src, HostId dst);
 
   /// Reserve egress time for `wire_bytes` on `src`'s port; returns the time
   /// the last bit has been serialized.
@@ -130,6 +147,7 @@ class Fabric {
   common::Rng rng_;
   Faults faults_;
   std::unordered_map<HostId, Port> ports_;
+  std::unordered_map<std::uint64_t, LinkCounters> links_;  // (src<<32)|dst
   std::unordered_map<HostId, DataHandler> data_handlers_;
   std::map<std::pair<HostId, std::string>, CtrlHandler> services_;
   std::unordered_set<HostId> partitioned_;

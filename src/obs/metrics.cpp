@@ -1,0 +1,205 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace migr::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<std::int64_t> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(std::int64_t v) noexcept {
+#ifndef MIGR_OBS_DISABLED
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i]++;
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_++;
+  sum_ += static_cast<double>(v);
+#else
+  (void)v;
+#endif
+}
+
+std::int64_t Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the sample that covers percentile p (nearest-rank, 1-based).
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= target) {
+      // Overflow bucket has no upper bound: report the observed max.
+      return i < bounds_.size() ? bounds_[i] : max_;
+    }
+  }
+  return max_;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = max_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+std::string Registry::render_name(std::string_view name, const Labels& labels) {
+  std::string out{name};
+  if (labels.empty()) return out;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  out += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ',';
+    out += sorted[i].first;
+    out += '=';
+    out += sorted[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+Counter& Registry::counter(std::string_view name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) {
+    static Counter sink;
+    return sink;
+  }
+  auto& slot = counters_[render_name(name, labels)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) {
+    static Gauge sink;
+    return sink;
+  }
+  auto& slot = gauges_[render_name(name, labels)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name, const Labels& labels,
+                               std::vector<std::int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) {
+    static Histogram sink{{}};
+    return sink;
+  }
+  auto& slot = histograms_[render_name(name, labels)];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::uint64_t Registry::register_source(std::string name, const Labels& labels,
+                                        SourceFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return 0;
+  const std::uint64_t id = next_source_id_++;
+  sources_.emplace(id, Source{render_name(name, labels), std::move(fn)});
+  return id;
+}
+
+void Registry::unregister_source(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_.erase(id);
+}
+
+std::vector<SnapshotEntry> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SnapshotEntry> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    SnapshotEntry e;
+    e.name = name;
+    e.kind = SnapshotEntry::Kind::counter;
+    e.value = static_cast<double>(c->value());
+    out.push_back(std::move(e));
+  }
+  for (const auto& [name, g] : gauges_) {
+    SnapshotEntry e;
+    e.name = name;
+    e.kind = SnapshotEntry::Kind::gauge;
+    e.value = g->value();
+    out.push_back(std::move(e));
+  }
+  for (const auto& [name, h] : histograms_) {
+    SnapshotEntry e;
+    e.name = name;
+    e.kind = SnapshotEntry::Kind::histogram;
+    e.value = h->mean();
+    e.count = h->count();
+    e.p50 = h->percentile(50);
+    e.p99 = h->percentile(99);
+    e.max = h->max();
+    out.push_back(std::move(e));
+  }
+  for (const auto& [id, src] : sources_) {
+    (void)id;
+    for (auto& [field, value] : src.fn()) {
+      SnapshotEntry e;
+      e.name = src.name + '.' + field;
+      e.kind = SnapshotEntry::Kind::source;
+      e.value = value;
+      out.push_back(std::move(e));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) { return a.name < b.name; });
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  sources_.clear();
+}
+
+void Registry::print(std::FILE* out) const {
+  std::fprintf(out, "%-56s %14s %10s %12s %12s\n", "metric", "value", "count", "p50", "p99");
+  for (const auto& e : snapshot()) {
+    if (e.kind == SnapshotEntry::Kind::histogram) {
+      std::fprintf(out, "%-56s %14.2f %10llu %12lld %12lld\n", e.name.c_str(), e.value,
+                   static_cast<unsigned long long>(e.count),
+                   static_cast<long long>(e.p50), static_cast<long long>(e.p99));
+    } else {
+      std::fprintf(out, "%-56s %14.2f\n", e.name.c_str(), e.value);
+    }
+  }
+}
+
+}  // namespace migr::obs

@@ -1,0 +1,180 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+namespace migr::obs {
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  buf_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+  clear();
+}
+
+void Tracer::clear() {
+  buf_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+void Tracer::push(TraceEvent ev) {
+  total_++;
+  if (buf_.size() < capacity_) {
+    buf_.push_back(std::move(ev));
+  } else {
+    buf_[head_] = std::move(ev);
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+void Tracer::begin(std::int64_t ts_ns, std::string_view name, std::string_view cat,
+                   std::string args) {
+  if (!enabled()) return;
+  push(TraceEvent{TraceEvent::Phase::begin, ts_ns, 0, std::string{name}, std::string{cat},
+                  std::move(args)});
+}
+
+void Tracer::end(std::int64_t ts_ns, std::string_view name, std::string_view cat) {
+  if (!enabled()) return;
+  push(TraceEvent{TraceEvent::Phase::end, ts_ns, 0, std::string{name}, std::string{cat}, {}});
+}
+
+void Tracer::complete(std::int64_t ts_ns, std::int64_t dur_ns, std::string_view name,
+                      std::string_view cat, std::string args) {
+  if (!enabled()) return;
+  push(TraceEvent{TraceEvent::Phase::complete, ts_ns, dur_ns, std::string{name},
+                  std::string{cat}, std::move(args)});
+}
+
+void Tracer::instant(std::int64_t ts_ns, std::string_view name, std::string_view cat,
+                     std::string args) {
+  if (!enabled()) return;
+  push(TraceEvent{TraceEvent::Phase::instant, ts_ns, 0, std::string{name}, std::string{cat},
+                  std::move(args)});
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buf_.size());
+  for (std::size_t i = 0; i < buf_.size(); ++i) {
+    out.push_back(buf_[(head_ + i) % buf_.size()]);
+  }
+  return out;
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_us(std::string& out, std::int64_t ns) {
+  // Chrome wants microseconds; print with nanosecond resolution and no
+  // floating-point round-trip (ns exactness matters to the tests).
+  char buf[40];
+  const char* sign = ns < 0 ? "-" : "";
+  const std::uint64_t mag = ns < 0 ? static_cast<std::uint64_t>(-ns)
+                                   : static_cast<std::uint64_t>(ns);
+  std::snprintf(buf, sizeof(buf), "%s%" PRIu64 ".%03" PRIu64, sign, mag / 1000, mag % 1000);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Tracer::export_chrome_json() const {
+  const auto evs = events();
+  // One Perfetto track ("thread") per category, in order of appearance.
+  std::map<std::string, int> tids;
+  for (const auto& ev : evs) {
+    tids.emplace(ev.cat, static_cast<int>(tids.size()) + 1);
+  }
+
+  std::string out;
+  out.reserve(evs.size() * 128 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [cat, tid] : tids) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":\"";
+    append_escaped(out, cat);
+    out += "\"}}";
+  }
+  for (const auto& ev : evs) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, ev.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, ev.cat);
+    out += "\",\"ph\":\"";
+    out += static_cast<char>(ev.ph);
+    out += "\",\"ts\":";
+    append_us(out, ev.ts_ns);
+    if (ev.ph == TraceEvent::Phase::complete) {
+      out += ",\"dur\":";
+      append_us(out, ev.dur_ns);
+    }
+    if (ev.ph == TraceEvent::Phase::instant) {
+      out += ",\"s\":\"g\"";  // global-scope instant: draws a full-height line
+    }
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(tids.at(ev.cat));
+    out += ",\"args\":{\"ts_ns\":";
+    out += std::to_string(ev.ts_ns);
+    if (ev.ph == TraceEvent::Phase::complete) {
+      out += ",\"dur_ns\":";
+      out += std::to_string(ev.dur_ns);
+    }
+    if (!ev.args.empty()) {
+      out += ',';
+      out += ev.args;
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+common::Status Tracer::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return common::err(common::Errc::internal, "cannot open trace file " + path);
+  }
+  const std::string json = export_chrome_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return common::err(common::Errc::internal, "short write to trace file " + path);
+  }
+  return common::Status::ok();
+}
+
+}  // namespace migr::obs

@@ -1,0 +1,125 @@
+// Sim-time phase tracer: begin/end spans and instant events stamped with
+// simulated nanoseconds, kept in a bounded ring buffer and exportable as
+// Chrome trace-event JSON (load the file in about://tracing or
+// https://ui.perfetto.dev).
+//
+// Library code emits with an explicit timestamp (every layer has the event
+// loop at hand), so recording never reads a clock. The RAII ObsSpan helper
+// covers the synchronous case by reading the tracer's bound SimTimeSource —
+// useful for spans whose cost is charged while sim time advances underneath
+// (e.g. a bench section), not for zero-duration callback bodies.
+//
+// Off by default: nothing is recorded until set_enabled(true), so the hot
+// path pays one predictable branch when tracing is off. The compile-time
+// MIGR_OBS_DISABLED switch removes even that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+
+namespace migr::obs {
+
+struct TraceEvent {
+  enum class Phase : char { begin = 'B', end = 'E', instant = 'i', complete = 'X' };
+  Phase ph = Phase::instant;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;  // complete events only
+  std::string name;
+  std::string cat;   // one Perfetto track per category
+  std::string args;  // extra JSON object *fragment*, e.g. "\"qpn\":77"
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer every layer emits to by default.
+  static Tracer& global();
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  bool enabled() const noexcept {
+#ifndef MIGR_OBS_DISABLED
+    return enabled_;
+#else
+    return false;
+#endif
+  }
+
+  /// Clock used by ObsSpan (and by callers without a loop reference). The
+  /// source must outlive the tracer binding; rebind or pass nullptr to
+  /// detach. Explicit-timestamp emission never touches it.
+  void set_clock(const common::SimTimeSource* clock) noexcept { clock_ = clock; }
+  const common::SimTimeSource* clock() const noexcept { return clock_; }
+
+  /// Drops all recorded events and resizes the ring.
+  void set_capacity(std::size_t capacity);
+
+  void begin(std::int64_t ts_ns, std::string_view name, std::string_view cat,
+             std::string args = {});
+  void end(std::int64_t ts_ns, std::string_view name, std::string_view cat);
+  void complete(std::int64_t ts_ns, std::int64_t dur_ns, std::string_view name,
+                std::string_view cat, std::string args = {});
+  void instant(std::int64_t ts_ns, std::string_view name, std::string_view cat,
+               std::string args = {});
+
+  /// Events currently held, oldest first. Ring overflow drops the oldest.
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const noexcept { return buf_.size(); }
+  std::uint64_t total_emitted() const noexcept { return total_; }
+  std::uint64_t dropped() const noexcept { return total_ - buf_.size(); }
+  void clear();
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}). Timestamps are in
+  /// microseconds as the format requires; each event's args carry the exact
+  /// ts_ns (and dur_ns for spans) so tools can recover full precision.
+  std::string export_chrome_json() const;
+  common::Status write_chrome_json(const std::string& path) const;
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+ private:
+  void push(TraceEvent ev);
+
+  bool enabled_ = false;
+  const common::SimTimeSource* clock_ = nullptr;
+  std::vector<TraceEvent> buf_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // oldest element once the ring has wrapped
+  std::uint64_t total_ = 0;
+};
+
+/// RAII span against the tracer's bound clock: records a complete event
+/// covering [construction, destruction] in sim time. No-op when tracing is
+/// off or no clock is bound.
+class ObsSpan {
+ public:
+  ObsSpan(Tracer& tracer, std::string name, std::string cat, std::string args = {})
+      : tracer_(tracer), name_(std::move(name)), cat_(std::move(cat)),
+        args_(std::move(args)) {
+    active_ = tracer_.enabled() && tracer_.clock() != nullptr;
+    if (active_) start_ns_ = tracer_.clock()->now_ns();
+  }
+  ~ObsSpan() {
+    if (active_) {
+      const std::int64_t end_ns = tracer_.clock()->now_ns();
+      tracer_.complete(start_ns_, end_ns - start_ns_, name_, cat_, std::move(args_));
+    }
+  }
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  Tracer& tracer_;
+  std::string name_;
+  std::string cat_;
+  std::string args_;
+  std::int64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace migr::obs

@@ -39,9 +39,55 @@ Device::Device(sim::EventLoop& loop, net::Fabric& fabric, net::HostId host,
   qpn_base_ = next_qpn_;
   key_salt_ = static_cast<std::uint32_t>(rng_.next());
   fabric_.set_data_handler(host_, [this](net::Packet&& p) { handle_packet(std::move(p)); });
+
+  auto& reg = obs::Registry::global();
+  const obs::Labels labels{{"host", std::to_string(host_)}};
+  metrics_.wqe_posted = &reg.counter("rnic.wqe_posted", labels);
+  metrics_.recv_posted = &reg.counter("rnic.recv_posted", labels);
+  metrics_.cqe_delivered = &reg.counter("rnic.cqe_delivered", labels);
+  metrics_.retransmits = &reg.counter("rnic.retransmits", labels);
+  metrics_.nak_tx = &reg.counter("rnic.nak_tx", labels);
+  metrics_.out_of_sequence = &reg.counter("rnic.out_of_sequence", labels);
+  metrics_.qp_to_init = &reg.counter("rnic.qp_transitions", {{"host", std::to_string(host_)}, {"to", "init"}});
+  metrics_.qp_to_rtr = &reg.counter("rnic.qp_transitions", {{"host", std::to_string(host_)}, {"to", "rtr"}});
+  metrics_.qp_to_rts = &reg.counter("rnic.qp_transitions", {{"host", std::to_string(host_)}, {"to", "rts"}});
+  metrics_.qp_to_err = &reg.counter("rnic.qp_transitions", {{"host", std::to_string(host_)}, {"to", "err"}});
+  metrics_.qp_to_reset = &reg.counter("rnic.qp_transitions", {{"host", std::to_string(host_)}, {"to", "reset"}});
+  // Ethtool-style port counters surface through the same registry snapshot.
+  port_source_id_ = reg.register_source("rnic.port", labels, [this] {
+    return std::vector<std::pair<std::string, double>>{
+        {"tx_bytes", static_cast<double>(counters_.tx_bytes)},
+        {"rx_bytes", static_cast<double>(counters_.rx_bytes)},
+        {"tx_packets", static_cast<double>(counters_.tx_packets)},
+        {"rx_packets", static_cast<double>(counters_.rx_packets)},
+        {"out_of_sequence", static_cast<double>(counters_.out_of_sequence)},
+        {"retransmits", static_cast<double>(counters_.retransmits)},
+    };
+  });
 }
 
-Device::~Device() = default;
+Device::~Device() {
+  if (port_source_id_ != 0) obs::Registry::global().unregister_source(port_source_id_);
+}
+
+void Device::note_qp_transition(Qpn qpn, QpState to) {
+  obs::Counter* c = nullptr;
+  const char* name = nullptr;
+  switch (to) {
+    case QpState::init: c = metrics_.qp_to_init; name = "qp.init"; break;
+    case QpState::rtr: c = metrics_.qp_to_rtr; name = "qp.rtr"; break;
+    case QpState::rts: c = metrics_.qp_to_rts; name = "qp.rts"; break;
+    case QpState::err: c = metrics_.qp_to_err; name = "qp.err"; break;
+    case QpState::reset: c = metrics_.qp_to_reset; name = "qp.reset"; break;
+    default: return;
+  }
+  c->inc();
+  auto& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.instant(loop_.now(), name, "rnic",
+                   "\"qpn\":" + std::to_string(qpn) + ",\"host\":" + std::to_string(host_));
+  }
+}
 
 Result<Context*> Device::open(proc::SimProcess& proc) {
   auto ctx = std::make_unique<Context>(*this, proc);
@@ -290,6 +336,7 @@ Status Context::modify_qp_init(Qpn qpn) {
   }
   charge(dev_.costs().modify_qp);
   qp->state = QpState::init;
+  dev_.note_qp_transition(qpn, QpState::init);
   return Status::ok();
 }
 
@@ -307,6 +354,7 @@ Status Context::modify_qp_rtr(Qpn qpn, net::HostId remote_host, Qpn remote_qpn,
     qp->expected_psn = expected_psn;
   }
   qp->state = QpState::rtr;
+  dev_.note_qp_transition(qpn, QpState::rtr);
   return Status::ok();
 }
 
@@ -320,6 +368,7 @@ Status Context::modify_qp_rts(Qpn qpn, Psn initial_psn) {
   qp->next_psn = initial_psn;
   qp->acked_psn = initial_psn;
   qp->state = QpState::rts;
+  dev_.note_qp_transition(qpn, QpState::rts);
   return Status::ok();
 }
 
@@ -347,6 +396,7 @@ Status Context::modify_qp_reset(Qpn qpn) {
   qp->atomic_cache.clear();
   qp->n_sent = qp->n_recv = 0;
   qp->retries = 0;
+  dev_.note_qp_transition(qpn, QpState::reset);
   return Status::ok();
 }
 

@@ -31,6 +31,8 @@
 #include "common/ring.hpp"
 #include "common/rng.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proc/process.hpp"
 #include "rnic/cost_model.hpp"
 #include "rnic/types.hpp"
@@ -428,6 +430,27 @@ class Device {
   sim::TimeNs ctrl_pressure_until_ = 0;
 
   PortCounters counters_;
+
+  // Telemetry: registry instruments resolved once at construction (labelled
+  // host=<h>) so data-path increments are plain adds, plus trace instants
+  // for QP state transitions.
+  struct Metrics {
+    obs::Counter* wqe_posted = nullptr;        // send-side WQEs accepted
+    obs::Counter* recv_posted = nullptr;       // RQ/SRQ WQEs accepted
+    obs::Counter* cqe_delivered = nullptr;
+    obs::Counter* retransmits = nullptr;       // go-back-N rewinds
+    obs::Counter* nak_tx = nullptr;            // PSN NAKs sent by responders
+    obs::Counter* out_of_sequence = nullptr;   // PSN gap events observed
+    obs::Counter* qp_to_init = nullptr;
+    obs::Counter* qp_to_rtr = nullptr;
+    obs::Counter* qp_to_rts = nullptr;
+    obs::Counter* qp_to_err = nullptr;
+    obs::Counter* qp_to_reset = nullptr;
+  };
+  Metrics metrics_;
+  std::uint64_t port_source_id_ = 0;
+
+  void note_qp_transition(Qpn qpn, QpState to);
 };
 
 }  // namespace migr::rnic

@@ -105,6 +105,7 @@ Status Context::post_send(Qpn qpn, SendWr wr) {
   }
   wqe.wr = std::move(wr);
   qp->sq.push(std::move(wqe));
+  dev_.metrics_.wqe_posted->inc();
   dev_.kick(*qp);
   return Status::ok();
 }
@@ -122,6 +123,7 @@ Status Context::post_recv(Qpn qpn, RecvWr wr) {
   if (!qp->rq.push(std::move(wr))) {
     return common::err(Errc::resource_exhausted, "RQ full");
   }
+  dev_.metrics_.recv_posted->inc();
   return Status::ok();
 }
 
@@ -132,6 +134,7 @@ Status Context::post_srq_recv(Handle srq, RecvWr wr) {
   if (!it->second->wqes.push(std::move(wr))) {
     return common::err(Errc::resource_exhausted, "SRQ full");
   }
+  dev_.metrics_.recv_posted->inc();
   return Status::ok();
 }
 
@@ -172,6 +175,7 @@ Result<Rkey> Context::bind_mw(Qpn qpn, Handle mw_handle, Lkey mr_lkey, proc::Vir
   wqe.npkts = 0;
   wqe.wr = std::move(wr);
   qp->sq.push(std::move(wqe));
+  dev_.metrics_.wqe_posted->inc();
   dev_.kick(*qp);
   return new_rkey;
 }
@@ -220,6 +224,7 @@ void Context::push_cqe(Handle cq_handle, Cqe cqe) {
     MIGR_ERROR() << "CQ " << cq_handle << " overflow on device " << dev_.host();
     return;
   }
+  dev_.metrics_.cqe_delivered->inc();
   if (cq.armed && cq.channel != 0) {
     cq.armed = false;
     auto ch = channels_.find(cq.channel);
@@ -473,6 +478,7 @@ void Device::on_retransmit_timer(Qpn qpn) {
     return;
   }
   counters_.retransmits++;
+  metrics_.retransmits->inc();
   rewind_to(qp, retransmit_point(qp));
   qp.last_progress = loop_.now();
   kick(qp);
@@ -491,6 +497,7 @@ void Device::send_ack(Qp& qp) {
 void Device::send_nak(Qp& qp) {
   if (qp.last_nak_psn == qp.expected_psn) return;  // one NAK per gap event
   qp.last_nak_psn = qp.expected_psn;
+  metrics_.nak_tx->inc();
   WirePacket nak;
   nak.op = PktOp::nak;
   nak.src_qpn = qp.qpn;
@@ -523,6 +530,7 @@ void Device::on_ack(Qp& qp, const WirePacket& pkt) {
   }
   if (pkt.op == PktOp::nak) {
     counters_.retransmits++;
+    metrics_.retransmits->inc();
     rewind_to(qp, retransmit_point(qp));
     kick(qp);
   }
@@ -569,6 +577,7 @@ void Device::complete_head_wqes(Qp& qp) {
 
 void Device::flush_qp(Qp& qp, bool notify) {
   qp.state = QpState::err;
+  note_qp_transition(qp.qpn, QpState::err);
   const bool first_is_timeout = notify;
   bool first = true;
   while (!qp.sq.empty()) {
@@ -678,6 +687,7 @@ void Device::on_request(Qp& qp, WirePacket& pkt) {
   }
   if (pkt.psn > qp.expected_psn) {
     counters_.out_of_sequence++;
+    metrics_.out_of_sequence->inc();
     send_nak(qp);
     return;
   }

@@ -1,9 +1,37 @@
 #include "sim/event_loop.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <utility>
 
 namespace migr::sim {
+
+namespace {
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+EventLoop::EventLoop() {
+  auto& reg = obs::Registry::global();
+  events_counter_ = &reg.counter("sim.events_dispatched");
+  sim_ns_counter_ = &reg.counter("sim.sim_ns_advanced");
+  wall_ns_counter_ = &reg.counter("sim.wall_ns_in_run");
+  drift_gauge_ = &reg.gauge("sim.wall_per_sim_ns");
+}
+
+void EventLoop::account_run(TimeNs sim_start, std::int64_t wall_start_ns) {
+  const std::uint64_t wall = static_cast<std::uint64_t>(wall_now_ns() - wall_start_ns);
+  wall_ns_ += wall;
+  wall_ns_counter_->inc(wall);
+  sim_ns_counter_->inc(static_cast<std::uint64_t>(now_ - sim_start));
+  const double sim_total = static_cast<double>(sim_ns_counter_->value());
+  if (sim_total > 0) {
+    drift_gauge_->set(static_cast<double>(wall_ns_counter_->value()) / sim_total);
+  }
+}
 
 EventHandle EventLoop::schedule_at(TimeNs at, Fn fn) {
   if (at < now_) at = now_;
@@ -36,6 +64,8 @@ bool EventLoop::dispatch_one() {
     assert(ev.at >= now_);
     if (!*ev.alive) continue;  // cancelled
     now_ = ev.at;
+    dispatched_++;
+    events_counter_->inc();
     ev.fn();
     return true;
   }
@@ -44,18 +74,24 @@ bool EventLoop::dispatch_one() {
 
 std::uint64_t EventLoop::run() {
   stopped_ = false;
+  const TimeNs sim_start = now_;
+  const std::int64_t wall_start = wall_now_ns();
   std::uint64_t n = 0;
   while (!stopped_ && dispatch_one()) ++n;
+  account_run(sim_start, wall_start);
   return n;
 }
 
 std::uint64_t EventLoop::run_until(TimeNs deadline) {
   stopped_ = false;
+  const TimeNs sim_start = now_;
+  const std::int64_t wall_start = wall_now_ns();
   std::uint64_t n = 0;
   while (!stopped_ && !queue_.empty() && queue_.top().at <= deadline) {
     if (dispatch_one()) ++n;
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;
+  account_run(sim_start, wall_start);
   return n;
 }
 

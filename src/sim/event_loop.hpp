@@ -13,6 +13,8 @@
 #include <queue>
 #include <vector>
 
+#include "common/clock.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace migr::sim {
@@ -34,11 +36,15 @@ class EventHandle {
   std::shared_ptr<bool> alive_;
 };
 
-class EventLoop {
+class EventLoop : public common::SimTimeSource {
  public:
   using Fn = std::function<void()>;
 
+  EventLoop();
+
   TimeNs now() const noexcept { return now_; }
+  /// SimTimeSource: lets the logger and tracer stamp output with sim time.
+  std::int64_t now_ns() const noexcept override { return now_; }
 
   /// Schedule `fn` at absolute simulated time `at` (clamped to now()).
   EventHandle schedule_at(TimeNs at, Fn fn);
@@ -69,6 +75,12 @@ class EventLoop {
   bool empty() const noexcept { return queue_.empty(); }
   std::size_t pending_events() const noexcept { return queue_.size(); }
 
+  /// Events dispatched by this loop since construction.
+  std::uint64_t events_dispatched() const noexcept { return dispatched_; }
+  /// Wall-clock ns spent inside run()/run_until() — with sim time elapsed,
+  /// this is the sim-vs-wall drift the registry exposes.
+  std::uint64_t wall_ns_in_run() const noexcept { return wall_ns_; }
+
  private:
   struct Event {
     TimeNs at;
@@ -85,10 +97,20 @@ class EventLoop {
 
   bool dispatch_one();
 
+  void account_run(TimeNs sim_start, std::int64_t wall_start_ns);
+
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+
+  // Telemetry (process-wide registry; several loops aggregate).
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t wall_ns_ = 0;
+  obs::Counter* events_counter_ = nullptr;
+  obs::Counter* sim_ns_counter_ = nullptr;
+  obs::Counter* wall_ns_counter_ = nullptr;
+  obs::Gauge* drift_gauge_ = nullptr;
 };
 
 }  // namespace migr::sim

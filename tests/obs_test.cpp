@@ -1,0 +1,511 @@
+// Unified telemetry layer: registry semantics, histogram percentile edges,
+// trace JSON well-formedness, and the cross-check that the phase spans a
+// seeded migration emits reproduce MigrationReport's blackout breakdown
+// field-for-field.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/perftest.hpp"
+#include "migr/migration.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rnic/world.hpp"
+
+namespace migr::obs {
+namespace {
+
+// With -DMIGR_OBS_DISABLE=ON the whole layer is compiled to no-ops, so tests
+// that assert recorded values cannot pass by design; skip them cleanly.
+#ifdef MIGR_OBS_DISABLED
+#define SKIP_IF_OBS_DISABLED() \
+  GTEST_SKIP() << "obs layer compiled out (MIGR_OBS_DISABLE=ON)"
+#else
+#define SKIP_IF_OBS_DISABLED() (void)0
+#endif
+
+// ---------------------------------------------------------------------------
+// Registry / counter / label semantics
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, CounterIncrementsAndResolvesOnce) {
+  SKIP_IF_OBS_DISABLED();
+  Registry reg;
+  Counter& c = reg.counter("test.hits");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same cell.
+  EXPECT_EQ(&reg.counter("test.hits"), &c);
+  EXPECT_EQ(reg.counter("test.hits").value(), 42u);
+}
+
+TEST(RegistryTest, LabelsMakeDistinctInstruments) {
+  SKIP_IF_OBS_DISABLED();
+  Registry reg;
+  Counter& a = reg.counter("link.bytes", {{"link", "1-2"}});
+  Counter& b = reg.counter("link.bytes", {{"link", "2-1"}});
+  EXPECT_NE(&a, &b);
+  a.inc(10);
+  b.inc(20);
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "link.bytes{link=1-2}");
+  EXPECT_EQ(snap[0].value, 10.0);
+  EXPECT_EQ(snap[1].name, "link.bytes{link=2-1}");
+  EXPECT_EQ(snap[1].value, 20.0);
+}
+
+TEST(RegistryTest, RenderNameFormatsLabels) {
+  EXPECT_EQ(Registry::render_name("n", {}), "n");
+  EXPECT_EQ(Registry::render_name("n", {{"a", "1"}, {"b", "x"}}), "n{a=1,b=x}");
+}
+
+TEST(RegistryTest, SourcesArePolledAtSnapshotAndUnregister) {
+  Registry reg;
+  double v = 7;
+  auto id = reg.register_source("src", {{"host", "1"}}, [&] {
+    return std::vector<std::pair<std::string, double>>{{"field", v}};
+  });
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].name, "src{host=1}.field");
+  EXPECT_EQ(snap[0].value, 7.0);
+  v = 8;  // polled, not copied
+  EXPECT_EQ(reg.snapshot()[0].value, 8.0);
+  reg.unregister_source(id);
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(RegistryTest, ResetZeroesInstrumentsButKeepsThem) {
+  Registry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  c.inc(5);
+  g.set(3.5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(&reg.counter("c"), &c);
+}
+
+TEST(RegistryTest, DisabledRegistryHandsOutDummies) {
+  Registry reg;
+  reg.set_enabled(false);
+  Counter& c = reg.counter("hidden");
+  c.inc(99);
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram percentile edges
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyHistogramReportsZero) {
+  Histogram h({10, 100, 1000});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0), 0);
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.percentile(100), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SingleSampleDominatesEveryPercentile) {
+  SKIP_IF_OBS_DISABLED();
+  Histogram h({10, 100, 1000});
+  h.observe(42);
+  EXPECT_EQ(h.count(), 1u);
+  // 42 lands in the (10..100] bucket: every percentile reports that
+  // bucket's upper bound.
+  EXPECT_EQ(h.percentile(1), 100);
+  EXPECT_EQ(h.percentile(50), 100);
+  EXPECT_EQ(h.percentile(99), 100);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+}
+
+TEST(HistogramTest, OverflowBucketReportsObservedMax) {
+  SKIP_IF_OBS_DISABLED();
+  Histogram h({10, 100});
+  h.observe(5);        // bucket 0
+  h.observe(5000);     // overflow
+  h.observe(700000);   // overflow (max)
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.percentile(1), 10);       // first sample: bucket bound
+  EXPECT_EQ(h.percentile(99), 700000);  // overflow: observed max
+  EXPECT_EQ(h.max(), 700000);
+}
+
+TEST(HistogramTest, PercentilesWalkBucketsByRank) {
+  SKIP_IF_OBS_DISABLED();
+  Histogram h({10, 20, 30});
+  for (int i = 0; i < 50; ++i) h.observe(5);   // <=10
+  for (int i = 0; i < 40; ++i) h.observe(15);  // <=20
+  for (int i = 0; i < 10; ++i) h.observe(25);  // <=30
+  EXPECT_EQ(h.percentile(25), 10);
+  EXPECT_EQ(h.percentile(50), 10);
+  EXPECT_EQ(h.percentile(75), 20);
+  EXPECT_EQ(h.percentile(95), 30);
+  EXPECT_EQ(h.mean(), (50 * 5 + 40 * 15 + 10 * 25) / 100.0);
+}
+
+TEST(HistogramTest, BoundsAreSortedAndDeduplicated) {
+  Histogram h({100, 10, 100, 50});
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_EQ(h.bounds()[0], 10);
+  EXPECT_EQ(h.bounds()[1], 50);
+  EXPECT_EQ(h.bounds()[2], 100);
+  EXPECT_EQ(h.buckets().size(), 4u);  // + overflow
+}
+
+// ---------------------------------------------------------------------------
+// Tracer: ring semantics and Chrome JSON export
+// ---------------------------------------------------------------------------
+
+// Minimal JSON parser: enough for the trace-event format we emit (objects,
+// arrays, strings with escapes, numbers, bools). Parsing the export with it
+// is the well-formedness check.
+struct Json {
+  enum class Type { object, array, string, number, boolean, null } type = Type::null;
+  std::map<std::string, Json> obj;
+  std::vector<Json> arr;
+  std::string str;
+  double num = 0;
+  bool b = false;
+
+  const Json& at(const std::string& k) const {
+    static const Json kNull;
+    auto it = obj.find(k);
+    return it == obj.end() ? kNull : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  bool parse(Json& out) { return value(out) && (skip_ws(), pos_ == s_.size()); }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+  bool value(Json& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out.type = Json::Type::string; return string(out.str);
+      case 't': out.type = Json::Type::boolean; out.b = true; return literal("true");
+      case 'f': out.type = Json::Type::boolean; out.b = false; return literal("false");
+      case 'n': out.type = Json::Type::null; return literal("null");
+      default: out.type = Json::Type::number; return number(out.num);
+    }
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool object(Json& out) {
+    out.type = Json::Type::object;
+    if (!consume('{')) return false;
+    if (consume('}')) return true;
+    for (;;) {
+      std::string key;
+      skip_ws();
+      if (!string(key)) return false;
+      if (!consume(':')) return false;
+      Json v;
+      if (!value(v)) return false;
+      out.obj.emplace(std::move(key), std::move(v));
+      if (consume(',')) continue;
+      return consume('}');
+    }
+  }
+  bool array(Json& out) {
+    out.type = Json::Type::array;
+    if (!consume('[')) return false;
+    if (consume(']')) return true;
+    for (;;) {
+      Json v;
+      if (!value(v)) return false;
+      out.arr.push_back(std::move(v));
+      if (consume(',')) continue;
+      return consume(']');
+    }
+  }
+  bool string(std::string& out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    pos_++;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        pos_++;
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': pos_ += 4; out += '?'; break;  // good enough for tests
+          default: out += s_[pos_];
+        }
+      } else {
+        out += s_[pos_];
+      }
+      pos_++;
+    }
+    if (pos_ >= s_.size()) return false;
+    pos_++;  // closing quote
+    return true;
+  }
+  bool number(double& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) pos_++;
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' || s_[pos_] == 'e' ||
+            s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
+      pos_++;
+    }
+    if (pos_ == start) return false;
+    out = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer t(16);
+  t.instant(100, "ev", "cat");
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TracerTest, RecordsAndOrdersEvents) {
+  SKIP_IF_OBS_DISABLED();
+  Tracer t(16);
+  t.set_enabled(true);
+  t.begin(100, "span", "cat");
+  t.end(300, "span", "cat");
+  t.instant(200, "mark", "cat");
+  t.complete(400, 50, "block", "cat2");
+  ASSERT_EQ(t.size(), 4u);
+  auto evs = t.events();
+  EXPECT_EQ(evs[0].ph, TraceEvent::Phase::begin);
+  EXPECT_EQ(evs[1].ph, TraceEvent::Phase::end);
+  EXPECT_EQ(evs[2].name, "mark");
+  EXPECT_EQ(evs[3].dur_ns, 50);
+  EXPECT_EQ(t.total_emitted(), 4u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TracerTest, RingDropsOldestOnOverflow) {
+  SKIP_IF_OBS_DISABLED();
+  Tracer t(4);
+  t.set_enabled(true);
+  for (int i = 0; i < 10; ++i) t.instant(i, "e" + std::to_string(i), "c");
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.total_emitted(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  auto evs = t.events();
+  EXPECT_EQ(evs.front().name, "e6");  // oldest survivor
+  EXPECT_EQ(evs.back().name, "e9");
+}
+
+TEST(TracerTest, ChromeJsonParsesAndCarriesExactNs) {
+  SKIP_IF_OBS_DISABLED();
+  Tracer t(64);
+  t.set_enabled(true);
+  t.complete(1'234'567, 89'123, "phase \"x\"\n", "migr", "\"k\":7");
+  t.instant(5'000'000, "mark", "rnic");
+
+  Json root;
+  ASSERT_TRUE(JsonParser(t.export_chrome_json()).parse(root));
+  const Json& evs = root.at("traceEvents");
+  ASSERT_EQ(evs.type, Json::Type::array);
+
+  // Skip thread_name metadata; find our two events.
+  const Json* complete = nullptr;
+  const Json* instant = nullptr;
+  for (const auto& e : evs.arr) {
+    if (e.at("ph").str == "X") complete = &e;
+    if (e.at("ph").str == "i") instant = &e;
+  }
+  ASSERT_NE(complete, nullptr);
+  ASSERT_NE(instant, nullptr);
+  EXPECT_EQ(complete->at("name").str, "phase \"x\"\n");  // escaping round-trips
+  EXPECT_EQ(complete->at("ts").num, 1234.567);           // µs
+  EXPECT_EQ(complete->at("dur").num, 89.123);
+  EXPECT_EQ(complete->at("args").at("ts_ns").num, 1234567.0);  // exact ns
+  EXPECT_EQ(complete->at("args").at("dur_ns").num, 89123.0);
+  EXPECT_EQ(complete->at("args").at("k").num, 7.0);
+  EXPECT_EQ(instant->at("cat").str, "rnic");
+  // Different categories land on different tracks (tids).
+  EXPECT_NE(complete->at("tid").num, instant->at("tid").num);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: spans of a seeded migration reproduce MigrationReport exactly
+// ---------------------------------------------------------------------------
+
+class ObsEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    Tracer::global().clear();
+    Tracer::global().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::global().set_enabled(false);
+    Tracer::global().set_clock(nullptr);
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(ObsEndToEndTest, TracedSpansMatchMigrationReportFieldForField) {
+  SKIP_IF_OBS_DISABLED();
+  rnic::World world({}, /*seed=*/7);
+  Tracer::global().set_clock(&world.loop());
+  migrlib::GuestDirectory directory;
+  std::vector<std::unique_ptr<migrlib::MigrRdmaRuntime>> rts;
+  for (net::HostId h = 1; h <= 3; ++h) {
+    rts.push_back(std::make_unique<migrlib::MigrRdmaRuntime>(directory, world.add_device(h),
+                                                             world.fabric()));
+  }
+
+  apps::PerftestConfig cfg;
+  cfg.num_qps = 4;
+  cfg.msg_size = 4096;
+  cfg.queue_depth = 8;
+  apps::PerftestPeer sender(*rts[0], world.add_process("tx"), 100,
+                            apps::PerftestPeer::Role::sender, cfg);
+  apps::PerftestPeer receiver(*rts[2], world.add_process("rx"), 200,
+                              apps::PerftestPeer::Role::receiver, cfg);
+  for (std::uint32_t i = 0; i < cfg.num_qps; ++i) {
+    ASSERT_TRUE(apps::PerftestPeer::connect_pair(sender, i, receiver, i).is_ok());
+  }
+  sender.start();
+  receiver.start();
+  world.loop().run_for(sim::msec(2));
+
+  migrlib::MigrationController ctl(world.loop(), world.fabric(), directory, {});
+  auto& dest = world.add_process("restored");
+  migrlib::MigrationReport rep;
+  bool done = false;
+  ASSERT_TRUE(ctl.start(100, 2, dest, &sender, [&](const migrlib::MigrationReport& r) {
+                   rep = r;
+                   done = true;
+                 })
+                  .is_ok());
+  while (!done && world.loop().now() < sim::sec(120)) world.loop().run_for(sim::msec(1));
+  ASSERT_TRUE(rep.ok) << rep.error;
+
+  // Parse the Chrome export and index the migration-phase complete-events
+  // by name -> (ts_ns, dur_ns), using the exact integers carried in args.
+  Json root;
+  ASSERT_TRUE(JsonParser(Tracer::global().export_chrome_json()).parse(root));
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> spans;
+  std::map<std::string, std::int64_t> instants;
+  for (const auto& e : root.at("traceEvents").arr) {
+    if (e.at("cat").str != "migr") continue;
+    const std::string& name = e.at("name").str;
+    if (e.at("ph").str == "X") {
+      spans[name] = {static_cast<std::int64_t>(e.at("args").at("ts_ns").num),
+                     static_cast<std::int64_t>(e.at("args").at("dur_ns").num)};
+    } else if (e.at("ph").str == "i") {
+      instants[name] = static_cast<std::int64_t>(e.at("args").at("ts_ns").num);
+    }
+  }
+
+  // Every stop-and-copy step must be present...
+  for (const char* required : {"pre_dump", "partial_restore", "rdma_pre_setup",
+                               "wait_before_stop", "dump_others", "dump_rdma", "transfer",
+                               "full_restore", "restore_rdma", "migration"}) {
+    ASSERT_TRUE(spans.contains(required)) << "missing span: " << required;
+  }
+  for (const char* required : {"suspend", "freeze", "resume", "map_resources", "replay"}) {
+    ASSERT_TRUE(instants.contains(required)) << "missing instant: " << required;
+  }
+
+  // ...and the durations must equal the report's blackout breakdown exactly.
+  EXPECT_EQ(spans["dump_rdma"].second, rep.dump_rdma);
+  EXPECT_EQ(spans["dump_others"].second, rep.dump_others);
+  EXPECT_EQ(spans["transfer"].second, rep.transfer);
+  EXPECT_EQ(spans["restore_rdma"].second, rep.restore_rdma);
+  EXPECT_EQ(spans["full_restore"].second, rep.full_restore);
+  EXPECT_EQ(spans["rdma_pre_setup"].second, rep.presetup_restore_rdma);
+  EXPECT_EQ(spans["wait_before_stop"].second, rep.wbs_elapsed);
+  EXPECT_EQ(spans["wait_before_stop"].first, rep.suspend_at);
+  EXPECT_EQ(spans["migration"].first, rep.start);
+  EXPECT_EQ(spans["migration"].second, rep.resume_at - rep.start);
+
+  // Phase-boundary instants line up with the report timestamps.
+  EXPECT_EQ(instants["suspend"], rep.suspend_at);
+  EXPECT_EQ(instants["freeze"], rep.freeze_at);
+  EXPECT_EQ(instants["resume"], rep.resume_at);
+
+  // The stop-and-copy components tile [freeze, ...] back to back.
+  EXPECT_EQ(spans["dump_others"].first, rep.freeze_at);
+  EXPECT_EQ(spans["dump_rdma"].first, rep.freeze_at + rep.dump_others);
+  EXPECT_EQ(spans["restore_rdma"].first,
+            spans["full_restore"].first + rep.full_restore);
+
+  // The registry gauges published at resume carry the same values.
+  auto snap = Registry::global().snapshot();
+  auto gauge = [&](const std::string& name) -> double {
+    for (const auto& e : snap) {
+      if (e.name == name) return e.value;
+    }
+    return -1;
+  };
+  EXPECT_EQ(gauge("migr.report.dump_rdma_ns"), static_cast<double>(rep.dump_rdma));
+  EXPECT_EQ(gauge("migr.report.transfer_ns"), static_cast<double>(rep.transfer));
+  EXPECT_EQ(gauge("migr.report.restore_rdma_ns"), static_cast<double>(rep.restore_rdma));
+  EXPECT_EQ(gauge("migr.report.service_blackout_ns"),
+            static_cast<double>(rep.service_blackout()));
+
+  // The RNIC and fabric instrumented the traffic along the way.
+  EXPECT_GT(gauge("rnic.wqe_posted{host=1}"), 0.0);
+  EXPECT_GT(gauge("rnic.cqe_delivered{host=1}"), 0.0);
+  EXPECT_GT(gauge("fabric.link.bytes{link=1-3}"), 0.0);
+  EXPECT_GT(gauge("rnic.qp_transitions{host=1,to=rts}"), 0.0);
+}
+
+TEST_F(ObsEndToEndTest, EventLoopAccountsDispatchesInRegistry) {
+  SKIP_IF_OBS_DISABLED();
+  Registry::global().reset();
+  sim::EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(10, [&] { fired++; });
+  loop.schedule_at(20, [&] { fired++; });
+  loop.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.events_dispatched(), 2u);
+  auto snap = Registry::global().snapshot();
+  for (const auto& e : snap) {
+    if (e.name == "sim.events_dispatched") {
+      EXPECT_GE(e.value, 2.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace migr::obs

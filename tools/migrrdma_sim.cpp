@@ -8,18 +8,27 @@
 //   migrrdma_sim [--qps N] [--msg BYTES] [--depth N] [--opcode write|send]
 //                [--no-presetup] [--migrate-receiver] [--loss P]
 //                [--wbs-timeout-ms T] [--precopy-rounds N] [--seed S]
+//                [--trace OUT.json] [--metrics]
 //
 // Examples:
 //   migrrdma_sim --qps 256 --msg 4096
 //   migrrdma_sim --qps 16 --msg 2097152 --depth 4 --migrate-receiver
 //   migrrdma_sim --loss 1.0 --wbs-timeout-ms 3      # buggy-network path
+//   migrrdma_sim --trace out.json --metrics         # Chrome trace + registry dump
+//
+// --trace writes a Chrome trace-event JSON covering the whole run (load it
+// in about://tracing or https://ui.perfetto.dev); --metrics prints the
+// process-wide metrics registry at exit.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "apps/perftest.hpp"
+#include "common/log.hpp"
 #include "migr/migration.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rnic/world.hpp"
 
 using namespace migr;
@@ -37,13 +46,16 @@ struct Options {
   sim::DurationNs wbs_timeout = sim::sec(5);
   int precopy_rounds = 3;
   std::uint64_t seed = 42;
+  std::string trace_path;  // empty = tracing off
+  bool metrics = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--qps N] [--msg BYTES] [--depth N] [--opcode write|send]\n"
                "          [--no-presetup] [--migrate-receiver] [--loss P]\n"
-               "          [--wbs-timeout-ms T] [--precopy-rounds N] [--seed S]\n",
+               "          [--wbs-timeout-ms T] [--precopy-rounds N] [--seed S]\n"
+               "          [--trace OUT.json] [--metrics]\n",
                argv0);
   std::exit(2);
 }
@@ -86,6 +98,10 @@ Options parse(int argc, char** argv) {
       o.precopy_rounds = std::atoi(need_value("--precopy-rounds"));
     } else if (arg == "--seed") {
       o.seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (arg == "--trace") {
+      o.trace_path = need_value("--trace");
+    } else if (arg == "--metrics") {
+      o.metrics = true;
     } else {
       usage(argv[0]);
     }
@@ -100,6 +116,12 @@ int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
 
   rnic::World world({}, opt.seed);
+  common::Logger::instance().set_time_source(&world.loop());
+  if (!opt.trace_path.empty()) {
+    auto& tracer = obs::Tracer::global();
+    tracer.set_clock(&world.loop());
+    tracer.set_enabled(true);
+  }
   world.fabric().set_faults(net::Faults{.data_loss_prob = opt.loss});
   migrlib::GuestDirectory directory;
   std::vector<std::unique_ptr<migrlib::MigrRdmaRuntime>> rts;
@@ -184,5 +206,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(s.order_violations),
               static_cast<unsigned long long>(s.content_corruptions),
               static_cast<unsigned long long>(s.errors));
+
+  if (!opt.trace_path.empty()) {
+    auto& tracer = obs::Tracer::global();
+    if (auto wst = tracer.write_chrome_json(opt.trace_path); !wst.is_ok()) {
+      std::fprintf(stderr, "cannot write trace: %s\n", wst.to_string().c_str());
+      return 1;
+    }
+    std::printf("\ntrace: %llu event(s) written to %s (%llu dropped by the ring)\n",
+                static_cast<unsigned long long>(tracer.size()), opt.trace_path.c_str(),
+                static_cast<unsigned long long>(tracer.dropped()));
+    tracer.set_clock(nullptr);
+  }
+  if (opt.metrics) {
+    std::printf("\nmetrics registry:\n");
+    obs::Registry::global().print(stdout);
+  }
   return (s.order_violations + s.content_corruptions + s.errors) == 0 ? 0 : 1;
 }
