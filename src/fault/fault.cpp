@@ -1,0 +1,179 @@
+#include "fault/fault.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace migr::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::loss_burst: return "loss_burst";
+    case FaultKind::reorder_window: return "reorder_window";
+    case FaultKind::partition: return "partition";
+    case FaultKind::ctrl_delay: return "ctrl_delay";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::baseline(double loss_prob, double reorder_prob,
+                               sim::DurationNs reorder_delay) {
+  base_.data_loss_prob = loss_prob;
+  base_.reorder_prob = reorder_prob;
+  base_.reorder_delay = reorder_delay;
+  return *this;
+}
+
+FaultPlan& FaultPlan::loss_burst(sim::TimeNs at, sim::DurationNs duration, double prob) {
+  FaultEvent ev;
+  ev.kind = FaultKind::loss_burst;
+  ev.at = at;
+  ev.duration = duration;
+  ev.probability = prob;
+  events_.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::reorder_window(sim::TimeNs at, sim::DurationNs duration, double prob,
+                                     sim::DurationNs max_delay) {
+  FaultEvent ev;
+  ev.kind = FaultKind::reorder_window;
+  ev.at = at;
+  ev.duration = duration;
+  ev.probability = prob;
+  ev.delay = max_delay;
+  events_.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(sim::TimeNs at, sim::DurationNs duration, net::HostId host) {
+  FaultEvent ev;
+  ev.kind = FaultKind::partition;
+  ev.at = at;
+  ev.duration = duration;
+  ev.host = host;
+  events_.push_back(ev);
+  return *this;
+}
+
+FaultPlan& FaultPlan::ctrl_delay(sim::TimeNs at, sim::DurationNs duration,
+                                 sim::DurationNs delay) {
+  FaultEvent ev;
+  ev.kind = FaultKind::ctrl_delay;
+  ev.at = at;
+  ev.duration = duration;
+  ev.delay = delay;
+  events_.push_back(ev);
+  return *this;
+}
+
+FaultPlan FaultPlan::random_bursts(std::uint64_t seed, std::uint32_t bursts,
+                                   sim::TimeNs window_start, sim::TimeNs window_end,
+                                   sim::DurationNs burst_len, double prob) {
+  FaultPlan plan;
+  common::Rng rng(seed);
+  const std::uint64_t span =
+      window_end > window_start ? static_cast<std::uint64_t>(window_end - window_start) : 1;
+  for (std::uint32_t i = 0; i < bursts; ++i) {
+    const sim::TimeNs at = window_start + static_cast<sim::TimeNs>(rng.below(span));
+    plan.loss_burst(at, burst_len, prob);
+  }
+  return plan;
+}
+
+ScenarioRunner::ScenarioRunner(sim::EventLoop& loop, net::Fabric& fabric)
+    : loop_(loop), fabric_(fabric) {
+  auto& reg = obs::Registry::global();
+  events_applied_ = &reg.counter("fault.events_applied");
+  events_healed_ = &reg.counter("fault.events_healed");
+  active_gauge_ = &reg.gauge("fault.active_windows");
+}
+
+void ScenarioRunner::run(const FaultPlan& plan) {
+  base_ = plan.base();
+  recompute();
+  const sim::TimeNs now = loop_.now();
+  for (const FaultEvent& ev : plan.events()) {
+    const sim::TimeNs at = now + ev.at;
+    loop_.schedule_at(at, [this, ev] { apply(ev); });
+    if (ev.duration > 0) {
+      loop_.schedule_at(at + ev.duration, [this, ev] { heal(ev); });
+    }
+  }
+}
+
+void ScenarioRunner::apply(const FaultEvent& ev) {
+  MIGR_DEBUG() << "fault apply " << to_string(ev.kind) << " at t=" << loop_.now();
+  switch (ev.kind) {
+    case FaultKind::loss_burst:
+      active_loss_[ev.probability]++;
+      break;
+    case FaultKind::reorder_window:
+      active_reorder_[{ev.probability, ev.delay}]++;
+      break;
+    case FaultKind::partition:
+      if (partition_refs_[ev.host]++ == 0) fabric_.set_partitioned(ev.host, true);
+      break;
+    case FaultKind::ctrl_delay:
+      active_ctrl_delay_[ev.delay]++;
+      break;
+  }
+  applied_++;
+  events_applied_->inc();
+  active_gauge_->add(1);
+  recompute();
+}
+
+void ScenarioRunner::heal(const FaultEvent& ev) {
+  MIGR_DEBUG() << "fault heal " << to_string(ev.kind) << " at t=" << loop_.now();
+  auto drop_one = [](auto& m, const auto& key) {
+    auto it = m.find(key);
+    if (it == m.end()) return;
+    if (--it->second == 0) m.erase(it);
+  };
+  switch (ev.kind) {
+    case FaultKind::loss_burst:
+      drop_one(active_loss_, ev.probability);
+      break;
+    case FaultKind::reorder_window:
+      drop_one(active_reorder_, std::pair<double, sim::DurationNs>{ev.probability, ev.delay});
+      break;
+    case FaultKind::partition: {
+      auto it = partition_refs_.find(ev.host);
+      if (it != partition_refs_.end() && --it->second == 0) {
+        partition_refs_.erase(it);
+        fabric_.set_partitioned(ev.host, false);
+      }
+      break;
+    }
+    case FaultKind::ctrl_delay:
+      drop_one(active_ctrl_delay_, ev.delay);
+      break;
+  }
+  healed_++;
+  events_healed_->inc();
+  active_gauge_->add(-1);
+  recompute();
+}
+
+void ScenarioRunner::recompute() {
+  net::Faults f = base_;
+  if (!active_loss_.empty()) {
+    f.data_loss_prob = std::max(f.data_loss_prob, active_loss_.rbegin()->first);
+  }
+  if (!active_reorder_.empty()) {
+    const auto& [prob, delay] = active_reorder_.rbegin()->first;
+    f.reorder_prob = std::max(f.reorder_prob, prob);
+    f.reorder_delay = std::max(f.reorder_delay, delay);
+  }
+  if (!active_ctrl_delay_.empty()) {
+    f.ctrl_delay = std::max(f.ctrl_delay, active_ctrl_delay_.rbegin()->first);
+  }
+  fabric_.set_faults(f);
+}
+
+bool ScenarioRunner::any_active() const noexcept {
+  return !active_loss_.empty() || !active_reorder_.empty() || !active_ctrl_delay_.empty() ||
+         !partition_refs_.empty();
+}
+
+}  // namespace migr::fault

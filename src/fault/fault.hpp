@@ -1,0 +1,118 @@
+// Deterministic fault injection for the simulated fabric.
+//
+// A FaultPlan is a list of timed fault events — loss bursts, reordering
+// windows, host partitions and ctrl-plane delays — built either by hand
+// (precise sim times for regression scenarios) or generated from a seed
+// (randomized-but-reproducible adversarial schedules). A ScenarioRunner
+// binds a plan to a Fabric: it schedules one apply and (for bounded
+// events) one heal callback per event on the event loop, and composes
+// overlapping events into the single effective net::Faults knob set.
+//
+// Composition rules when windows overlap:
+//  * loss / reorder probability and ctrl delay: the maximum of the plan's
+//    baseline and every active window (faults don't cancel each other),
+//  * partitions: a host stays partitioned while any covering window is
+//    active (per-host reference count).
+//
+// Everything is driven by the sim clock and the fabric's own seeded RNG,
+// so a (plan, seed) pair replays identically — the property tests and the
+// blackout-vs-loss bench depend on that.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "obs/metrics.hpp"
+#include "sim/event_loop.hpp"
+
+namespace migr::fault {
+
+enum class FaultKind : std::uint8_t {
+  loss_burst,      // i.i.d. data-plane drop probability for a window
+  reorder_window,  // probabilistic extra delivery delay for a window
+  partition,       // a host loses all traffic both ways
+  ctrl_delay,      // added one-way latency on the ctrl plane
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::loss_burst;
+  sim::TimeNs at = 0;           // absolute sim time the fault switches on
+  sim::DurationNs duration = 0; // 0 = never healed (lasts to end of run)
+  double probability = 0.0;     // loss_burst / reorder_window
+  sim::DurationNs delay = 0;    // reorder_window: max extra delay; ctrl_delay: latency
+  net::HostId host = 0;         // partition target
+};
+
+class FaultPlan {
+ public:
+  /// Steady-state faults active from t=0 (the floor the windows raise).
+  FaultPlan& baseline(double loss_prob, double reorder_prob = 0.0,
+                      sim::DurationNs reorder_delay = sim::usec(20));
+
+  FaultPlan& loss_burst(sim::TimeNs at, sim::DurationNs duration, double prob);
+  FaultPlan& reorder_window(sim::TimeNs at, sim::DurationNs duration, double prob,
+                            sim::DurationNs max_delay = sim::usec(20));
+  FaultPlan& partition(sim::TimeNs at, sim::DurationNs duration, net::HostId host);
+  FaultPlan& ctrl_delay(sim::TimeNs at, sim::DurationNs duration, sim::DurationNs delay);
+
+  /// Seeded generator: `bursts` loss bursts of `burst_len` at uniform times
+  /// in [window_start, window_end), each with drop probability `prob`.
+  /// Identical (seed, parameters) produce the identical plan.
+  static FaultPlan random_bursts(std::uint64_t seed, std::uint32_t bursts,
+                                 sim::TimeNs window_start, sim::TimeNs window_end,
+                                 sim::DurationNs burst_len, double prob);
+
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  const net::Faults& base() const noexcept { return base_; }
+
+ private:
+  net::Faults base_;
+  std::vector<FaultEvent> events_;
+};
+
+class ScenarioRunner {
+ public:
+  ScenarioRunner(sim::EventLoop& loop, net::Fabric& fabric);
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  /// Schedule every event of `plan` on the loop (relative to now) and
+  /// install the plan's baseline faults immediately. May be called once
+  /// per runner.
+  void run(const FaultPlan& plan);
+
+  std::uint64_t applied() const noexcept { return applied_; }
+  std::uint64_t healed() const noexcept { return healed_; }
+  /// Any bounded window currently active (partitions, bursts, ...).
+  bool any_active() const noexcept;
+
+ private:
+  void apply(const FaultEvent& ev);
+  void heal(const FaultEvent& ev);
+  /// Recompute the fabric's effective Faults from baseline + active windows.
+  void recompute();
+
+  sim::EventLoop& loop_;
+  net::Fabric& fabric_;
+  net::Faults base_;
+
+  // Active overlapping windows (multiset semantics via sorted maps:
+  // value -> active count), so heal removes exactly one instance.
+  std::map<double, std::uint32_t> active_loss_;
+  std::map<std::pair<double, sim::DurationNs>, std::uint32_t> active_reorder_;
+  std::map<sim::DurationNs, std::uint32_t> active_ctrl_delay_;
+  std::map<net::HostId, std::uint32_t> partition_refs_;
+
+  std::uint64_t applied_ = 0;
+  std::uint64_t healed_ = 0;
+
+  obs::Counter* events_applied_ = nullptr;
+  obs::Counter* events_healed_ = nullptr;
+  obs::Gauge* active_gauge_ = nullptr;
+};
+
+}  // namespace migr::fault

@@ -572,6 +572,26 @@ void GuestContext::force_wbs_timeout() {
   if (wbs_done_cb_) wbs_done_cb_();
 }
 
+Status GuestContext::abort_suspension() {
+  if (!suspend_active_) return Status::ok();
+  Status first = Status::ok();
+  for (auto& [vqpn, qp] : qps_) {
+    if (!qp.suspended) continue;
+    qp.suspended = false;
+    qp.drained = false;
+    qp.peer_n_sent = kNoPeerCount;
+    qp.peer_count_received = false;
+    // A WBS timeout may have harvested copies of WRs that are still posted
+    // on this (live) QP; replaying them here would double-post.
+    qp.timeout_replays.clear();
+    if (auto st = flush_intercepted(qp); !st.is_ok() && first.is_ok()) first = st;
+  }
+  suspend_active_ = false;
+  wbs_done_ = false;
+  wbs_counts_sent_ = false;
+  return first;
+}
+
 // ---------------------------------------------------------------------------
 // Partner-side protocol
 // ---------------------------------------------------------------------------
@@ -630,6 +650,16 @@ Status GuestContext::partner_connect_qp(VQpn vqpn, net::HostId dest_host,
   qp->pending_dest_pqpn = dest_pqpn;
   qp->pending_dest_host = dest_host;
   return Status::ok();
+}
+
+void GuestContext::partner_abort_prepared(GuestId peer) {
+  for (auto& [vqpn, qp] : qps_) {
+    if (qp.rec.peer_guest != peer || qp.new_pqpn == 0) continue;
+    (void)ctx_->destroy_qp(qp.new_pqpn);
+    qp.new_pqpn = 0;
+    qp.pending_dest_pqpn = 0;
+    qp.pending_dest_host = 0;
+  }
 }
 
 Status GuestContext::partner_switch_qp(VQpn vqpn, GuestId peer_new_identity) {

@@ -140,6 +140,12 @@ class GuestContext {
   /// Buggy-network escape hatch: stop waiting, capture incomplete WRs for
   /// replay, declare WBS finished.
   void force_wbs_timeout();
+  /// Roll back a suspension without migrating (controller abort path): lift
+  /// the suspension flags, discard WBS bookkeeping, and flush the WRs
+  /// intercepted during the suspension back onto the unchanged physical
+  /// QPs. Timeout-harvested replays are dropped — their originals are still
+  /// posted on the live QPs.
+  common::Status abort_suspension();
   void set_wbs_done_callback(std::function<void()> cb) { wbs_done_cb_ = std::move(cb); }
   /// Counterpart's WBS thread delivered its n_sent for one of our QPs.
   void deliver_peer_n_sent(VQpn vqpn, std::uint64_t peer_n_sent);
@@ -164,6 +170,10 @@ class GuestContext {
   common::Status partner_connect_qp(VQpn vqpn, net::HostId dest_host,
                                     rnic::Qpn dest_pqpn, rnic::Psn my_psn,
                                     rnic::Psn dest_psn);
+  /// Rollback of an aborted peer migration: destroy the prepared-but-never-
+  /// switched replacement QPs for connections to `peer`. Traffic keeps
+  /// flowing on the original QPs, which were never touched.
+  void partner_abort_prepared(GuestId peer);
   /// Step 7: retire the old QP, remap the virtual QPN onto the new one,
   /// replay un-received RECVs and flush intercepted WRs, update the QP's
   /// destination metadata, and invalidate cached rkeys/QPNs of the peer.

@@ -230,6 +230,30 @@ Result<rnic::Qpn> StagedRestore::pqpn(VQpn vqpn) const {
   return it->second;
 }
 
+void StagedRestore::abandon() {
+  // Closing the staged context destroys every resource created under it
+  // (QPs, MRs, CQs, ...) in one sweep — the same reclamation path the
+  // source side uses after a successful migration.
+  if (ctx_ != nullptr && runtime_ != nullptr) {
+    runtime_->device().close(ctx_);
+  }
+  ctx_ = nullptr;
+  runtime_ = nullptr;
+  proc_ = nullptr;
+  pds_.clear();
+  channels_.clear();
+  cqs_.clear();
+  srqs_.clear();
+  dms_.clear();
+  mws_.clear();
+  mrs_.clear();
+  qps_.clear();
+  peer_endpoints_.clear();
+  deferred_.clear();
+  image_ = RdmaImage{};
+  ctrl_cost_ = 0;
+}
+
 // ---------------------------------------------------------------------------
 // Adoption / finalize
 // ---------------------------------------------------------------------------

@@ -78,10 +78,57 @@ Status MigrationController::start(GuestId id, net::HostId dest_host,
 
 void MigrationController::fail(const Status& st) {
   MIGR_ERROR() << "migration of guest " << guest_id_ << " failed: " << st.to_string();
+  // Timer hygiene: a stale WBS or transfer timer must never fire into a
+  // completed, failed, or rolled-back migration.
+  wbs_timeout_handle_.cancel();
+  xfer_timeout_handle_.cancel();
   report_.ok = false;
   report_.error = st.to_string();
   obs::Registry::global().counter("migr.migrations_failed").inc();
   trace_instant(loop_.now(), "migration_failed", "\"guest\":" + std::to_string(guest_id_));
+  if (done_) done_(report_);
+}
+
+void MigrationController::abort(const Status& st) {
+  if (committed_) return fail(st);  // source released: nothing to roll back to
+  MIGR_WARN() << "aborting migration of guest " << guest_id_ << " during " << phase_
+              << ": " << st.to_string();
+  wbs_timeout_handle_.cancel();
+  xfer_timeout_handle_.cancel();
+  fabric_.unregister_service(dest_rt_->host(), xfer_service_);
+  xfer_cb_ = nullptr;
+  xfer_payload_.clear();
+
+  // Detach the WBS machinery from this (dead) migration and roll the
+  // partners back: destroy prepared-but-unswitched replacement QPs, then
+  // lift their suspension so traffic to the source resumes.
+  guest_->set_wbs_done_callback(nullptr);
+  for (GuestId pid : partners_) {
+    GuestContext* partner = partner_guest(pid);
+    if (partner == nullptr) continue;
+    partner->set_wbs_done_callback(nullptr);
+    partner->partner_abort_prepared(guest_id_);
+    if (partner->suspended()) (void)partner->abort_suspension();
+  }
+
+  // Resume the source service in place.
+  if (src_proc_->frozen()) src_proc_->thaw();
+  if (guest_->suspended()) (void)guest_->abort_suspension();
+
+  // Reclaim everything staged on the destination RNIC.
+  plugin_.abort_staged();
+
+  report_.ok = false;
+  report_.aborted = true;
+  report_.abort_reason = st.to_string();
+  report_.abort_phase = phase_;
+  report_.error = st.to_string();
+  report_.source_resumed = !src_proc_->frozen() && !guest_->suspended();
+  auto& reg = obs::Registry::global();
+  reg.counter("migr.migrations_aborted").inc();
+  reg.counter("migr.migrations_aborted_in", {{"phase", phase_}}).inc();
+  trace_instant(loop_.now(), "migration_aborted",
+                "\"guest\":" + std::to_string(guest_id_) + ",\"phase\":\"" + phase_ + "\"");
   if (done_) done_(report_);
 }
 
@@ -95,6 +142,7 @@ GuestContext* MigrationController::partner_guest(GuestId id) const {
 // ---------------------------------------------------------------------------
 
 void MigrationController::phase_initial_dump() {
+  phase_ = "pre_dump";
   auto dump = ckpt_->pre_dump();
   sim::DurationNs cost = dump.cost;
   // CRIU's page walk competes with the NIC for memory bandwidth: brownout
@@ -121,31 +169,66 @@ void MigrationController::phase_initial_dump() {
 }
 
 void MigrationController::transfer_to_dest(Bytes payload, std::function<void(Bytes)> cb) {
-  // One-shot ctrl-plane transfer: pays real serialization time on the
-  // source port (competing with RDMA traffic) plus propagation.
-  fabric_.register_service(dest_rt_->host(), xfer_service_,
-                           [this, cb = std::move(cb)](net::HostId, Bytes&& p) {
-                             // Unregistering destroys this very lambda; keep the
-                             // continuation alive on the stack first.
-                             auto continuation = cb;
-                             fabric_.unregister_service(dest_rt_->host(), xfer_service_);
-                             continuation(std::move(p));
-                           });
-  fabric_.send_ctrl(src_rt_->host(), dest_rt_->host(), xfer_service_, std::move(payload));
+  // Ctrl-plane transfer: pays real serialization time on the source port
+  // (competing with RDMA traffic) plus propagation. The payload is retained
+  // so a lost delivery (partition, blackhole) can be re-sent; each attempt
+  // runs under a deadline and exhaustion aborts the migration.
+  xfer_attempt_ = 0;
+  xfer_payload_ = std::move(payload);
+  xfer_cb_ = std::move(cb);
+  fabric_.register_service(dest_rt_->host(), xfer_service_, [this](net::HostId, Bytes&& p) {
+    xfer_timeout_handle_.cancel();
+    // Unregistering destroys this very lambda; keep the continuation alive
+    // on the stack first.
+    auto continuation = xfer_cb_;
+    xfer_cb_ = nullptr;
+    xfer_payload_.clear();
+    fabric_.unregister_service(dest_rt_->host(), xfer_service_);
+    continuation(std::move(p));
+  });
+  send_xfer_attempt();
+}
+
+void MigrationController::send_xfer_attempt() {
+  // Re-sends pay serialization again, exactly like a real re-transfer would.
+  fabric_.send_ctrl(src_rt_->host(), dest_rt_->host(), xfer_service_, xfer_payload_);
+  if (options_.transfer_timeout > 0) {
+    xfer_timeout_handle_ =
+        loop_.schedule_in(options_.transfer_timeout, [this] { on_xfer_timeout(); });
+  }
+}
+
+void MigrationController::on_xfer_timeout() {
+  if (xfer_cb_ == nullptr) return;  // delivered in the meantime
+  if (xfer_attempt_ >= options_.max_transfer_retries) {
+    return abort(common::err(Errc::timeout,
+                             "transfer to destination timed out after " +
+                                 std::to_string(xfer_attempt_ + 1) + " attempts"));
+  }
+  xfer_attempt_++;
+  report_.transfer_retries++;
+  obs::Registry::global().counter("migr.transfer_retries").inc();
+  const sim::DurationNs backoff = options_.transfer_retry_backoff << (xfer_attempt_ - 1);
+  MIGR_WARN() << "transfer to destination timed out; retry " << xfer_attempt_ << "/"
+              << options_.max_transfer_retries << " after " << backoff << " ns";
+  loop_.schedule_in(backoff, [this] {
+    if (xfer_cb_ != nullptr) send_xfer_attempt();
+  });
 }
 
 void MigrationController::phase_partial_restore(Bytes payload) {
+  phase_ = "partial_restore";
   ByteReader r{payload};
   auto mem_bytes = r.bytes();
   auto page_bytes = r.bytes();
   auto rdma_bytes = r.bytes();
   if (!mem_bytes.is_ok() || !page_bytes.is_ok() || !rdma_bytes.is_ok()) {
-    return fail(common::err(Errc::invalid_argument, "corrupt initial payload"));
+    return abort(common::err(Errc::invalid_argument, "corrupt initial payload"));
   }
   auto mem_image = criu::MemoryImage::parse(mem_bytes.value());
   auto pages = criu::PageSet::parse(page_bytes.value());
   if (!mem_image.is_ok() || !pages.is_ok()) {
-    return fail(common::err(Errc::invalid_argument, "corrupt memory image"));
+    return abort(common::err(Errc::invalid_argument, "corrupt memory image"));
   }
 
   sim::DurationNs cost = 0;
@@ -154,27 +237,27 @@ void MigrationController::phase_partial_restore(Bytes payload) {
     // Step 2' part 1: map RDMA memory structures (on-chip memory) before
     // the memory restoration starts (§3.2).
     if (auto st = plugin_.premap(rdma_bytes.value(), *dest_rt_, *dest_proc_); !st.is_ok()) {
-      return fail(st);
+      return abort(st);
     }
     cost += plugin_.take_cost();
     pinned_ = Plugin::pinned_vma_starts(mem_image.value(), plugin_.predump_image());
   }
 
   auto begin_rep = restorer_->begin(mem_image.value(), pinned_);
-  if (!begin_rep.is_ok()) return fail(begin_rep.status());
+  if (!begin_rep.is_ok()) return abort(begin_rep.status());
   cost += begin_rep->cost;
   auto pages_rep = restorer_->apply_pages(pages.value());
-  if (!pages_rep.is_ok()) return fail(pages_rep.status());
+  if (!pages_rep.is_ok()) return abort(pages_rep.status());
   cost += pages_rep->cost;
 
   if (options_.pre_setup) {
     // Step 2' part 2: full RDMA pre-setup + partner QP pre-establishment.
     if (auto st = plugin_.pre_setup(rdma_bytes.value(), *dest_rt_, *dest_proc_);
         !st.is_ok()) {
-      return fail(st);
+      return abort(st);
     }
     report_.presetup_restore_rdma += plugin_.take_cost();
-    if (auto st = presetup_partners(); !st.is_ok()) return fail(st);
+    if (auto st = presetup_partners(); !st.is_ok()) return abort(st);
     // Connecting the staged QPs (INIT/RTR/RTS per QP) is the bulk of the
     // RestoreRDMA time pre-setup moves out of the blackout window.
     report_.presetup_restore_rdma += plugin_.staged().take_ctrl_cost();
@@ -222,6 +305,7 @@ Status MigrationController::presetup_partners() {
 }
 
 void MigrationController::phase_precopy_round() {
+  phase_ = "precopy";
   if (rounds_done_ >= options_.max_precopy_rounds ||
       ckpt_->pending_dirty() <= options_.dirty_page_threshold) {
     return phase_stop_and_copy();
@@ -245,19 +329,19 @@ void MigrationController::phase_precopy_round() {
       auto mem_bytes = r.bytes();
       auto page_bytes = r.bytes();
       if (!mem_bytes.is_ok() || !page_bytes.is_ok()) {
-        return fail(common::err(Errc::invalid_argument, "corrupt round payload"));
+        return abort(common::err(Errc::invalid_argument, "corrupt round payload"));
       }
       auto mem_image = criu::MemoryImage::parse(mem_bytes.value());
       auto pages = criu::PageSet::parse(page_bytes.value());
       if (!mem_image.is_ok() || !pages.is_ok()) {
-        return fail(common::err(Errc::invalid_argument, "corrupt round image"));
+        return abort(common::err(Errc::invalid_argument, "corrupt round image"));
       }
       sim::DurationNs cost = 0;
       auto up = restorer_->update(mem_image.value(), pinned_);
-      if (!up.is_ok()) return fail(up.status());
+      if (!up.is_ok()) return abort(up.status());
       cost += up->cost;
       auto ap = restorer_->apply_pages(pages.value());
-      if (!ap.is_ok()) return fail(ap.status());
+      if (!ap.is_ok()) return abort(ap.status());
       cost += ap->cost;
       loop_.schedule_in(cost, [this] { phase_precopy_round(); });
     });
@@ -269,6 +353,7 @@ void MigrationController::phase_precopy_round() {
 // ---------------------------------------------------------------------------
 
 void MigrationController::phase_stop_and_copy() {
+  phase_ = "wait_before_stop";
   report_.suspend_at = loop_.now();
   trace_instant(report_.suspend_at, "suspend",
                 "\"partners\":" + std::to_string(partners_.size()));
@@ -286,6 +371,10 @@ void MigrationController::phase_stop_and_copy() {
   // §3.4: the upper bound on wait-before-stop for buggy networks.
   wbs_timeout_handle_ = loop_.schedule_in(options_.wbs_timeout, [this] {
     if (wbs_completed_) return;
+    if (options_.abort_on_wbs_timeout) {
+      return abort(common::err(Errc::timeout,
+                               "wait-before-stop timed out (network too degraded)"));
+    }
     MIGR_WARN() << "wait-before-stop timed out; forcing stop-and-copy";
     report_.wbs_timed_out = true;
     guest_->force_wbs_timeout();
@@ -326,13 +415,14 @@ void MigrationController::on_wbs_complete() {
 }
 
 void MigrationController::phase_final_transfer() {
+  phase_ = "final_transfer";
   // Step 4: freeze the service.
   report_.freeze_at = loop_.now();
   trace_instant(report_.freeze_at, "freeze");
   src_proc_->freeze();
 
   auto dmem = ckpt_->final_dump();
-  if (!dmem.is_ok()) return fail(dmem.status());
+  if (!dmem.is_ok()) return abort(dmem.status());
   report_.dump_others = dmem->cost;
 
   sim::DurationNs rdma_dump_cost = 0;
@@ -372,6 +462,7 @@ void MigrationController::phase_final_transfer() {
 }
 
 void MigrationController::phase_final_restore(Bytes payload) {
+  phase_ = "final_restore";
   ByteReader r{payload};
   auto mem_bytes = r.bytes();
   auto page_bytes = r.bytes();
@@ -379,23 +470,23 @@ void MigrationController::phase_final_restore(Bytes payload) {
   auto rdma_final_bytes = r.bytes();
   if (!mem_bytes.is_ok() || !page_bytes.is_ok() || !rdma_full_bytes.is_ok() ||
       !rdma_final_bytes.is_ok()) {
-    return fail(common::err(Errc::invalid_argument, "corrupt final payload"));
+    return abort(common::err(Errc::invalid_argument, "corrupt final payload"));
   }
   auto mem_image = criu::MemoryImage::parse(mem_bytes.value());
   auto pages = criu::PageSet::parse(page_bytes.value());
   if (!mem_image.is_ok() || !pages.is_ok()) {
-    return fail(common::err(Errc::invalid_argument, "corrupt final memory image"));
+    return abort(common::err(Errc::invalid_argument, "corrupt final memory image"));
   }
 
   sim::DurationNs criu_cost = 0;
   auto up = restorer_->update(mem_image.value(), pinned_);
-  if (!up.is_ok()) return fail(up.status());
+  if (!up.is_ok()) return abort(up.status());
   criu_cost += up->cost;
   auto ap = restorer_->apply_pages(pages.value());
-  if (!ap.is_ok()) return fail(ap.status());
+  if (!ap.is_ok()) return abort(ap.status());
   criu_cost += ap->cost;
   auto fin = restorer_->finish();
-  if (!fin.is_ok()) return fail(fin.status());
+  if (!fin.is_ok()) return abort(fin.status());
   criu_cost += fin->cost;
   report_.full_restore = criu_cost;
 
@@ -405,17 +496,20 @@ void MigrationController::phase_final_restore(Bytes payload) {
     // now that all memory has been restored (§4 baseline).
     if (auto st = plugin_.pre_setup(rdma_full_bytes.value(), *dest_rt_, *dest_proc_);
         !st.is_ok()) {
-      return fail(st);
+      return abort(st);
     }
     rdma_cost += plugin_.take_cost();
-    if (auto st = presetup_partners(); !st.is_ok()) return fail(st);
+    if (auto st = presetup_partners(); !st.is_ok()) return abort(st);
     rdma_cost += plugin_.staged().take_ctrl_cost();
     rdma_cost += report_.presetup_restore_rdma;  // partner costs are in blackout here
     report_.presetup_restore_rdma = 0;
   }
 
   // Step 6': map the new RDMA resources into the restored process and apply
-  // the virtualization fix-ups; step 7: replay.
+  // the virtualization fix-ups; step 7: replay. Releasing the source is the
+  // commit point: from here on the guest's resources are being rewired onto
+  // the destination and an in-place source resume is no longer possible.
+  committed_ = true;
   auto owned = src_rt_->release_guest(guest_);
   if (owned == nullptr) return fail(common::err(Errc::internal, "guest ownership lost"));
   if (auto st = plugin_.full_restore(*guest_, rdma_final_bytes.value(), *dest_rt_);
@@ -450,6 +544,7 @@ void MigrationController::phase_final_restore(Bytes payload) {
 }
 
 void MigrationController::phase_resume() {
+  phase_ = "resume";
   report_.resume_at = loop_.now();
   // Source reclaims everything it still holds.
   src_proc_->kill();

@@ -33,6 +33,16 @@ struct MigrationOptions {
   int max_precopy_rounds = 3;       // dirty-page iterations after the full copy
   std::size_t dirty_page_threshold = 64;  // stop iterating below this many pages
   sim::DurationNs wbs_timeout = sim::sec(5);  // §3.4 buggy-network upper bound
+  // Adversarial-network handling. Every ctrl-plane image transfer (pre-copy
+  // rounds and the final one) gets a per-attempt deadline and bounded
+  // retries with exponential backoff; exhaustion aborts the migration and
+  // rolls the source back. transfer_timeout = 0 disables the deadline.
+  sim::DurationNs transfer_timeout = sim::sec(1);
+  int max_transfer_retries = 3;                  // re-sends after the first attempt
+  sim::DurationNs transfer_retry_backoff = sim::msec(50);  // doubles per retry
+  // WBS-timeout policy: false = §3.4 forced stop-and-copy (harvest in-flight
+  // WRs for replay); true = treat the timeout as fatal and abort/roll back.
+  bool abort_on_wbs_timeout = false;
   criu::CriuCosts criu_costs;
   MigrCosts migr_costs;
   rnic::Psn psn_seed = 500'000;
@@ -41,6 +51,15 @@ struct MigrationOptions {
 struct MigrationReport {
   bool ok = false;
   std::string error;
+
+  // Abort/rollback outcome: the migration was cancelled before the commit
+  // point (source release), all staged destination resources were reclaimed,
+  // and the service keeps running on the source.
+  bool aborted = false;
+  std::string abort_reason;
+  std::string abort_phase;
+  bool source_resumed = false;     // source service running again after abort
+  std::uint64_t transfer_retries = 0;  // ctrl-plane transfer re-sends
 
   // Simulated timestamps of the phase boundaries.
   sim::TimeNs start = 0;
@@ -100,9 +119,16 @@ class MigrationController {
 
  private:
   void fail(const common::Status& st);
+  /// Cancel the migration and roll back: resume the source in place, clean
+  /// up partner-side prepared QPs, and tear down staged destination
+  /// resources. Past the commit point (source released) this degrades to
+  /// fail() — there is no source left to resume.
+  void abort(const common::Status& st);
   void phase_initial_dump();
   void transfer_to_dest(common::Bytes payload,
                         std::function<void(common::Bytes)> on_delivered);
+  void send_xfer_attempt();
+  void on_xfer_timeout();
   void phase_partial_restore(common::Bytes payload);
   common::Status presetup_partners();
   void phase_precopy_round();
@@ -146,6 +172,14 @@ class MigrationController {
   sim::EventHandle wbs_timeout_handle_;
   rnic::Psn psn_cursor_;
   std::string xfer_service_;
+
+  // Abort/rollback state machine.
+  const char* phase_ = "init";
+  bool committed_ = false;  // source released: abort no longer possible
+  int xfer_attempt_ = 0;
+  common::Bytes xfer_payload_;  // retained for re-sends
+  std::function<void(common::Bytes)> xfer_cb_;
+  sim::EventHandle xfer_timeout_handle_;
 
   MigrationReport report_;
 };

@@ -66,6 +66,14 @@ class Plugin {
   StagedRestore& staged() noexcept { return staged_; }
   const RdmaImage& predump_image() const noexcept { return predump_image_; }
 
+  /// Abort-path cleanup: tear down whatever was staged on the destination.
+  /// Must not be called after full_restore handed the staged resources to
+  /// the guest (past that commit point the controller fails hard instead).
+  void abort_staged() {
+    staged_.abandon();
+    premapped_ = false;
+  }
+
   /// Full restore (steps 6/6'->7): adopt staged resources into the guest
   /// and apply the final fixups/replays.
   common::Status full_restore(GuestContext& guest, const common::Bytes& final_bytes,

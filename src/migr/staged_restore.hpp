@@ -55,6 +55,12 @@ class StagedRestore {
     peer_endpoints_[vqpn] = PeerEndpoint{host, pqpn, peer};
   }
 
+  /// Abort-path teardown: destroy every staged resource by closing the
+  /// staged device context and reset to the pre-premap state. Safe to call
+  /// at any point before the guest adopts the staged resources.
+  void abandon();
+  bool active() const noexcept { return ctx_ != nullptr; }
+
   /// Simulated control-path time spent since the last call (the RestoreRDMA
   /// cost that pre-setup moves out of the blackout window).
   sim::DurationNs take_ctrl_cost() noexcept {

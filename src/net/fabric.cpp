@@ -32,6 +32,7 @@ Status Fabric::attach_host(HostId host) {
             {"data_bytes_tx", static_cast<double>(s.data_bytes_tx)},
             {"data_bytes_rx", static_cast<double>(s.data_bytes_rx)},
             {"data_packets_dropped", static_cast<double>(s.data_packets_dropped)},
+            {"data_packets_reordered", static_cast<double>(s.data_packets_reordered)},
             {"ctrl_messages_tx", static_cast<double>(s.ctrl_messages_tx)},
             {"ctrl_bytes_tx", static_cast<double>(s.ctrl_bytes_tx)},
         };
@@ -98,7 +99,14 @@ void Fabric::send_data(Packet packet) {
     return;
   }
 
-  const sim::TimeNs deliver_at = serialized_at + config_.propagation;
+  sim::TimeNs deliver_at = serialized_at + config_.propagation;
+  if (faults_.reorder_prob > 0 && faults_.reorder_delay > 0 &&
+      rng_.chance(faults_.reorder_prob)) {
+    // Hold this packet back so packets serialized after it can overtake it.
+    deliver_at += static_cast<sim::DurationNs>(
+        rng_.range(1, static_cast<std::uint64_t>(faults_.reorder_delay)));
+    src_it->second.stats.data_packets_reordered++;
+  }
   loop_.schedule_at(deliver_at, [this, packet = std::move(packet)]() mutable {
     if (partitioned_.contains(packet.src) || partitioned_.contains(packet.dst)) return;
     auto port_it = ports_.find(packet.dst);
@@ -130,7 +138,7 @@ sim::TimeNs Fabric::send_ctrl(HostId src, HostId dst, const std::string& service
   // partition kills delivery exactly like a failed node would.
   const std::uint64_t wire_bytes = payload.size() + config_.header_bytes;
   const sim::TimeNs serialized_at = reserve_egress(src_it->second, wire_bytes);
-  const sim::TimeNs deliver_at = serialized_at + config_.propagation;
+  const sim::TimeNs deliver_at = serialized_at + config_.propagation + faults_.ctrl_delay;
 
   loop_.schedule_at(deliver_at, [this, src, dst, service, payload = std::move(payload)]() mutable {
     if (partitioned_.contains(src) || partitioned_.contains(dst)) return;

@@ -43,6 +43,14 @@ struct FabricConfig {
 
 struct Faults {
   double data_loss_prob = 0.0;  // i.i.d. drop probability on the data plane
+  // Reordering: with probability reorder_prob a data packet is held back by a
+  // uniform extra delay in (0, reorder_delay], letting later packets overtake
+  // it (exercises the receiver's out-of-sequence/NAK path).
+  double reorder_prob = 0.0;
+  sim::DurationNs reorder_delay = sim::usec(20);
+  // Extra one-way latency on the ctrl plane (slow out-of-band TCP; models a
+  // congested management network without touching the data plane).
+  sim::DurationNs ctrl_delay = 0;
 };
 
 /// A raw data-plane packet. The RNIC layer owns the payload format.
@@ -61,6 +69,7 @@ struct PortStats {
   std::uint64_t data_bytes_tx = 0;
   std::uint64_t data_bytes_rx = 0;
   std::uint64_t data_packets_dropped = 0;
+  std::uint64_t data_packets_reordered = 0;
   std::uint64_t ctrl_messages_tx = 0;
   std::uint64_t ctrl_bytes_tx = 0;
 };

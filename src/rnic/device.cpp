@@ -155,7 +155,21 @@ Status Device::migros_inject_qp(Qpn qpn, const MigrosQpState& st) {
   qp.next_psn = st.next_psn;
   qp.acked_psn = st.acked_psn;
   qp.expected_psn = st.expected_psn;
+  // The NAK-suppression sentinel belongs to the old PSN space; a stale
+  // value equal to the injected expected_psn would swallow the first NAK
+  // of the QP's new life.
+  qp.last_nak_psn = static_cast<Psn>(-1);
   return Status::ok();
+}
+
+std::vector<Qpn> Device::audit_stuck_qps(sim::DurationNs stale_after) const {
+  std::vector<Qpn> stuck;
+  for (const auto& [qpn, qp] : qp_routes_) {
+    if (qp->state != QpState::rts || qp->type != QpType::rc) continue;
+    if (qp->sq.empty() || !qp->sq.front().psn_assigned) continue;
+    if (loop_.now() - qp->last_progress >= stale_after) stuck.push_back(qpn);
+  }
+  return stuck;
 }
 
 // ---------------------------------------------------------------------------
@@ -352,6 +366,10 @@ Status Context::modify_qp_rtr(Qpn qpn, net::HostId remote_host, Qpn remote_qpn,
     qp->remote_host = remote_host;
     qp->remote_qpn = remote_qpn;
     qp->expected_psn = expected_psn;
+    // Fresh PSN space (possibly reusing PSNs from a pre-migration life):
+    // drop the NAK-suppression sentinel or the first gap at a reused PSN
+    // would be silently swallowed.
+    qp->last_nak_psn = static_cast<Psn>(-1);
   }
   qp->state = QpState::rtr;
   dev_.note_qp_transition(qpn, QpState::rtr);
@@ -391,6 +409,7 @@ Status Context::modify_qp_reset(Qpn qpn) {
   qp->sq.clear();
   qp->rq.clear();
   qp->next_psn = qp->acked_psn = qp->expected_psn = 0;
+  qp->last_nak_psn = static_cast<Psn>(-1);
   qp->emit_cursor = 0;
   qp->recv_active = false;
   qp->atomic_cache.clear();

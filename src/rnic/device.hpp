@@ -355,6 +355,13 @@ class Device {
   Qpn qpn_base() const noexcept { return qpn_base_; }
   std::uint64_t device_memory_free() const noexcept { return dm_free_; }
 
+  /// Stuck-QP audit: RC QPs in RTS that hold PSN-assigned unacked work and
+  /// have made no progress for at least `stale_after`. A healthy requester
+  /// keeps a retransmit timer alive for such QPs, so they either complete
+  /// or flush to error — the fault-injection property tests drain the loop
+  /// and assert this comes back empty.
+  std::vector<Qpn> audit_stuck_qps(sim::DurationNs stale_after) const;
+
   // ---- MigrOS ablation (migration-aware firmware only) ----
   common::Result<MigrosQpState> migros_extract_qp(Qpn qpn);
   common::Status migros_inject_qp(Qpn qpn, const MigrosQpState& st);
@@ -376,7 +383,7 @@ class Device {
   void on_read_resp(Qp& qp, const WirePacket& pkt);
   void on_atomic_resp(Qp& qp, const WirePacket& pkt);
   void send_ack(Qp& qp);
-  void send_nak(Qp& qp);
+  void send_nak(Qp& qp, bool rnr = false);
 
   // Remote-key validation across every context on this device.
   struct RkeyTarget {

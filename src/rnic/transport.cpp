@@ -18,6 +18,11 @@ namespace {
 
 constexpr std::uint8_t kErrNone = 0;
 constexpr std::uint8_t kErrRemoteAccess = 1;
+// NAK syndrome (carried in the spare atomic_op byte, like kErrRemoteAccess):
+// receiver-not-ready is flow control — the requester retries without
+// consuming retry budget (IB's separate, default-infinite rnr_retry) —
+// whereas a plain sequence-error NAK counts against the budget.
+constexpr std::uint8_t kNakRnr = 2;
 
 CqeOpcode send_cqe_opcode(WrOpcode op) {
   switch (op) {
@@ -467,7 +472,12 @@ void Device::on_retransmit_timer(Qpn qpn) {
   if (qp.sq.empty()) return;
   // Anything left unacked and quiet for a full timeout?
   if (loop_.now() - qp.last_progress < costs().retransmit_timeout) {
-    return;  // progress happened; a newer timer is (or will be) armed
+    // Progress happened since this timer was armed — but nothing else arms
+    // one (ACK progress does not), so keep a timer alive until the SQ
+    // drains; otherwise a tail left unacked after a partial cumulative ACK
+    // stalls forever.
+    arm_retransmit_timer(qp);
+    return;
   }
   const SendWqe& head = qp.sq.front();
   if (!head.psn_assigned) return;
@@ -494,7 +504,7 @@ void Device::send_ack(Qp& qp) {
   transmit(std::move(ack), qp.remote_host);
 }
 
-void Device::send_nak(Qp& qp) {
+void Device::send_nak(Qp& qp, bool rnr) {
   if (qp.last_nak_psn == qp.expected_psn) return;  // one NAK per gap event
   qp.last_nak_psn = qp.expected_psn;
   metrics_.nak_tx->inc();
@@ -503,6 +513,7 @@ void Device::send_nak(Qp& qp) {
   nak.src_qpn = qp.qpn;
   nak.dst_qpn = qp.remote_qpn;
   nak.psn = qp.expected_psn;
+  nak.atomic_op = rnr ? kNakRnr : kErrNone;
   transmit(std::move(nak), qp.remote_host);
 }
 
@@ -529,6 +540,19 @@ void Device::on_ack(Qp& qp, const WirePacket& pkt) {
     complete_head_wqes(qp);
   }
   if (pkt.op == PktOp::nak) {
+    // A sequence-error NAK rewind consumes retry budget just like a timeout
+    // does; ACK progress (above) resets it, so only progress-free rewinds
+    // accumulate and a persistently broken peer cannot keep the QP
+    // rewinding forever. RNR NAKs are flow control, not network damage, and
+    // stay budget-free (IB's rnr_retry, default infinite).
+    if (pkt.atomic_op != kNakRnr) {
+      qp.retries++;
+      if (qp.retries > costs().retry_count) {
+        MIGR_WARN() << "QP " << qp.qpn << " NAK rewind budget exhausted; moving to error";
+        flush_qp(qp, /*notify=*/true);
+        return;
+      }
+    }
     counters_.retransmits++;
     metrics_.retransmits->inc();
     rewind_to(qp, retransmit_point(qp));
@@ -701,13 +725,13 @@ void Device::on_request(Qp& qp, WirePacket& pkt) {
         if (qp.srq != 0) {
           auto* srq = qp.ctx->srqs_.find(qp.srq)->second.get();
           if (srq->wqes.empty()) {
-            send_nak(qp);  // receiver-not-ready; sender will retry
+            send_nak(qp, /*rnr=*/true);  // receiver-not-ready; sender will retry
             return;
           }
           wr = srq->wqes.pop();
         } else {
           if (qp.rq.empty()) {
-            send_nak(qp);
+            send_nak(qp, /*rnr=*/true);
             return;
           }
           wr = qp.rq.pop();
@@ -776,7 +800,7 @@ void Device::on_request(Qp& qp, WirePacket& pkt) {
         }
         if (!have) {
           qp.expected_psn = pkt.psn;  // un-consume; retry like RNR
-          send_nak(qp);
+          send_nak(qp, /*rnr=*/true);
           return;
         }
         qp.n_recv++;

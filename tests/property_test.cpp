@@ -14,6 +14,7 @@
 
 #include "apps/perftest.hpp"
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "migr/migration.hpp"
 #include "rnic/world.hpp"
 
@@ -194,6 +195,114 @@ INSTANTIATE_TEST_SUITE_P(
       const auto& p = info.param;
       return std::string(rnic::is_two_sided(p.opcode) ? "send" : "write") + "_qp" +
              std::to_string(p.qps) + (p.pre_setup ? "_presetup" : "_nopresetup");
+    });
+
+// ---------------------------------------------------------------------------
+// Adversarial-network migration properties
+// ---------------------------------------------------------------------------
+
+struct AdversarialParam {
+  std::uint64_t seed;
+  double loss;  // steady-state data-plane drop probability
+};
+
+class AdversarialMigrationProperty : public ::testing::TestWithParam<AdversarialParam> {};
+
+// Under sustained loss + reordering, every seeded migration must either
+// complete (§5.3 invariants intact) or abort cleanly: abort reason recorded,
+// source resumed and serving, and no QP on any host left permanently
+// unacked.
+TEST_P(AdversarialMigrationProperty, CompletesOrAbortsCleanlyNoStuckQps) {
+  const auto param = GetParam();
+  rnic::World world({}, param.seed);
+  std::vector<rnic::Device*> devices;
+  migrlib::GuestDirectory dir;
+  std::vector<std::unique_ptr<migrlib::MigrRdmaRuntime>> rts;
+  for (net::HostId h = 1; h <= 3; ++h) {
+    devices.push_back(&world.add_device(h));
+    rts.push_back(
+        std::make_unique<migrlib::MigrRdmaRuntime>(dir, *devices.back(), world.fabric()));
+  }
+  // Steady loss + reordering from t=0, plus two seeded loss bursts thrown
+  // at the migration window.
+  fault::ScenarioRunner runner(world.loop(), world.fabric());
+  fault::FaultPlan plan = fault::FaultPlan::random_bursts(
+      param.seed, /*bursts=*/2, sim::msec(5), sim::msec(60), sim::msec(2),
+      std::min(1.0, param.loss * 4));
+  plan.baseline(param.loss, /*reorder_prob=*/0.25, /*reorder_delay=*/sim::usec(20));
+  runner.run(plan);
+
+  apps::PerftestConfig cfg;
+  cfg.num_qps = 4;
+  cfg.msg_size = 8192;
+  cfg.queue_depth = 16;
+  cfg.opcode = rnic::WrOpcode::rdma_write;
+  apps::PerftestPeer tx(*rts[0], world.add_process("tx"), 1, apps::PerftestPeer::Role::sender,
+                        cfg);
+  apps::PerftestPeer rx(*rts[2], world.add_process("rx"), 2,
+                        apps::PerftestPeer::Role::receiver, cfg);
+  for (std::uint32_t i = 0; i < cfg.num_qps; ++i) {
+    ASSERT_TRUE(apps::PerftestPeer::connect_pair(tx, i, rx, i).is_ok());
+  }
+  tx.start();
+  rx.start();
+  world.loop().run_until(world.loop().now() + sim::msec(3));
+
+  auto& dest = world.add_process("dest");
+  migrlib::MigrationOptions opts;
+  opts.wbs_timeout = sim::msec(500);
+  migrlib::MigrationController ctl(world.loop(), world.fabric(), dir, opts);
+  migrlib::MigrationReport report;
+  bool done = false;
+  ASSERT_TRUE(ctl.start(1, 2, dest, &tx, [&](const migrlib::MigrationReport& r) {
+                   report = r;
+                   done = true;
+                 })
+                  .is_ok());
+  const sim::TimeNs deadline = world.loop().now() + sim::sec(60);
+  while (!done && world.loop().now() < deadline) {
+    world.loop().run_until(world.loop().now() + sim::msec(1));
+  }
+  ASSERT_TRUE(done) << "migration neither completed nor aborted under loss " << param.loss;
+
+  if (report.ok) {
+    EXPECT_FALSE(report.aborted);
+    EXPECT_EQ(tx.stats().order_violations, 0u);
+    EXPECT_EQ(rx.stats().order_violations, 0u);
+    EXPECT_EQ(rx.stats().content_corruptions, 0u);
+  } else {
+    ASSERT_TRUE(report.aborted) << "failed without clean abort: " << report.error;
+    EXPECT_FALSE(report.abort_reason.empty());
+    EXPECT_TRUE(report.source_resumed);
+  }
+
+  // Whatever the outcome, the service must still be making progress...
+  const auto before = tx.stats().completed_msgs;
+  world.loop().run_until(world.loop().now() + sim::msec(50));
+  EXPECT_GT(tx.stats().completed_msgs, before)
+      << "service stalled after " << (report.ok ? "completion" : "abort");
+  EXPECT_EQ(tx.stats().errors, 0u);
+
+  // ...and no QP anywhere may sit with unacked work and no progress. The
+  // stale window far exceeds the retransmit timeout, so a QP flagged here
+  // is permanently wedged, not merely retrying.
+  world.loop().run_until(world.loop().now() + sim::msec(300));
+  for (auto* dev : devices) {
+    EXPECT_TRUE(dev->audit_stuck_qps(sim::msec(250)).empty())
+        << "stuck QP on host " << dev->host();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossSweep, AdversarialMigrationProperty,
+    ::testing::Values(AdversarialParam{1, 0.001}, AdversarialParam{2, 0.001},
+                      AdversarialParam{3, 0.01}, AdversarialParam{4, 0.01},
+                      AdversarialParam{5, 0.05}, AdversarialParam{6, 0.05},
+                      AdversarialParam{7, 0.05}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "seed" + std::to_string(p.seed) + "_loss" +
+             std::to_string(static_cast<int>(p.loss * 1000)) + "permille";
     });
 
 // ---------------------------------------------------------------------------

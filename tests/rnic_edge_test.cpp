@@ -312,6 +312,150 @@ TEST_F(RnicEdgeTest, StalePacketsForDestroyedQpAreDropped) {
   EXPECT_EQ(ctx_a_->query_qp_state(qa).value(), QpState::err);
 }
 
+TEST_F(RnicEdgeTest, TailLossAfterPartialAckStillRetransmits) {
+  // Regression for the retransmit-timer tail stall: an ACK that makes
+  // partial progress resets last_progress, every outstanding timer then
+  // fires inside the quiet window and early-returns — if none of them
+  // re-arms, the unacked tail is never retransmitted and the QP hangs
+  // forever with work on its SQ.
+  auto [qa, qb] = pair();
+  Buf sb = buf(ctx_a_, pd_a_, 4096);
+  Buf db = buf(ctx_b_, pd_b_, 4096);
+  SendWr wr;
+  wr.opcode = WrOpcode::rdma_write;
+  wr.remote_addr = db.addr;
+  wr.rkey = db.mr.rkey;
+  wr.sge = {{sb.addr, 64, sb.mr.lkey}};
+
+  // WRITE #1 goes through cleanly; run until its packet and the returning
+  // ACK are already on the wire (propagation is 2 us each way).
+  wr.wr_id = 1;
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  world_.loop().run_until(world_.loop().now() + sim::usec(3));
+
+  // WRITE #2 is dropped at transmission; the only recovery path left is
+  // the retransmit-timer chain.
+  world_.fabric().set_faults(net::Faults{.data_loss_prob = 1.0});
+  wr.wr_id = 2;
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  world_.loop().run_until(world_.loop().now() + sim::usec(3));
+  world_.fabric().set_faults(net::Faults{});
+
+  // ACK #1 lands now: partial cumulative progress, WRITE #2 still unacked.
+  Cqe c1 = wait_cqe(ctx_a_, cq_a_);
+  EXPECT_EQ(c1.wr_id, 1u);
+  ASSERT_EQ(c1.status, CqeStatus::success);
+  ASSERT_FALSE(ctx_a_->find_qp(qa)->sq.empty());
+
+  // The re-armed timer must eventually retransmit the tail.
+  Cqe c2 = wait_cqe(ctx_a_, cq_a_);
+  EXPECT_EQ(c2.wr_id, 2u);
+  EXPECT_EQ(c2.status, CqeStatus::success);
+  EXPECT_TRUE(ctx_a_->find_qp(qa)->sq.empty());
+  EXPECT_GT(dev_a_->counters().retransmits, 0u);
+  EXPECT_TRUE(dev_a_->audit_stuck_qps(sim::msec(200)).empty());
+}
+
+TEST_F(RnicEdgeTest, ProgressFreeNakRewindsExhaustRetryBudget) {
+  // A peer that NAKs every retransmission without ever advancing the
+  // cumulative ACK point must not keep the requester rewinding forever:
+  // each progress-free sequence NAK burns retry budget and the QP flushes
+  // to error once it is exhausted. Forge the NAK storm on the wire (the
+  // responder QP is destroyed, so nothing real answers).
+  auto [qa, qb] = pair();
+  Buf sb = buf(ctx_a_, pd_a_, 4096);
+  ASSERT_TRUE(ctx_b_->destroy_qp(qb).is_ok());
+  SendWr wr;
+  wr.wr_id = 77;
+  wr.opcode = WrOpcode::send;
+  wr.sge = {{sb.addr, 64, sb.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  world_.loop().run_until(world_.loop().now() + sim::usec(1));  // emitted
+
+  const Psn stuck_psn = ctx_a_->find_qp(qa)->acked_psn;  // rewind target: no progress
+  for (int i = 0; i < 10; ++i) {
+    WirePacket nak;
+    nak.op = PktOp::nak;
+    nak.src_qpn = qb;
+    nak.dst_qpn = qa;
+    nak.psn = stuck_psn;
+    world_.fabric().send_data({/*src=*/2, /*dst=*/1, nak.serialize()});
+    world_.loop().run_until(world_.loop().now() + sim::usec(10));
+    if (ctx_a_->query_qp_state(qa).value() == QpState::err) break;
+  }
+
+  Cqe cqe = wait_cqe(ctx_a_, cq_a_);
+  EXPECT_EQ(cqe.wr_id, 77u);
+  EXPECT_EQ(cqe.status, CqeStatus::retry_exceeded);
+  EXPECT_EQ(ctx_a_->query_qp_state(qa).value(), QpState::err);
+  // Budget-bounded: well before the 50 ms retransmit-timeout path could
+  // have contributed anything.
+  EXPECT_LT(world_.loop().now(), sim::msec(1));
+}
+
+TEST_F(RnicEdgeTest, RnrNaksDoNotConsumeRetryBudget) {
+  // Receiver-not-ready is flow control, not network damage: a SEND posted
+  // long before any RECV must survive arbitrarily many RNR retry rounds
+  // and complete once the RECV finally appears.
+  auto [qa, qb] = pair();
+  Buf sb = buf(ctx_a_, pd_a_, 4096);
+  Buf rb = buf(ctx_b_, pd_b_, 4096);
+  SendWr wr;
+  wr.wr_id = 5;
+  wr.opcode = WrOpcode::send;
+  wr.sge = {{sb.addr, 64, sb.mr.lkey}};
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  // Dozens of RNR rounds' worth of sim time; the fatal budget is 7.
+  world_.loop().run_until(world_.loop().now() + sim::msec(2));
+  ASSERT_EQ(ctx_a_->query_qp_state(qa).value(), QpState::rts);
+
+  RecvWr rwr;
+  rwr.sge = {{rb.addr, 4096, rb.mr.lkey}};
+  ASSERT_TRUE(ctx_b_->post_recv(qb, rwr).is_ok());
+  EXPECT_EQ(wait_cqe(ctx_a_, cq_a_).status, CqeStatus::success);
+  EXPECT_EQ(wait_cqe(ctx_b_, cq_b_).status, CqeStatus::success);
+}
+
+TEST_F(RnicEdgeTest, NakSentinelClearedAcrossReconnect) {
+  // The one-NAK-per-gap-event sentinel must not leak across a QP's
+  // reconnect (reset->init->rtr), or a stale value equal to the new
+  // expected PSN suppresses the first NAK of the QP's next life and gap
+  // recovery silently degrades from ~1 RTT to a full retransmit timeout.
+  auto [qa, qb] = pair();
+  ASSERT_TRUE(ctx_a_->modify_qp_reset(qa).is_ok());
+  EXPECT_EQ(ctx_a_->find_qp(qa)->last_nak_psn, static_cast<Psn>(-1));
+  ASSERT_TRUE(ctx_b_->modify_qp_reset(qb).is_ok());
+
+  // Poison the sentinel with the exact PSN the reconnect installs; the
+  // rtr transition must clear it.
+  ctx_b_->find_qp_mut(qb)->last_nak_psn = 1000;
+  ASSERT_TRUE(rc_connect(*ctx_a_, qa, *ctx_b_, qb).is_ok());
+  EXPECT_EQ(ctx_b_->find_qp(qb)->last_nak_psn, static_cast<Psn>(-1));
+
+  // Behavioral check: drop the first WRITE, let the second through. The
+  // receiver sees a PSN gap and must NAK immediately — recovery happens in
+  // microseconds, not at the 50 ms retransmit timeout.
+  Buf sb = buf(ctx_a_, pd_a_, 4096);
+  Buf db = buf(ctx_b_, pd_b_, 4096);
+  SendWr wr;
+  wr.opcode = WrOpcode::rdma_write;
+  wr.remote_addr = db.addr;
+  wr.rkey = db.mr.rkey;
+  wr.sge = {{sb.addr, 64, sb.mr.lkey}};
+  world_.fabric().set_faults(net::Faults{.data_loss_prob = 1.0});
+  wr.wr_id = 1;
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  world_.loop().run_until(world_.loop().now() + sim::usec(1));  // emitted + dropped
+  world_.fabric().set_faults(net::Faults{});
+  wr.wr_id = 2;
+  ASSERT_TRUE(ctx_a_->post_send(qa, wr).is_ok());
+  const sim::TimeNs t0 = world_.loop().now();
+  EXPECT_EQ(wait_cqe(ctx_a_, cq_a_).status, CqeStatus::success);
+  EXPECT_EQ(wait_cqe(ctx_a_, cq_a_).status, CqeStatus::success);
+  EXPECT_LT(world_.loop().now() - t0, sim::msec(10)) << "gap recovery took the slow"
+                                                        " timeout path; NAK was suppressed";
+}
+
 TEST_F(RnicEdgeTest, TooManySgesRejected) {
   auto [qa, qb] = pair();
   Buf sb = buf(ctx_a_, pd_a_, 1 << 16);

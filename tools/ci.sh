@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full CI pipeline: plain build + tests, the adversarial/lossy suites on
+# their own (fast signal on transport/migration robustness regressions),
+# then the sanitizer pass.
+#
+#   tools/ci.sh              # everything
+#   tools/ci.sh --fast       # skip the sanitizer pass
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "==> [1/3] plain build + full test suite"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "==> [2/3] lossy-seed suites (fault injection, adversarial migrations)"
+# Deterministic seeded runs: the fault scenario suite plus every property
+# test that drives traffic through injected loss/reordering/partitions.
+ctest --test-dir build --output-on-failure -j "$(nproc)" \
+  -R '(ScenarioRunner|MigrationAbort|AdversarialMigrationProperty|TransportProperty)'
+
+if [[ "$FAST" == "1" ]]; then
+  echo "==> [3/3] sanitizer pass skipped (--fast)"
+  exit 0
+fi
+
+echo "==> [3/3] sanitizer pass (address)"
+tools/run_sanitized.sh address
