@@ -1,0 +1,66 @@
+// Fleet drain quickstart: the cluster orchestration API in one file.
+//
+// Builds a 4-host cluster, places chatty msg_node guests on it, then drains
+// host 1 — the scheduler picks destinations (least-loaded), respects the
+// admission limits, and the workflow reports makespan plus per-migration
+// blackout once the host is empty.
+//
+//   build/examples/fleet_drain
+#include <cstdio>
+
+#include "cluster/drain.hpp"
+
+using namespace migr;
+using namespace migr::cluster;
+
+int main() {
+  // --- a 4-host fleet on the default 100 Gbps fabric ---
+  ClusterConfig cfg;
+  cfg.hosts = 4;
+  cfg.seed = 7;
+  ClusterModel model(cfg);
+
+  // --- place guests: three on host 1, one partner on each other host ---
+  TrafficProfile profile;
+  profile.send_interval = sim::usec(50);   // keep SEND/RECV traffic flowing
+  profile.msg_bytes = 1024;
+  profile.extra_mem_bytes = 1 << 20;       // 1 MiB of migratable state...
+  profile.dirty_interval = sim::msec(2);   // ...dirtied while pre-copy runs
+  for (GuestId g = 0; g < 3; ++g) {
+    if (!model.add_guest(/*host=*/1, /*id=*/10 + g, profile).is_ok()) return 1;
+    if (!model.add_guest(2 + g, 20 + g, profile).is_ok()) return 1;
+    if (!model.connect_guests(10 + g, 20 + g).is_ok()) return 1;
+  }
+  model.run_for(sim::msec(5));  // let the apps reach steady state
+
+  for (net::HostId h = 1; h <= cfg.hosts; ++h) {
+    std::printf("host %u runs %zu guest(s)\n", h, model.guests_on(h).size());
+  }
+
+  // --- drain host 1: at most two migrations in flight fleet-wide ---
+  SchedulerConfig scfg;
+  scfg.limits.max_concurrent_fleet = 2;
+  MigrationScheduler sched(model, scfg);
+  DrainWorkflow drain(model, sched);
+
+  std::printf("\ndraining host 1 ...\n");
+  const DrainReport report = drain.run(1);
+  std::printf("%s", format_drain_report(report).c_str());
+  if (!report.ok) {
+    std::printf("drain failed: %s\n", report.error.c_str());
+    return 1;
+  }
+
+  // Guests kept talking throughout; the directory shows where they ended up.
+  std::printf("\nafter the drain:\n");
+  for (net::HostId h = 1; h <= cfg.hosts; ++h) {
+    std::printf("host %u runs %zu guest(s)%s\n", h, model.guests_on(h).size(),
+                model.draining(h) ? "  (draining)" : "");
+  }
+  if (model.audit_stuck_qps(sim::msec(10)) != 0) {
+    std::printf("stuck QPs detected!\n");
+    return 1;
+  }
+  std::printf("\nfleet_drain OK\n");
+  return 0;
+}

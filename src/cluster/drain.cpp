@@ -1,0 +1,188 @@
+#include "cluster/drain.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "obs/trace.hpp"
+
+namespace migr::cluster {
+
+using common::Errc;
+using common::Status;
+
+namespace {
+
+sim::DurationNs nearest_rank(const std::vector<sim::DurationNs>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t n = sorted.size();
+  std::size_t rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted[rank - 1];
+}
+
+std::uint64_t egress_bytes(const net::Fabric& fabric, net::HostId host) {
+  const net::PortStats& s = fabric.stats(host);
+  return s.data_bytes_tx + s.ctrl_bytes_tx;
+}
+
+}  // namespace
+
+DrainWorkflow::~DrainWorkflow() { sampler_.cancel(); }
+
+Status DrainWorkflow::start(net::HostId host, DoneCb done, DrainOptions options) {
+  if (active_) return common::err(Errc::failed_precondition, "drain already running");
+  if (!model_.fabric().attached(host)) return common::err(Errc::not_found, "no such host");
+
+  options_ = options;
+  done_ = std::move(done);
+  report_ = DrainReport{};
+  report_.host = host;
+  report_.started_at = model_.loop().now();
+  blackouts_.clear();
+
+  model_.set_draining(host, true);
+  const std::vector<GuestId> residents = model_.guests_on(host);
+  report_.migrations = residents.size();
+
+  auto& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    tracer.begin(report_.started_at, "drain", "cluster",
+                 "\"host\":" + std::to_string(host) +
+                     ",\"guests\":" + std::to_string(residents.size()));
+  }
+
+  if (residents.empty()) {
+    // Nothing to evacuate: terminal right here, no queue round-trip.
+    report_.finished_at = report_.started_at;
+    report_.ok = true;
+    if (tracer.enabled()) tracer.end(report_.started_at, "drain", "cluster");
+    if (done_) done_(report_);
+    return Status::ok();
+  }
+
+  active_ = true;
+  outstanding_ = residents.size();
+
+  last_egress_bytes_ = egress_bytes(model_.fabric(), host);
+  sampler_ = model_.loop().schedule_every(options_.sample_interval, [this, host] {
+    const std::uint64_t now_bytes = egress_bytes(model_.fabric(), host);
+    const double bits = static_cast<double>(now_bytes - last_egress_bytes_) * 8.0;
+    last_egress_bytes_ = now_bytes;
+    report_.egress_gbps.push_back(
+        {model_.loop().now(), bits / static_cast<double>(options_.sample_interval)});
+  });
+
+  for (GuestId g : residents) {
+    scheduler_->submit(MigrationRequest{g, 0, options_.priority},
+                       [this](const MigrationOutcome& out) { on_outcome(out); });
+  }
+  return Status::ok();
+}
+
+void DrainWorkflow::on_outcome(const MigrationOutcome& outcome) {
+  report_.outcomes.push_back(outcome);
+  if (outcome.completed) {
+    report_.completed++;
+    blackouts_.push_back(outcome.report.service_blackout());
+  } else {
+    report_.failed++;
+  }
+  const std::uint64_t extra_attempts =
+      outcome.attempts > 0 ? static_cast<std::uint64_t>(outcome.attempts) - 1 : 0;
+  report_.retries += extra_attempts;
+  report_.aborts += extra_attempts + (outcome.report.aborted && outcome.failed ? 1 : 0);
+  if (outstanding_ > 0 && --outstanding_ == 0) finalize();
+}
+
+void DrainWorkflow::finalize() {
+  sampler_.cancel();
+  active_ = false;
+  report_.finished_at = model_.loop().now();
+  report_.ok = report_.failed == 0 && report_.completed == report_.migrations;
+  if (!report_.ok) report_.error = std::to_string(report_.failed) + " migration(s) failed";
+
+  std::sort(report_.outcomes.begin(), report_.outcomes.end(),
+            [](const MigrationOutcome& a, const MigrationOutcome& b) {
+              return a.guest < b.guest;
+            });
+  std::sort(blackouts_.begin(), blackouts_.end());
+  report_.blackout_p50 = nearest_rank(blackouts_, 50);
+  report_.blackout_p99 = nearest_rank(blackouts_, 99);
+  report_.blackout_max = blackouts_.empty() ? 0 : blackouts_.back();
+
+  auto& reg = obs::Registry::global();
+  reg.counter("cluster.drain.completed").inc();
+  reg.gauge("cluster.drain.last_makespan_ns").set(static_cast<double>(report_.makespan()));
+  auto& tracer = obs::Tracer::global();
+  if (tracer.enabled()) tracer.end(report_.finished_at, "drain", "cluster");
+
+  MIGR_INFO() << "drain of host " << report_.host << " done: " << report_.completed << "/"
+              << report_.migrations << " evacuated, makespan " << report_.makespan()
+              << " ns, " << report_.retries << " retries";
+  if (done_) done_(report_);
+}
+
+DrainReport DrainWorkflow::run(net::HostId host, DrainOptions options) {
+  DrainReport out;
+  bool done = false;
+  auto st = start(
+      host,
+      [&](const DrainReport& r) {
+        out = r;
+        done = true;
+      },
+      options);
+  if (!st.is_ok()) {
+    out.host = host;
+    out.error = st.to_string();
+    return out;
+  }
+  const sim::TimeNs deadline = model_.loop().now() + options.deadline;
+  while (!done && model_.loop().now() < deadline) model_.run_for(sim::msec(1));
+  if (!done) {
+    out = report_;
+    out.error = "drain deadline exceeded";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering
+// ---------------------------------------------------------------------------
+
+std::string format_drain_report(const DrainReport& r) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "drain host=%u ok=%d guests=%" PRIu64 " completed=%" PRIu64
+                " failed=%" PRIu64 " retries=%" PRIu64 " aborts=%" PRIu64
+                " start_ns=%lld end_ns=%lld makespan_ns=%lld\n",
+                r.host, r.ok ? 1 : 0, r.migrations, r.completed, r.failed, r.retries,
+                r.aborts, static_cast<long long>(r.started_at),
+                static_cast<long long>(r.finished_at),
+                static_cast<long long>(r.makespan()));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "blackout_ns p50=%lld p99=%lld max=%lld samples=%zu\n",
+                static_cast<long long>(r.blackout_p50),
+                static_cast<long long>(r.blackout_p99),
+                static_cast<long long>(r.blackout_max), r.egress_gbps.size());
+  out += line;
+  for (const MigrationOutcome& o : r.outcomes) {
+    std::snprintf(line, sizeof(line),
+                  "guest=%u src=%u dest=%u attempts=%d ok=%d blackout_ns=%lld "
+                  "start_ns=%lld end_ns=%lld\n",
+                  o.guest, o.source, o.dest, o.attempts, o.completed ? 1 : 0,
+                  static_cast<long long>(o.completed ? o.report.service_blackout() : 0),
+                  static_cast<long long>(o.report.start),
+                  static_cast<long long>(o.report.end));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace migr::cluster

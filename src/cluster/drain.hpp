@@ -1,0 +1,98 @@
+// DrainWorkflow: end-to-end host evacuation for maintenance.
+//
+// Marks the host draining (no new placements), submits one policy-placed
+// migration request per resident guest at drain priority, and tracks the
+// batch to completion through the scheduler — including the scheduler's
+// abort/backoff-retry handling. While the drain runs it samples the drained
+// host's egress (data + ctrl bytes) into a bandwidth-vs-time series; at the
+// end it emits a fleet-level DrainReport: makespan, per-migration blackout
+// percentiles, aborts/retries/failures, and the sampled series.
+//
+// A drain of a host with zero guests completes synchronously inside
+// start(). The draining flag stays set after a successful evacuation (the
+// host is going down for maintenance); callers that want the host back call
+// ClusterModel::set_draining(host, false).
+#pragma once
+
+#include <string>
+
+#include "cluster/scheduler.hpp"
+
+namespace migr::cluster {
+
+struct DrainOptions {
+  int priority = 10;  // drains outrank default-priority single moves
+  sim::DurationNs sample_interval = sim::msec(1);  // bandwidth-vs-time sampling
+  sim::DurationNs deadline = sim::sec(600);        // for the synchronous run()
+};
+
+struct BandwidthSample {
+  sim::TimeNs at = 0;
+  double gbps = 0;  // drained-host egress (data + ctrl) over the last interval
+};
+
+struct DrainReport {
+  net::HostId host = 0;
+  bool ok = false;  // every resident guest evacuated (all completed)
+  std::string error;
+  sim::TimeNs started_at = 0;
+  sim::TimeNs finished_at = 0;
+  std::vector<MigrationOutcome> outcomes;  // sorted by guest id
+
+  std::uint64_t migrations = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retries = 0;  // extra attempts beyond the first, summed
+  std::uint64_t aborts = 0;   // aborted attempts (retried or terminal)
+
+  // Service-blackout distribution over the completed migrations
+  // (nearest-rank percentiles).
+  sim::DurationNs blackout_p50 = 0;
+  sim::DurationNs blackout_p99 = 0;
+  sim::DurationNs blackout_max = 0;
+
+  std::vector<BandwidthSample> egress_gbps;
+
+  sim::DurationNs makespan() const { return finished_at - started_at; }
+};
+
+/// Deterministic text rendering (sim-time fields only): byte-identical
+/// across runs with the same seed — the reproducibility tests diff it.
+std::string format_drain_report(const DrainReport& report);
+
+class DrainWorkflow {
+ public:
+  using DoneCb = std::function<void(const DrainReport&)>;
+
+  DrainWorkflow(ClusterModel& model, MigrationScheduler& scheduler)
+      : model_(model), scheduler_(&scheduler) {}
+  DrainWorkflow(const DrainWorkflow&) = delete;
+  DrainWorkflow& operator=(const DrainWorkflow&) = delete;
+  ~DrainWorkflow();
+
+  /// Kick off the evacuation of `host`; `done` fires when the last resident
+  /// guest reaches a terminal outcome (synchronously for an empty host).
+  common::Status start(net::HostId host, DoneCb done, DrainOptions options = {});
+  /// Synchronous convenience: start + pump the loop until done or deadline.
+  DrainReport run(net::HostId host, DrainOptions options = {});
+
+  bool active() const noexcept { return active_; }
+  const DrainReport& report() const noexcept { return report_; }
+
+ private:
+  void on_outcome(const MigrationOutcome& outcome);
+  void finalize();
+
+  ClusterModel& model_;
+  MigrationScheduler* scheduler_;
+  DrainOptions options_;
+  DrainReport report_;
+  DoneCb done_;
+  bool active_ = false;
+  std::size_t outstanding_ = 0;
+  std::uint64_t last_egress_bytes_ = 0;
+  sim::EventHandle sampler_;
+  std::vector<sim::DurationNs> blackouts_;
+};
+
+}  // namespace migr::cluster

@@ -1,0 +1,65 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+
+namespace migr::cluster {
+
+using common::Errc;
+
+namespace {
+
+common::Result<net::HostId> least_loaded_of(const ClusterModel& model,
+                                            const std::vector<net::HostId>& candidates) {
+  if (candidates.empty()) return common::err(Errc::not_found, "no placeable host");
+  net::HostId best = 0;
+  std::size_t best_count = 0;
+  double best_weight = 0;
+  for (net::HostId h : candidates) {
+    const std::size_t count = model.guest_count(h);
+    const double weight = model.traffic_weight(h);
+    if (best == 0 || count < best_count ||
+        (count == best_count && weight < best_weight)) {
+      best = h;
+      best_count = count;
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+common::Result<net::HostId> LeastLoadedPolicy::pick(const ClusterModel& model,
+                                                    GuestId /*guest*/, net::HostId source) {
+  return least_loaded_of(model, model.placeable_hosts(source));
+}
+
+common::Result<net::HostId> RoundRobinPolicy::pick(const ClusterModel& model,
+                                                   GuestId /*guest*/, net::HostId source) {
+  const auto hosts = model.placeable_hosts(source);
+  if (hosts.empty()) return common::err(Errc::not_found, "no placeable host");
+  return hosts[cursor_++ % hosts.size()];
+}
+
+common::Result<net::HostId> AntiAffinityPolicy::pick(const ClusterModel& model,
+                                                     GuestId guest, net::HostId source) {
+  const auto hosts = model.placeable_hosts(source);
+  if (hosts.empty()) return common::err(Errc::not_found, "no placeable host");
+  const auto partners = model.partners_of(guest);
+  std::vector<net::HostId> clear;
+  for (net::HostId h : hosts) {
+    const bool holds_partner = std::any_of(partners.begin(), partners.end(), [&](GuestId p) {
+      return model.host_of(p) == h;
+    });
+    if (!holds_partner) clear.push_back(h);
+  }
+  return least_loaded_of(model, clear.empty() ? hosts : clear);
+}
+
+std::unique_ptr<PlacementPolicy> make_policy(std::string_view name) {
+  if (name == "round-robin") return std::make_unique<RoundRobinPolicy>();
+  if (name == "anti-affinity") return std::make_unique<AntiAffinityPolicy>();
+  return std::make_unique<LeastLoadedPolicy>();
+}
+
+}  // namespace migr::cluster

@@ -1,0 +1,61 @@
+// Pluggable destination-placement policies for the migration scheduler.
+//
+// A policy answers one question: given a guest leaving `source`, which of
+// the model's placeable hosts should receive it? Candidates always come
+// from ClusterModel::placeable_hosts(source) (attached, not draining, not
+// partitioned), so every policy automatically respects maintenance mode.
+// Policies are consulted per *attempt*: a retried migration whose request
+// did not pin a destination gets a fresh pick, which routes retries around
+// a dead destination.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "cluster/cluster.hpp"
+
+namespace migr::cluster {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual std::string_view name() const = 0;
+  /// not_found when no host is eligible (fleet fully draining/partitioned).
+  virtual common::Result<net::HostId> pick(const ClusterModel& model, GuestId guest,
+                                           net::HostId source) = 0;
+};
+
+/// Fewest guests wins; ties break on lower offered traffic, then lower host
+/// id (deterministic).
+class LeastLoadedPolicy final : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "least-loaded"; }
+  common::Result<net::HostId> pick(const ClusterModel& model, GuestId guest,
+                                   net::HostId source) override;
+};
+
+/// Cycles through the eligible hosts in id order with a persistent cursor.
+class RoundRobinPolicy final : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "round-robin"; }
+  common::Result<net::HostId> pick(const ClusterModel& model, GuestId guest,
+                                   net::HostId source) override;
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Avoids hosts already holding one of the guest's messaging partners
+/// (keeps a partner pair from sharing a failure domain); falls back to the
+/// least-loaded rule when every eligible host holds a partner.
+class AntiAffinityPolicy final : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "anti-affinity"; }
+  common::Result<net::HostId> pick(const ClusterModel& model, GuestId guest,
+                                   net::HostId source) override;
+};
+
+/// Factory: "least-loaded" | "round-robin" | "anti-affinity".
+std::unique_ptr<PlacementPolicy> make_policy(std::string_view name);
+
+}  // namespace migr::cluster

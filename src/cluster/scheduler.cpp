@@ -1,0 +1,359 @@
+#include "cluster/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "obs/trace.hpp"
+
+namespace migr::cluster {
+
+using common::Errc;
+using common::Status;
+
+namespace {
+void trace_instant(sim::EventLoop& loop, std::string_view name, std::string args) {
+  auto& t = obs::Tracer::global();
+  if (t.enabled()) t.instant(loop.now(), name, "cluster", std::move(args));
+}
+}  // namespace
+
+MigrationScheduler::MigrationScheduler(ClusterModel& model, SchedulerConfig config)
+    : model_(model), config_(std::move(config)), policy_(make_policy(config_.policy)) {
+  auto& reg = obs::Registry::global();
+  queued_gauge_ = &reg.gauge("cluster.sched.queued");
+  running_gauge_ = &reg.gauge("cluster.sched.running");
+  submitted_ = &reg.counter("cluster.sched.submitted");
+  started_ = &reg.counter("cluster.sched.started");
+  completed_ = &reg.counter("cluster.sched.completed");
+  aborted_ = &reg.counter("cluster.sched.aborted");
+  retried_ = &reg.counter("cluster.sched.retried");
+  failed_ = &reg.counter("cluster.sched.failed");
+  queue_wait_ = &reg.histogram("cluster.sched.queue_wait_ns", {},
+                               {sim::usec(10), sim::usec(100), sim::msec(1), sim::msec(10),
+                                sim::msec(100), sim::sec(1), sim::sec(10)});
+}
+
+MigrationScheduler::~MigrationScheduler() = default;
+
+RequestId MigrationScheduler::submit(MigrationRequest req, OutcomeCb done) {
+  const RequestId id = next_id_++;
+  MigrationOutcome& out = outcomes_[id];
+  out.id = id;
+  out.guest = req.guest;
+  out.submitted_at = model_.loop().now();
+  if (done) request_cbs_[id] = std::move(done);
+  submitted_->inc();
+  pending_.push_back(Pending{id, req, 0});
+  trace_instant(model_.loop(), "sched_submit",
+                "\"guest\":" + std::to_string(req.guest) +
+                    ",\"dest\":" + std::to_string(req.dest) +
+                    ",\"priority\":" + std::to_string(req.priority));
+  schedule_pump();
+  update_gauges();
+  return id;
+}
+
+void MigrationScheduler::set_policy(std::unique_ptr<PlacementPolicy> policy) {
+  if (policy) policy_ = std::move(policy);
+}
+
+const MigrationOutcome* MigrationScheduler::outcome(RequestId id) const {
+  auto it = outcomes_.find(id);
+  return it == outcomes_.end() ? nullptr : &it->second;
+}
+
+Status MigrationScheduler::run_until_idle(sim::DurationNs max_wait) {
+  const sim::TimeNs deadline = model_.loop().now() + max_wait;
+  while (!idle() && model_.loop().now() < deadline) model_.run_for(sim::msec(1));
+  if (!idle()) {
+    return common::err(Errc::timeout, "scheduler not idle after " +
+                                          std::to_string(max_wait) + " ns");
+  }
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Queue pump
+// ---------------------------------------------------------------------------
+
+void MigrationScheduler::schedule_pump() {
+  if (pump_scheduled_) return;
+  pump_scheduled_ = true;
+  // Deferred one tick: lets a controller's done-callback unwind before its
+  // object is destroyed, and batches a burst of submits into one pump.
+  model_.loop().schedule_in(0, [this] {
+    pump_scheduled_ = false;
+    retired_.clear();
+    pump();
+  });
+}
+
+bool MigrationScheduler::conflicts_with_running(GuestId guest) const {
+  for (const auto& [id, r] : running_) {
+    if (r.req.guest == guest) return true;
+    if (std::find(r.partners.begin(), r.partners.end(), guest) != r.partners.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MigrationScheduler::admission_ok(net::HostId src, net::HostId dest) const {
+  const AdmissionLimits& lim = config_.limits;
+  if (running_.size() >= lim.max_concurrent_fleet) return false;
+  auto count_of = [](const std::map<net::HostId, std::uint32_t>& m, net::HostId h) {
+    auto it = m.find(h);
+    return it == m.end() ? 0u : it->second;
+  };
+  if (count_of(running_per_source_, src) >= lim.max_concurrent_per_source) return false;
+  if (count_of(running_per_dest_, dest) >= lim.max_concurrent_per_dest) return false;
+  if (lim.link_budget_gbps > 0 && lim.per_migration_gbps > 0) {
+    auto reserved = [this](net::HostId h) {
+      auto it = reserved_gbps_.find(h);
+      return it == reserved_gbps_.end() ? 0.0 : it->second;
+    };
+    if (reserved(src) + lim.per_migration_gbps > lim.link_budget_gbps) return false;
+    if (reserved(dest) + lim.per_migration_gbps > lim.link_budget_gbps) return false;
+  }
+  return true;
+}
+
+void MigrationScheduler::pump() {
+  if (pending_.empty()) {
+    update_gauges();
+    return;
+  }
+  // Work on a swapped-out copy: finish() callbacks may submit() new
+  // requests mid-scan, which must not invalidate this iteration.
+  std::vector<Pending> work;
+  work.swap(pending_);
+  std::stable_sort(work.begin(), work.end(), [](const Pending& a, const Pending& b) {
+    if (a.req.priority != b.req.priority) return a.req.priority > b.req.priority;
+    return a.id < b.id;
+  });
+  // Single ordered scan with backfill: a request blocked by admission or a
+  // guest conflict does not block lower-priority requests that are eligible.
+  std::vector<Pending> keep;
+  for (Pending& p : work) {
+    const net::HostId src = model_.host_of(p.req.guest);
+    if (src == 0) {
+      MigrationOutcome& out = outcomes_[p.id];
+      out.failed = true;
+      out.error = "guest not found";
+      out.finished_at = model_.loop().now();
+      failed_->inc();
+      finish(p.id);
+      continue;
+    }
+    if (p.req.dest != 0 && p.req.dest == src) {
+      // Already where the request wants it: terminal no-op success.
+      MigrationOutcome& out = outcomes_[p.id];
+      out.source = out.dest = src;
+      out.completed = true;
+      out.started_at = out.finished_at = model_.loop().now();
+      out.report.ok = true;
+      out.report.start = out.report.end = model_.loop().now();
+      completed_->inc();
+      finish(p.id);
+      continue;
+    }
+    if (conflicts_with_running(p.req.guest)) {
+      keep.push_back(std::move(p));
+      continue;
+    }
+    net::HostId dest = p.req.dest;
+    if (dest == 0) {
+      auto picked = policy_->pick(model_, p.req.guest, src);
+      if (!picked.is_ok()) {
+        // Nowhere to place right now (fleet draining/partitioned); keep
+        // queued — a later pump may find a host again.
+        keep.push_back(std::move(p));
+        continue;
+      }
+      dest = picked.value();
+    }
+    if (!admission_ok(src, dest)) {
+      keep.push_back(std::move(p));
+      continue;
+    }
+    start_attempt(std::move(p), src, dest);
+  }
+  // Anything submitted while scanning lands behind the survivors; the next
+  // pump re-sorts by priority anyway.
+  keep.insert(keep.end(), std::make_move_iterator(pending_.begin()),
+              std::make_move_iterator(pending_.end()));
+  pending_ = std::move(keep);
+  update_gauges();
+}
+
+void MigrationScheduler::start_attempt(Pending p, net::HostId src, net::HostId dest) {
+  const sim::TimeNs now = model_.loop().now();
+  MigrationOutcome& out = outcomes_[p.id];
+  if (out.started_at == 0) {
+    out.started_at = now;
+    queue_wait_->observe(now - out.submitted_at);
+  }
+  out.source = src;
+  out.dest = dest;
+
+  Running r;
+  r.id = p.id;
+  r.req = p.req;
+  r.source = src;
+  r.dest = dest;
+  r.attempt = p.attempt + 1;
+  r.partners = model_.partners_of(p.req.guest);
+  r.ctl = std::make_unique<migrlib::MigrationController>(model_.loop(), model_.fabric(),
+                                                         model_.directory(),
+                                                         config_.migration);
+  auto& dest_proc = model_.world().add_process(
+      "migr-dest-" + std::to_string(p.req.guest) + "-a" + std::to_string(r.attempt));
+  const RequestId id = p.id;
+  auto st = r.ctl->start(p.req.guest, dest, dest_proc, model_.app_of(p.req.guest),
+                         [this, id](const MigrationReport& rep) { on_done(id, rep); });
+  out.attempts = r.attempt;
+  if (!st.is_ok()) {
+    // Synchronous rejection (bad request / unsupported guest): terminal, no
+    // retry — the condition is not transient.
+    out.failed = true;
+    out.error = st.to_string();
+    out.finished_at = now;
+    failed_->inc();
+    finish(id);
+    return;
+  }
+  started_->inc();
+  running_per_source_[src]++;
+  running_per_dest_[dest]++;
+  if (config_.limits.per_migration_gbps > 0) {
+    reserved_gbps_[src] += config_.limits.per_migration_gbps;
+    reserved_gbps_[dest] += config_.limits.per_migration_gbps;
+  }
+  trace_instant(model_.loop(), "sched_start",
+                "\"guest\":" + std::to_string(p.req.guest) + ",\"src\":" +
+                    std::to_string(src) + ",\"dest\":" + std::to_string(dest) +
+                    ",\"attempt\":" + std::to_string(r.attempt));
+  running_.emplace(id, std::move(r));
+}
+
+void MigrationScheduler::on_done(RequestId id, const MigrationReport& rep) {
+  auto it = running_.find(id);
+  if (it == running_.end()) return;
+  Running r = std::move(it->second);
+  running_.erase(it);
+  // The callback runs inside the controller; park the object until the next
+  // loop tick before destroying it.
+  retired_.push_back(std::move(r.ctl));
+
+  auto dec = [](std::map<net::HostId, std::uint32_t>& m, net::HostId h) {
+    auto e = m.find(h);
+    if (e != m.end() && --e->second == 0) m.erase(e);
+  };
+  dec(running_per_source_, r.source);
+  dec(running_per_dest_, r.dest);
+  if (config_.limits.per_migration_gbps > 0) {
+    reserved_gbps_[r.source] -= config_.limits.per_migration_gbps;
+    reserved_gbps_[r.dest] -= config_.limits.per_migration_gbps;
+  }
+
+  MigrationOutcome& out = outcomes_[id];
+  out.report = rep;
+  out.source = r.source;
+  out.dest = r.dest;
+  out.attempts = r.attempt;
+
+  if (rep.ok) {
+    out.completed = true;
+    out.finished_at = model_.loop().now();
+    completed_->inc();
+    finish(id);
+  } else if (rep.aborted && r.attempt <= config_.max_retries) {
+    // Rolled back cleanly; source still serving. Retry with backoff. A
+    // policy-placed request gets a fresh destination pick on re-admission.
+    aborted_->inc();
+    retried_->inc();
+    const sim::DurationNs backoff = config_.retry_backoff << (r.attempt - 1);
+    MIGR_WARN() << "migration of guest " << r.req.guest << " aborted (attempt "
+                << r.attempt << "); retrying in " << backoff << " ns";
+    trace_instant(model_.loop(), "sched_retry",
+                  "\"guest\":" + std::to_string(r.req.guest) +
+                      ",\"attempt\":" + std::to_string(r.attempt));
+    waiting_retry_++;
+    Pending again{id, r.req, r.attempt};
+    model_.loop().schedule_in(backoff, [this, again] {
+      waiting_retry_--;
+      pending_.push_back(again);
+      schedule_pump();
+      update_gauges();
+    });
+  } else {
+    if (rep.aborted) aborted_->inc();
+    out.failed = true;
+    out.error = rep.error.empty() ? "migration failed" : rep.error;
+    out.finished_at = model_.loop().now();
+    failed_->inc();
+    finish(id);
+  }
+  schedule_pump();
+  update_gauges();
+}
+
+void MigrationScheduler::finish(RequestId id) {
+  const MigrationOutcome& out = outcomes_.at(id);
+  trace_instant(model_.loop(), out.completed ? "sched_done" : "sched_failed",
+                "\"guest\":" + std::to_string(out.guest) +
+                    ",\"attempts\":" + std::to_string(out.attempts));
+  auto cb = request_cbs_.find(id);
+  if (cb != request_cbs_.end()) {
+    auto fn = std::move(cb->second);
+    request_cbs_.erase(cb);
+    if (fn) fn(out);
+  }
+  if (outcome_cb_) outcome_cb_(out);
+}
+
+void MigrationScheduler::update_gauges() {
+  queued_gauge_->set(static_cast<double>(pending_.size()));
+  running_gauge_->set(static_cast<double>(running_.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Rolling rebalance
+// ---------------------------------------------------------------------------
+
+std::vector<MigrationRequest> MigrationScheduler::plan_rebalance(
+    std::uint32_t max_moves) const {
+  std::vector<MigrationRequest> plan;
+  const auto hosts = model_.placeable_hosts();
+  if (hosts.size() < 2) return plan;
+
+  std::map<net::HostId, std::vector<GuestId>> by_host;
+  for (net::HostId h : hosts) by_host[h] = model_.guests_on(h);
+
+  while (plan.size() < max_moves) {
+    net::HostId max_h = 0, min_h = 0;
+    for (net::HostId h : hosts) {
+      if (max_h == 0 || by_host[h].size() > by_host[max_h].size()) max_h = h;
+      if (min_h == 0 || by_host[h].size() < by_host[min_h].size()) min_h = h;
+    }
+    if (by_host[max_h].size() <= by_host[min_h].size() + 1) break;
+    // Lowest guest id moves first: deterministic plans for a given model.
+    const GuestId mover = by_host[max_h].front();
+    by_host[max_h].erase(by_host[max_h].begin());
+    by_host[min_h].push_back(mover);
+    plan.push_back(MigrationRequest{mover, min_h, 0});
+  }
+  return plan;
+}
+
+std::vector<RequestId> MigrationScheduler::submit_rebalance(std::uint32_t max_moves,
+                                                            int priority) {
+  std::vector<RequestId> ids;
+  for (MigrationRequest req : plan_rebalance(max_moves)) {
+    req.priority = priority;
+    ids.push_back(submit(req));
+  }
+  return ids;
+}
+
+}  // namespace migr::cluster

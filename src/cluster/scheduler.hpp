@@ -1,0 +1,184 @@
+// MigrationScheduler: the fleet control plane on top of MigrationController.
+//
+// Accepts migration requests (single moves, the bulk submissions behind host
+// drains and rolling rebalances), holds them in a priority queue, and starts
+// them under admission control:
+//
+//  * fleet / per-source / per-destination concurrency caps,
+//  * an optional per-host dirty-copy bandwidth budget (each running
+//    migration reserves an estimated share of its source and destination
+//    port; a start that would overdraw a port is deferred),
+//  * guest-conflict exclusion — a guest with a migration in flight, or one
+//    that is a messaging partner of an in-flight migration, is never
+//    started concurrently (two partnered migrations would race each
+//    other's wait-before-stop and partner-QP switch).
+//
+// Destinations come from a pluggable PlacementPolicy when the request does
+// not pin one; policy-placed requests are re-placed on every retry, so an
+// abort caused by a dead destination routes the retry elsewhere. Aborted
+// migrations (MigrationReport.aborted, PR 2's rollback path) are re-queued
+// with exponential backoff up to a retry budget, then surfaced as failed.
+// Hard failures past the commit point are terminal immediately.
+//
+// Everything runs on the sim event loop; with a fixed seed the schedule is
+// bit-for-bit reproducible. Queue depth, running count, and outcome
+// counters are exported through obs ("cluster.sched.*").
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.hpp"
+
+namespace migr::cluster {
+
+using migrlib::MigrationOptions;
+using migrlib::MigrationReport;
+
+using RequestId = std::uint64_t;
+
+struct AdmissionLimits {
+  std::uint32_t max_concurrent_fleet = 4;
+  std::uint32_t max_concurrent_per_source = 2;
+  std::uint32_t max_concurrent_per_dest = 2;
+  // Per-host dirty-copy bandwidth budget. Each running migration reserves
+  // per_migration_gbps on its source and destination port; a start that
+  // would push either port past link_budget_gbps is deferred. 0 disables.
+  double link_budget_gbps = 0.0;
+  double per_migration_gbps = 0.0;
+};
+
+struct SchedulerConfig {
+  AdmissionLimits limits;
+  MigrationOptions migration;  // applied to every controller the queue spawns
+  int max_retries = 3;         // re-submissions after an aborted attempt
+  sim::DurationNs retry_backoff = sim::msec(10);  // doubles per retry
+  std::string policy = "least-loaded";            // see placement.hpp
+};
+
+struct MigrationRequest {
+  GuestId guest = 0;
+  net::HostId dest = 0;  // 0 = pick via the placement policy (per attempt)
+  int priority = 0;      // higher runs first; ties in submission order
+};
+
+/// Lifecycle record of one request, kept from submit to terminal state.
+struct MigrationOutcome {
+  RequestId id = 0;
+  GuestId guest = 0;
+  net::HostId source = 0;  // source of the most recent attempt
+  net::HostId dest = 0;    // destination of the most recent attempt
+  int attempts = 0;        // controller starts (1 + retries used)
+  bool completed = false;
+  bool failed = false;
+  std::string error;
+  sim::TimeNs submitted_at = 0;
+  sim::TimeNs started_at = 0;   // first attempt start (queue wait ends)
+  sim::TimeNs finished_at = 0;  // terminal completion/failure
+  MigrationReport report;       // most recent attempt's report
+
+  bool terminal() const { return completed || failed; }
+  sim::DurationNs queue_wait() const { return started_at - submitted_at; }
+};
+
+class MigrationScheduler {
+ public:
+  using OutcomeCb = std::function<void(const MigrationOutcome&)>;
+
+  MigrationScheduler(ClusterModel& model, SchedulerConfig config = {});
+  MigrationScheduler(const MigrationScheduler&) = delete;
+  MigrationScheduler& operator=(const MigrationScheduler&) = delete;
+  /// Destroy only when idle (or when the loop will never run again):
+  /// in-flight controllers have events scheduled against them.
+  ~MigrationScheduler();
+
+  /// Enqueue a request. `done` (optional) fires once, at the terminal
+  /// outcome; the fleet-wide callback (set_outcome_callback) also fires.
+  RequestId submit(MigrationRequest req, OutcomeCb done = nullptr);
+
+  /// Rolling rebalance: guests to move (lowest ids first) from the most- to
+  /// the least-loaded placeable hosts until the guest-count spread is <= 1
+  /// or `max_moves` is reached. plan_* is pure; submit_* enqueues the plan.
+  std::vector<MigrationRequest> plan_rebalance(std::uint32_t max_moves) const;
+  std::vector<RequestId> submit_rebalance(std::uint32_t max_moves, int priority = 0);
+
+  void set_policy(std::unique_ptr<PlacementPolicy> policy);
+  PlacementPolicy& policy() { return *policy_; }
+  void set_outcome_callback(OutcomeCb cb) { outcome_cb_ = std::move(cb); }
+  const SchedulerConfig& config() const noexcept { return config_; }
+
+  std::size_t queued() const noexcept { return pending_.size(); }
+  std::size_t running() const noexcept { return running_.size(); }
+  bool idle() const noexcept {
+    return pending_.empty() && running_.empty() && waiting_retry_ == 0;
+  }
+  /// Pump the model's loop until idle; timeout when max_wait elapses first.
+  common::Status run_until_idle(sim::DurationNs max_wait = sim::sec(300));
+
+  /// Every submitted request's lifecycle record (terminal or not), by id.
+  const std::map<RequestId, MigrationOutcome>& outcomes() const noexcept {
+    return outcomes_;
+  }
+  const MigrationOutcome* outcome(RequestId id) const;
+
+ private:
+  struct Pending {
+    RequestId id = 0;
+    MigrationRequest req;
+    int attempt = 0;  // completed controller starts so far
+  };
+  struct Running {
+    RequestId id = 0;
+    MigrationRequest req;
+    net::HostId source = 0;
+    net::HostId dest = 0;
+    int attempt = 0;  // 1-based for this start
+    std::vector<GuestId> partners;
+    std::unique_ptr<migrlib::MigrationController> ctl;
+  };
+
+  void pump();
+  void schedule_pump();
+  bool conflicts_with_running(GuestId guest) const;
+  bool admission_ok(net::HostId src, net::HostId dest) const;
+  void start_attempt(Pending p, net::HostId src, net::HostId dest);
+  void on_done(RequestId id, const MigrationReport& rep);
+  void finish(RequestId id);  // outcome already marked terminal
+  void update_gauges();
+
+  ClusterModel& model_;
+  SchedulerConfig config_;
+  std::unique_ptr<PlacementPolicy> policy_;
+
+  RequestId next_id_ = 1;
+  std::vector<Pending> pending_;  // kept sorted (priority desc, id asc) at pump
+  std::map<RequestId, Running> running_;
+  std::vector<std::unique_ptr<migrlib::MigrationController>> retired_;
+  std::map<RequestId, MigrationOutcome> outcomes_;
+  std::map<RequestId, OutcomeCb> request_cbs_;
+  int waiting_retry_ = 0;
+  bool pump_scheduled_ = false;
+  OutcomeCb outcome_cb_;
+
+  // Admission bookkeeping.
+  std::map<net::HostId, std::uint32_t> running_per_source_;
+  std::map<net::HostId, std::uint32_t> running_per_dest_;
+  std::map<net::HostId, double> reserved_gbps_;
+
+  // Cached instruments (resolved once; hot path is plain adds).
+  obs::Gauge* queued_gauge_ = nullptr;
+  obs::Gauge* running_gauge_ = nullptr;
+  obs::Counter* submitted_ = nullptr;
+  obs::Counter* started_ = nullptr;
+  obs::Counter* completed_ = nullptr;
+  obs::Counter* aborted_ = nullptr;
+  obs::Counter* retried_ = nullptr;
+  obs::Counter* failed_ = nullptr;
+  obs::Histogram* queue_wait_ = nullptr;
+};
+
+}  // namespace migr::cluster

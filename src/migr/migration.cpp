@@ -84,6 +84,7 @@ void MigrationController::fail(const Status& st) {
   xfer_timeout_handle_.cancel();
   report_.ok = false;
   report_.error = st.to_string();
+  report_.end = loop_.now();
   obs::Registry::global().counter("migr.migrations_failed").inc();
   trace_instant(loop_.now(), "migration_failed", "\"guest\":" + std::to_string(guest_id_));
   if (done_) done_(report_);
@@ -123,6 +124,7 @@ void MigrationController::abort(const Status& st) {
   report_.abort_reason = st.to_string();
   report_.abort_phase = phase_;
   report_.error = st.to_string();
+  report_.end = loop_.now();
   report_.source_resumed = !src_proc_->frozen() && !guest_->suspended();
   auto& reg = obs::Registry::global();
   reg.counter("migr.migrations_aborted").inc();
@@ -554,6 +556,7 @@ void MigrationController::phase_resume() {
   if (app_ != nullptr) app_->on_migrated(*dest_proc_);
 
   report_.ok = true;
+  report_.end = loop_.now();
   trace_instant(report_.resume_at, "resume", "\"guest\":" + std::to_string(guest_id_));
   trace_span(report_.start, report_.resume_at - report_.start, "migration",
              "\"guest\":" + std::to_string(guest_id_));

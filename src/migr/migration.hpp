@@ -61,8 +61,12 @@ struct MigrationReport {
   bool source_resumed = false;     // source service running again after abort
   std::uint64_t transfer_retries = 0;  // ctrl-plane transfer re-sends
 
-  // Simulated timestamps of the phase boundaries.
+  // Simulated timestamps of the phase boundaries. `start` and `end` bracket
+  // the whole run and are set on every outcome (success, failure, abort), so
+  // schedulers and benches read wall-up/wall-down from the report instead of
+  // bracketing runs manually.
   sim::TimeNs start = 0;
+  sim::TimeNs end = 0;          // done-callback time (terminal for this attempt)
   sim::TimeNs suspend_at = 0;   // suspension flags raised (comm blackout begins)
   sim::TimeNs freeze_at = 0;    // service frozen (service blackout begins)
   sim::TimeNs resume_at = 0;    // service running on the destination
@@ -85,6 +89,7 @@ struct MigrationReport {
   std::uint64_t precopy_bytes = 0;
   std::uint64_t final_bytes = 0;
 
+  sim::DurationNs duration() const { return end - start; }
   sim::DurationNs service_blackout() const { return resume_at - freeze_at; }
   sim::DurationNs comm_blackout() const { return resume_at - suspend_at; }
   sim::DurationNs blackout_components() const {

@@ -21,6 +21,7 @@ class World {
 
   sim::EventLoop& loop() noexcept { return loop_; }
   net::Fabric& fabric() noexcept { return fabric_; }
+  const net::Fabric& fabric() const noexcept { return fabric_; }
 
   /// Add a host with an RNIC attached to the fabric.
   Device& add_device(net::HostId host, DeviceConfig config = {}) {

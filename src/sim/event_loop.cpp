@@ -44,16 +44,22 @@ EventHandle EventLoop::schedule_every(DurationNs period, Fn fn, DurationNs first
   assert(period > 0);
   auto alive = std::make_shared<bool>(true);
   // The periodic wrapper reschedules itself while the shared flag is set.
-  // A self-referencing shared_ptr to the wrapper lets it re-enqueue itself.
+  // Ownership lives in the queued relay, never in the wrapper itself: the
+  // body only holds a weak_ptr, so once the task is cancelled (or the loop
+  // is destroyed with the event still queued) the last relay copy frees the
+  // wrapper instead of a self-referencing shared_ptr keeping it alive.
   auto wrapper = std::make_shared<std::function<void()>>();
-  *wrapper = [this, period, alive, wrapper, fn = std::move(fn)]() {
+  std::weak_ptr<std::function<void()>> weak = wrapper;
+  *wrapper = [this, period, alive, weak, fn = std::move(fn)]() {
     if (!*alive) return;
     fn();
     if (!*alive) return;
-    queue_.push(Event{now_ + period, next_seq_++, alive, *wrapper});
+    if (auto self = weak.lock()) {
+      queue_.push(Event{now_ + period, next_seq_++, alive, [self]() { (*self)(); }});
+    }
   };
   const DurationNs delay = first_delay >= 0 ? first_delay : period;
-  queue_.push(Event{now_ + delay, next_seq_++, alive, *wrapper});
+  queue_.push(Event{now_ + delay, next_seq_++, alive, [wrapper]() { (*wrapper)(); }});
   return EventHandle{std::move(alive)};
 }
 

@@ -18,11 +18,13 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [2/3] lossy-seed suites (fault injection, adversarial migrations)"
-# Deterministic seeded runs: the fault scenario suite plus every property
-# test that drives traffic through injected loss/reordering/partitions.
+echo "==> [2/3] lossy-seed suites (fault injection, adversarial migrations, lossy drain)"
+# Deterministic seeded runs: the fault scenario suite, every property test
+# that drives traffic through injected loss/reordering/partitions, and the
+# cluster suite (scheduler admission/retry plus the seeded lossy drain with
+# a mid-drain partition).
 ctest --test-dir build --output-on-failure -j "$(nproc)" \
-  -R '(ScenarioRunner|MigrationAbort|AdversarialMigrationProperty|TransportProperty)'
+  -R '(ScenarioRunner|MigrationAbort|AdversarialMigrationProperty|TransportProperty|ClusterScheduler|ClusterDrain)'
 
 if [[ "$FAST" == "1" ]]; then
   echo "==> [3/3] sanitizer pass skipped (--fast)"
