@@ -7,6 +7,8 @@
 // network and must be treated as untrusted input.
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -19,6 +21,41 @@
 namespace migr::common {
 
 using Bytes = std::vector<std::uint8_t>;
+
+/// Fixed-capacity inline byte buffer. Used for small fixed-format blobs on
+/// hot paths (per-packet wire headers) where a heap-backed Bytes would cost
+/// an allocation per instance. Contents beyond size() are uninitialized.
+template <std::size_t N>
+class SmallBytes {
+ public:
+  SmallBytes() = default;
+
+  static constexpr std::size_t capacity() noexcept { return N; }
+  std::size_t size() const noexcept { return len_; }
+  bool empty() const noexcept { return len_ == 0; }
+
+  std::uint8_t* data() noexcept { return buf_.data(); }
+  const std::uint8_t* data() const noexcept { return buf_.data(); }
+
+  void resize(std::size_t n) noexcept {
+    assert(n <= N);
+    len_ = static_cast<std::uint32_t>(n);
+  }
+  void clear() noexcept { len_ = 0; }
+
+  void assign(std::span<const std::uint8_t> src) noexcept {
+    assert(src.size() <= N);
+    std::memcpy(buf_.data(), src.data(), src.size());
+    len_ = static_cast<std::uint32_t>(src.size());
+  }
+
+  std::span<std::uint8_t> span() noexcept { return {buf_.data(), len_}; }
+  std::span<const std::uint8_t> span() const noexcept { return {buf_.data(), len_}; }
+
+ private:
+  std::array<std::uint8_t, N> buf_;
+  std::uint32_t len_ = 0;
+};
 
 /// Append-only serializer.
 class ByteWriter {

@@ -1,0 +1,130 @@
+// Zero-copy packet payloads.
+//
+// A PayloadRef is a refcounted (offset, length) view into a pooled buffer
+// block. The transport allocates one block per message, DMA-reads directly
+// into it, and every MTU-sized packet of the message carries a slice of the
+// same block — packetization stops copying bytes. Blocks come from a
+// size-classed free-list pool, so steady-state traffic allocates nothing.
+//
+// Refcounts are NOT atomic: like the EventLoop, payloads belong to one
+// simulation thread. The pool is thread_local so independent loops on
+// different threads (some tests do this) stay safe.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "common/bytes.hpp"
+
+namespace migr::common {
+
+namespace detail {
+
+struct PayloadBlock {
+  std::uint32_t refs;
+  std::uint32_t capacity;
+};
+
+PayloadBlock* payload_block_alloc(std::size_t n);
+void payload_block_free(PayloadBlock* b) noexcept;
+
+inline std::uint8_t* payload_block_data(PayloadBlock* b) noexcept {
+  return reinterpret_cast<std::uint8_t*>(b + 1);
+}
+
+}  // namespace detail
+
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+
+  PayloadRef(const PayloadRef& o) noexcept : block_(o.block_), off_(o.off_), len_(o.len_) {
+    if (block_ != nullptr) block_->refs++;
+  }
+  PayloadRef(PayloadRef&& o) noexcept : block_(o.block_), off_(o.off_), len_(o.len_) {
+    o.block_ = nullptr;
+    o.off_ = 0;
+    o.len_ = 0;
+  }
+  PayloadRef& operator=(const PayloadRef& o) noexcept {
+    if (this != &o) {
+      release();
+      block_ = o.block_;
+      off_ = o.off_;
+      len_ = o.len_;
+      if (block_ != nullptr) block_->refs++;
+    }
+    return *this;
+  }
+  PayloadRef& operator=(PayloadRef&& o) noexcept {
+    if (this != &o) {
+      release();
+      block_ = o.block_;
+      off_ = o.off_;
+      len_ = o.len_;
+      o.block_ = nullptr;
+      o.off_ = 0;
+      o.len_ = 0;
+    }
+    return *this;
+  }
+  ~PayloadRef() { release(); }
+
+  /// A fresh writable buffer of `n` bytes (uninitialized) from the pool.
+  static PayloadRef alloc(std::size_t n) {
+    if (n == 0) return {};
+    return PayloadRef(detail::payload_block_alloc(n), 0, static_cast<std::uint32_t>(n));
+  }
+
+  /// A fresh buffer holding a copy of `src`.
+  static PayloadRef copy_of(std::span<const std::uint8_t> src) {
+    PayloadRef p = alloc(src.size());
+    if (!src.empty()) std::memcpy(p.mutable_data(), src.data(), src.size());
+    return p;
+  }
+
+  std::size_t size() const noexcept { return len_; }
+  bool empty() const noexcept { return len_ == 0; }
+
+  const std::uint8_t* data() const noexcept {
+    return block_ == nullptr ? nullptr : detail::payload_block_data(block_) + off_;
+  }
+  /// Writable view. The caller must be the sole logical writer (fill the
+  /// buffer before sharing slices of it).
+  std::uint8_t* mutable_data() noexcept {
+    return block_ == nullptr ? nullptr : detail::payload_block_data(block_) + off_;
+  }
+
+  std::span<const std::uint8_t> span() const noexcept { return {data(), len_}; }
+  std::span<std::uint8_t> mutable_span() noexcept { return {mutable_data(), len_}; }
+  /// Payloads convert to read-only spans so DMA/memory APIs take them as-is.
+  operator std::span<const std::uint8_t>() const noexcept {  // NOLINT
+    return span();
+  }
+
+  /// A view of [off, off+n) sharing this buffer (refcounted, no copy).
+  PayloadRef slice(std::size_t off, std::size_t n) const noexcept {
+    if (n == 0) return {};
+    block_->refs++;
+    return PayloadRef(block_, off_ + static_cast<std::uint32_t>(off),
+                      static_cast<std::uint32_t>(n));
+  }
+
+  Bytes to_bytes() const { return Bytes(data(), data() + len_); }
+
+ private:
+  PayloadRef(detail::PayloadBlock* block, std::uint32_t off, std::uint32_t len) noexcept
+      : block_(block), off_(off), len_(len) {}
+
+  void release() noexcept {
+    if (block_ != nullptr && --block_->refs == 0) detail::payload_block_free(block_);
+    block_ = nullptr;
+  }
+
+  detail::PayloadBlock* block_ = nullptr;
+  std::uint32_t off_ = 0;
+  std::uint32_t len_ = 0;
+};
+
+}  // namespace migr::common

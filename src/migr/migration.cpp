@@ -193,7 +193,10 @@ void MigrationController::transfer_to_dest(Bytes payload, std::function<void(Byt
 
 void MigrationController::send_xfer_attempt() {
   // Re-sends pay serialization again, exactly like a real re-transfer would.
-  fabric_.send_ctrl(src_rt_->host(), dest_rt_->host(), xfer_service_, xfer_payload_);
+  auto sent = fabric_.send_ctrl(src_rt_->host(), dest_rt_->host(), xfer_service_, xfer_payload_);
+  if (!sent.is_ok()) {
+    MIGR_WARN() << "image transfer send failed: " << sent.status().to_string();
+  }
   if (options_.transfer_timeout > 0) {
     xfer_timeout_handle_ =
         loop_.schedule_in(options_.transfer_timeout, [this] { on_xfer_timeout(); });

@@ -21,6 +21,8 @@ Status Fabric::attach_host(HostId host) {
     return common::err(Errc::already_exists, "host already attached");
   }
   Port port;
+  port.id = host;
+  if (partitioned_orphans_.erase(host) > 0) port.is_partitioned = true;
   // Register the port's stats with the process-wide registry so one
   // snapshot covers all fabric layers; the struct stays the accessor API.
   port.source_id = obs::Registry::global().register_source(
@@ -57,7 +59,12 @@ Fabric::LinkCounters& Fabric::link_counters(HostId src, HostId dst) {
 }
 
 void Fabric::set_data_handler(HostId host, DataHandler handler) {
-  data_handlers_[host] = std::move(handler);
+  auto it = ports_.find(host);
+  if (it == ports_.end()) {
+    MIGR_WARN() << "data handler for unattached host " << host;
+    return;
+  }
+  it->second.handler = std::move(handler);
 }
 
 void Fabric::register_service(HostId host, std::string name, CtrlHandler handler) {
@@ -68,6 +75,20 @@ void Fabric::unregister_service(HostId host, const std::string& name) {
   services_.erase({host, name});
 }
 
+Fabric::Route* Fabric::route(HostId src, HostId dst) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) | dst;
+  auto it = routes_.find(key);
+  if (it != routes_.end()) return &it->second;
+  auto src_it = ports_.find(src);
+  auto dst_it = ports_.find(dst);
+  if (src_it == ports_.end() || dst_it == ports_.end()) return nullptr;
+  LinkCounters& lc = link_counters(src, dst);
+  // ports_ and routes_ are node-based maps: element addresses survive
+  // rehashing, so handing out raw pointers is safe for the fabric's lifetime.
+  Route r{&src_it->second, &dst_it->second, lc.bytes, lc.packets, lc.drops};
+  return &routes_.emplace(key, r).first->second;
+}
+
 sim::TimeNs Fabric::reserve_egress(Port& port, std::uint64_t wire_bytes) {
   const sim::TimeNs start = std::max(loop_.now(), port.egress_free_at);
   port.egress_free_at = start + wire_time(wire_bytes);
@@ -75,27 +96,29 @@ sim::TimeNs Fabric::reserve_egress(Port& port, std::uint64_t wire_bytes) {
 }
 
 void Fabric::send_data(Packet packet) {
-  auto src_it = ports_.find(packet.src);
-  auto dst_it = ports_.find(packet.dst);
-  if (src_it == ports_.end() || dst_it == ports_.end()) {
+  Route* r = route(packet.src, packet.dst);
+  if (r == nullptr) {
     MIGR_WARN() << "data packet to/from unattached host " << packet.src << "->" << packet.dst;
     return;
   }
-  const std::uint64_t wire_bytes = packet.payload.size() + config_.header_bytes;
-  src_it->second.stats.data_packets_tx++;
-  src_it->second.stats.data_bytes_tx += packet.payload.size();
-  LinkCounters& link = link_counters(packet.src, packet.dst);
-  link.packets->inc();
-  link.bytes->inc(packet.payload.size());
+  send_data(*r, std::move(packet));
+}
+
+void Fabric::send_data(Route& r, Packet&& packet) {
+  const std::size_t frame_bytes = packet.wire_size();
+  r.src->stats.data_packets_tx++;
+  r.src->stats.data_bytes_tx += frame_bytes;
+  r.packets->inc();
+  r.bytes->inc(frame_bytes);
 
   // Serialization happens (and consumes bandwidth) even for packets that
   // will be dropped in the network.
-  const sim::TimeNs serialized_at = reserve_egress(src_it->second, wire_bytes);
+  const sim::TimeNs serialized_at = reserve_egress(*r.src, frame_bytes + config_.header_bytes);
 
-  if (partitioned_.contains(packet.src) || partitioned_.contains(packet.dst) ||
+  if (r.src->is_partitioned || r.dst->is_partitioned ||
       (faults_.data_loss_prob > 0 && rng_.chance(faults_.data_loss_prob))) {
-    src_it->second.stats.data_packets_dropped++;
-    link.drops->inc();
+    r.src->stats.data_packets_dropped++;
+    r.drops->inc();
     return;
   }
 
@@ -105,26 +128,79 @@ void Fabric::send_data(Packet packet) {
     // Hold this packet back so packets serialized after it can overtake it.
     deliver_at += static_cast<sim::DurationNs>(
         rng_.range(1, static_cast<std::uint64_t>(faults_.reorder_delay)));
-    src_it->second.stats.data_packets_reordered++;
+    r.src->stats.data_packets_reordered++;
   }
-  loop_.schedule_at(deliver_at, [this, packet = std::move(packet)]() mutable {
-    if (partitioned_.contains(packet.src) || partitioned_.contains(packet.dst)) return;
-    auto port_it = ports_.find(packet.dst);
-    if (port_it != ports_.end()) {
-      port_it->second.stats.data_packets_rx++;
-      port_it->second.stats.data_bytes_rx += packet.payload.size();
-    }
-    auto it = data_handlers_.find(packet.dst);
-    if (it != data_handlers_.end() && it->second) it->second(std::move(packet));
+  loop_.post_at(deliver_at, [this, rp = &r, packet = std::move(packet)]() mutable {
+    deliver(*rp, std::move(packet));
   });
 }
 
-sim::TimeNs Fabric::send_ctrl(HostId src, HostId dst, const std::string& service,
-                              common::Bytes payload) {
+void Fabric::deliver(Route& r, Packet&& packet) {
+  // Faults may have flipped between serialization and arrival.
+  if (r.src->is_partitioned || r.dst->is_partitioned) return;
+  r.dst->stats.data_packets_rx++;
+  r.dst->stats.data_bytes_rx += packet.wire_size();
+  if (r.dst->handler) r.dst->handler(std::move(packet));
+}
+
+std::vector<Packet> Fabric::acquire_train() {
+  if (train_pool_.empty()) return {};
+  std::vector<Packet> train = std::move(train_pool_.back());
+  train_pool_.pop_back();
+  return train;
+}
+
+void Fabric::recycle_train(std::vector<Packet>&& train) {
+  train.clear();
+  if (train_pool_.size() < 32) train_pool_.push_back(std::move(train));
+}
+
+void Fabric::send_data_burst(Route& r, std::vector<Packet>&& train) {
+  if (train.empty()) {
+    recycle_train(std::move(train));
+    return;
+  }
+  if (!data_fast_path()) {
+    // Active faults need per-packet loss/reorder decisions in rng order.
+    for (Packet& p : train) send_data(r, std::move(p));
+    recycle_train(std::move(train));
+    return;
+  }
+  for (Packet& p : train) {
+    const std::size_t frame_bytes = p.wire_size();
+    r.src->stats.data_packets_tx++;
+    r.src->stats.data_bytes_tx += frame_bytes;
+    r.packets->inc();
+    r.bytes->inc(frame_bytes);
+    p.deliver_at_ =
+        reserve_egress(*r.src, frame_bytes + config_.header_bytes) + config_.propagation;
+  }
+  const sim::TimeNs first_at = train.front().deliver_at_;
+  loop_.post_at(first_at, [this, rp = &r, t = std::move(train)]() mutable {
+    deliver_burst(*rp, std::move(t), 0);
+  });
+}
+
+void Fabric::deliver_burst(Route& r, std::vector<Packet>&& train, std::size_t idx) {
+  deliver(r, std::move(train[idx]));
+  const std::size_t next = idx + 1;
+  if (next < train.size()) {
+    const sim::TimeNs at = train[next].deliver_at_;
+    loop_.post_at(at, [this, rp = &r, t = std::move(train), next]() mutable {
+      deliver_burst(*rp, std::move(t), next);
+    });
+  } else {
+    recycle_train(std::move(train));
+  }
+}
+
+common::Result<sim::TimeNs> Fabric::send_ctrl(HostId src, HostId dst,
+                                              const std::string& service,
+                                              common::Bytes payload) {
   auto src_it = ports_.find(src);
   if (src_it == ports_.end() || !ports_.contains(dst)) {
     MIGR_WARN() << "ctrl message to/from unattached host " << src << "->" << dst;
-    return loop_.now();
+    return common::err(Errc::not_found, "ctrl endpoint not attached");
   }
   src_it->second.stats.ctrl_messages_tx++;
   src_it->second.stats.ctrl_bytes_tx += payload.size();
@@ -140,8 +216,8 @@ sim::TimeNs Fabric::send_ctrl(HostId src, HostId dst, const std::string& service
   const sim::TimeNs serialized_at = reserve_egress(src_it->second, wire_bytes);
   const sim::TimeNs deliver_at = serialized_at + config_.propagation + faults_.ctrl_delay;
 
-  loop_.schedule_at(deliver_at, [this, src, dst, service, payload = std::move(payload)]() mutable {
-    if (partitioned_.contains(src) || partitioned_.contains(dst)) return;
+  loop_.post_at(deliver_at, [this, src, dst, service, payload = std::move(payload)]() mutable {
+    if (partitioned(src) || partitioned(dst)) return;
     auto it = services_.find({dst, service});
     if (it != services_.end() && it->second) {
       it->second(src, std::move(payload));
@@ -153,10 +229,22 @@ sim::TimeNs Fabric::send_ctrl(HostId src, HostId dst, const std::string& service
 }
 
 void Fabric::set_partitioned(HostId host, bool partitioned) {
-  if (partitioned) {
-    partitioned_.insert(host);
+  auto it = ports_.find(host);
+  if (it != ports_.end()) {
+    if (it->second.is_partitioned == partitioned) return;
+    it->second.is_partitioned = partitioned;
   } else {
-    partitioned_.erase(host);
+    if (partitioned == partitioned_orphans_.contains(host)) return;
+    if (partitioned) {
+      partitioned_orphans_.insert(host);
+    } else {
+      partitioned_orphans_.erase(host);
+    }
+  }
+  if (partitioned) {
+    npartitioned_++;
+  } else {
+    npartitioned_--;
   }
 }
 

@@ -14,6 +14,13 @@
 //
 // Hosts can be partitioned (both planes dropped) to model node failure for
 // the Hadoop failover baseline.
+//
+// Fast path: callers resolve a Route (src/dst port pointers + link counters)
+// once per connection and send through it, so the per-packet cost is plain
+// pointer work instead of 4-6 hash lookups. A fault-free train of packets
+// can be handed over as one burst (send_data_burst), which reserves egress
+// for the whole train up front and delivers each packet at its own time
+// through a single self-re-arming event.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +32,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/payload.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "obs/metrics.hpp"
@@ -33,6 +41,10 @@
 namespace migr::net {
 
 using HostId = std::uint32_t;
+
+/// Inline buffer for the RNIC wire header that frames each data packet.
+/// Sized for rnic::WirePacket's serialized header with a little headroom.
+using FrameHeader = common::SmallBytes<80>;
 
 struct FabricConfig {
   double link_gbps = 100.0;                    // per-port line rate
@@ -53,11 +65,29 @@ struct Faults {
   sim::DurationNs ctrl_delay = 0;
 };
 
-/// A raw data-plane packet. The RNIC layer owns the payload format.
+/// A raw data-plane packet: an inline wire header plus a zero-copy payload
+/// view. The RNIC layer owns both formats; raw senders (tests) may leave the
+/// header empty and put a fully serialized frame in `body`.
 struct Packet {
+  Packet() = default;
+  Packet(HostId s, HostId d, common::PayloadRef b)
+      : src(s), dst(d), body(std::move(b)) {}
+  /// Convenience for raw frames (tests): copies `payload` into `body`.
+  Packet(HostId s, HostId d, const common::Bytes& payload)
+      : src(s), dst(d), body(common::PayloadRef::copy_of(payload)) {}
+
   HostId src = 0;
   HostId dst = 0;
-  common::Bytes payload;
+  FrameHeader header;
+  common::PayloadRef body;
+
+  /// Bytes this packet occupies on the wire, excluding fabric framing
+  /// overhead (FabricConfig::header_bytes).
+  std::size_t wire_size() const noexcept { return header.size() + body.size(); }
+
+ private:
+  friend class Fabric;
+  sim::TimeNs deliver_at_ = 0;  // set by burst scheduling
 };
 
 // Per-port counters. Each attached port also registers itself with the
@@ -80,6 +110,28 @@ class Fabric {
   /// (source host, payload)
   using CtrlHandler = std::function<void(HostId, common::Bytes&&)>;
 
+  /// One attached host port. Stable address for the fabric's lifetime
+  /// (callers treat it as opaque; it is public only so Route can be).
+  struct Port {
+    HostId id = 0;
+    sim::TimeNs egress_free_at = 0;  // when the port finishes its current tx
+    bool is_partitioned = false;
+    DataHandler handler;
+    PortStats stats;
+    std::uint64_t source_id = 0;  // obs registry source handle
+  };
+
+  /// Resolved (src, dst) fast-path handle: port pointers plus the directed
+  /// link's registry counters, all hash-free on the per-packet path. Stable
+  /// address for the fabric's lifetime; resolve once per connection.
+  struct Route {
+    Port* src = nullptr;
+    Port* dst = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* packets = nullptr;
+    obs::Counter* drops = nullptr;
+  };
+
   Fabric(sim::EventLoop& loop, FabricConfig config = {}, std::uint64_t seed = 1)
       : loop_(loop), config_(config), rng_(seed) {}
   ~Fabric();
@@ -100,15 +152,40 @@ class Fabric {
   void register_service(HostId host, std::string name, CtrlHandler handler);
   void unregister_service(HostId host, const std::string& name);
 
+  /// Resolve the fast-path handle for (src, dst). Returns nullptr unless
+  /// both hosts are attached. The pointer stays valid for the fabric's
+  /// lifetime (ports never detach).
+  Route* route(HostId src, HostId dst);
+
   /// Send a data-plane packet. Serialization on the source port + switch
   /// propagation; may be dropped per fault config or partition.
   void send_data(Packet packet);
+  /// Fast path: same semantics through a pre-resolved route.
+  void send_data(Route& r, Packet&& packet);
+
+  /// True while the data plane has no active loss/reorder faults and no
+  /// partitions — the precondition for burst coalescing.
+  bool data_fast_path() const noexcept {
+    return faults_.data_loss_prob <= 0 && faults_.reorder_prob <= 0 &&
+           npartitioned_ == 0;
+  }
+
+  /// A recycled packet vector for assembling a burst train.
+  std::vector<Packet> acquire_train();
+  /// Send an in-order train through one route. Egress is reserved per packet
+  /// (identical serialization times to per-packet sends on an idle port) and
+  /// one self-re-arming event delivers each packet at its own time,
+  /// re-checking partitions per delivery. If the fast-path precondition no
+  /// longer holds, degrades to per-packet send_data for full fault fidelity.
+  void send_data_burst(Route& r, std::vector<Packet>&& train);
 
   /// Send a reliable ctrl-plane message to `service` on `dst`. Delivery is
   /// in-order per (src,dst) pair. Returns the simulated time at which the
-  /// last byte leaves the source port (useful to model blocking transfers).
-  sim::TimeNs send_ctrl(HostId src, HostId dst, const std::string& service,
-                        common::Bytes payload);
+  /// last byte leaves the source port (useful to model blocking transfers),
+  /// or not_found if either endpoint is unattached (the message is dropped —
+  /// callers must not mistake that for instant serialization).
+  common::Result<sim::TimeNs> send_ctrl(HostId src, HostId dst, const std::string& service,
+                                        common::Bytes payload);
 
   /// Duration to push `bytes` through one port at line rate (no queueing).
   sim::DurationNs wire_time(std::uint64_t bytes) const {
@@ -121,23 +198,28 @@ class Fabric {
     auto it = ports_.find(host);
     return it == ports_.end() ? loop_.now() : it->second.egress_free_at;
   }
+  /// Stable pointer to the same value for pacing fast paths (no hash lookup
+  /// per read). nullptr if unattached.
+  const sim::TimeNs* egress_clock(HostId host) const {
+    auto it = ports_.find(host);
+    return it == ports_.end() ? nullptr : &it->second.egress_free_at;
+  }
 
   void set_faults(Faults f) noexcept { faults_ = f; }
   const Faults& faults() const noexcept { return faults_; }
 
   /// Partitioned hosts silently lose all traffic in and out (node failure).
+  /// Works for not-yet-attached hosts too (the flag carries over on attach).
   void set_partitioned(HostId host, bool partitioned);
-  bool partitioned(HostId host) const { return partitioned_.contains(host); }
+  bool partitioned(HostId host) const {
+    auto it = ports_.find(host);
+    if (it != ports_.end()) return it->second.is_partitioned;
+    return partitioned_orphans_.contains(host);
+  }
 
   const PortStats& stats(HostId host) const;
 
  private:
-  struct Port {
-    sim::TimeNs egress_free_at = 0;  // when the port finishes its current tx
-    PortStats stats;
-    std::uint64_t source_id = 0;  // obs registry source handle
-  };
-
   /// Registry counters for one directed link (src->dst through the switch),
   /// resolved once per pair and cached for O(1) hot-path increments.
   struct LinkCounters {
@@ -151,15 +233,21 @@ class Fabric {
   /// the last bit has been serialized.
   sim::TimeNs reserve_egress(Port& port, std::uint64_t wire_bytes);
 
+  void deliver(Route& r, Packet&& packet);
+  void deliver_burst(Route& r, std::vector<Packet>&& train, std::size_t idx);
+  void recycle_train(std::vector<Packet>&& train);
+
   sim::EventLoop& loop_;
   FabricConfig config_;
   common::Rng rng_;
   Faults faults_;
-  std::unordered_map<HostId, Port> ports_;
+  std::unordered_map<HostId, Port> ports_;                 // node-stable addresses
   std::unordered_map<std::uint64_t, LinkCounters> links_;  // (src<<32)|dst
-  std::unordered_map<HostId, DataHandler> data_handlers_;
+  std::unordered_map<std::uint64_t, Route> routes_;        // (src<<32)|dst
   std::map<std::pair<HostId, std::string>, CtrlHandler> services_;
-  std::unordered_set<HostId> partitioned_;
+  std::unordered_set<HostId> partitioned_orphans_;  // partitioned but unattached
+  std::uint32_t npartitioned_ = 0;
+  std::vector<std::vector<Packet>> train_pool_;
 };
 
 }  // namespace migr::net

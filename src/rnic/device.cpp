@@ -39,6 +39,7 @@ Device::Device(sim::EventLoop& loop, net::Fabric& fabric, net::HostId host,
   qpn_base_ = next_qpn_;
   key_salt_ = static_cast<std::uint32_t>(rng_.next());
   fabric_.set_data_handler(host_, [this](net::Packet&& p) { handle_packet(std::move(p)); });
+  egress_clock_ = fabric_.egress_clock(host_);
 
   auto& reg = obs::Registry::global();
   const obs::Labels labels{{"host", std::to_string(host_)}};
@@ -366,6 +367,9 @@ Status Context::modify_qp_rtr(Qpn qpn, net::HostId remote_host, Qpn remote_qpn,
     qp->remote_host = remote_host;
     qp->remote_qpn = remote_qpn;
     qp->expected_psn = expected_psn;
+    // Resolve the fabric fast-path handle once per connection; every packet
+    // of this QP's lifetime sends through it without hash lookups.
+    qp->route = dev_.fabric().route(dev_.host(), remote_host);
     // Fresh PSN space (possibly reusing PSNs from a pre-migration life):
     // drop the NAK-suppression sentinel or the first gap at a reused PSN
     // would be silently swallowed.
@@ -411,6 +415,7 @@ Status Context::modify_qp_reset(Qpn qpn) {
   qp->next_psn = qp->acked_psn = qp->expected_psn = 0;
   qp->last_nak_psn = static_cast<Psn>(-1);
   qp->emit_cursor = 0;
+  qp->route = nullptr;  // re-resolved at the next RTR transition
   qp->recv_active = false;
   qp->atomic_cache.clear();
   qp->n_sent = qp->n_recv = 0;

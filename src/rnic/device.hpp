@@ -133,6 +133,9 @@ struct SendWqe {
   SendWr wr;
   std::uint64_t bytes = 0;     // total payload length
   std::uint32_t npkts = 0;     // packets this WQE occupies in PSN space
+  // Message staging buffer: allocated at first emission; each packet's
+  // payload is a zero-copy slice of it. Retransmissions re-DMA into it.
+  common::PayloadRef msg_buf;
   bool psn_assigned = false;
   Psn first_psn = 0;
   std::uint32_t emitted_pkts = 0;   // transmit progress (rewound by go-back-N)
@@ -155,6 +158,9 @@ struct Qp {
   // RC connection identity.
   net::HostId remote_host = 0;
   Qpn remote_qpn = 0;
+  // Fast-path fabric handle for the connection, resolved at RTR (RC only);
+  // stable for the fabric's lifetime.
+  net::Fabric::Route* route = nullptr;
 
   // --- requester (send) engine ---
   common::Ring<SendWqe> sq;
@@ -164,6 +170,11 @@ struct Qp {
   sim::TimeNs last_progress = 0;
   int retries = 0;
   bool in_pump = false;    // queued in the device's transmit scheduler
+  // Live retransmit timers for this QP. On the fault-free fast path one
+  // timer covers the whole SQ (it re-arms itself until the queue drains),
+  // so per-packet arming is deduplicated; with faults active every
+  // emission arms its own timer, exactly as before.
+  std::uint32_t rtx_outstanding = 0;
 
   // --- responder (receive) engine ---
   common::Ring<RecvWr> rq;
@@ -401,7 +412,11 @@ class Device {
   void pump();
   void schedule_pump(sim::TimeNs at);
   bool emit_next_packet(Qp& qp);  // returns true if a packet was emitted
-  void transmit(WirePacket pkt, net::HostId dst);
+  // Coalesced emission: stream up to kMaxBurst in-order packets of the
+  // cursor WQE as one fabric train. Only taken when this QP is alone in
+  // the scheduler and the fabric's fault-free fast path holds.
+  bool emit_burst(Qp& qp);
+  void transmit(WirePacket pkt, net::HostId dst, net::Fabric::Route* route);
 
   void complete_head_wqes(Qp& qp);
   void flush_qp(Qp& qp, bool notify);
@@ -433,6 +448,8 @@ class Device {
 
   std::deque<Qpn> pump_queue_;
   bool pump_scheduled_ = false;
+  // Cached pointer to this port's egress clock (no hash lookup per pump).
+  const sim::TimeNs* egress_clock_ = nullptr;
   std::uint64_t dm_free_;
   sim::TimeNs ctrl_pressure_until_ = 0;
 

@@ -24,6 +24,9 @@ constexpr std::uint8_t kErrRemoteAccess = 1;
 // whereas a plain sequence-error NAK counts against the budget.
 constexpr std::uint8_t kNakRnr = 2;
 
+// Largest packet train handed to the fabric in one coalesced emission.
+constexpr std::uint32_t kMaxBurst = 64;
+
 CqeOpcode send_cqe_opcode(WrOpcode op) {
   switch (op) {
     case WrOpcode::send:
@@ -250,20 +253,30 @@ void Device::kick(Qp& qp) {
 
 void Device::schedule_pump(sim::TimeNs at) {
   pump_scheduled_ = true;
-  loop_.schedule_at(at, [this] { pump(); });
+  loop_.post_at(at, [this] { pump(); });
 }
 
 void Device::pump() {
   pump_scheduled_ = false;
   // Round-robin: emit one packet for the first QP that has work, requeue it,
   // then pace the next slot at the port's serialization rate. QPs with no
-  // emittable work fall out of the ring until re-kicked.
+  // emittable work fall out of the ring until re-kicked. A QP that is alone
+  // in the rotation may stream a whole burst per slot instead.
   while (!pump_queue_.empty()) {
     const Qpn qpn = pump_queue_.front();
     pump_queue_.pop_front();
     auto it = qp_routes_.find(qpn);
     if (it == qp_routes_.end()) continue;  // destroyed while queued
     Qp& qp = *it->second;
+    if (pump_queue_.empty() && emit_burst(qp)) {
+      if (qp.emit_cursor < qp.sq.tail()) {
+        pump_queue_.push_back(qpn);
+        schedule_pump(std::max(loop_.now(), *egress_clock_));
+      } else {
+        qp.in_pump = false;
+      }
+      return;
+    }
     if (emit_next_packet(qp)) {
       // More work? Keep it in the rotation.
       if (qp.emit_cursor < qp.sq.tail()) {
@@ -271,7 +284,7 @@ void Device::pump() {
       } else {
         qp.in_pump = false;
       }
-      sim::TimeNs next = std::max(loop_.now(), fabric_.egress_free_at(host_));
+      sim::TimeNs next = std::max(loop_.now(), *egress_clock_);
       if (under_ctrl_pressure()) {
         // Command-interface contention: data path slows by a few percent
         // while the NIC processes control commands (Fig. 5 brownout).
@@ -282,6 +295,89 @@ void Device::pump() {
     }
     qp.in_pump = false;
   }
+}
+
+bool Device::emit_burst(Qp& qp) {
+  if (qp.state != QpState::rts || qp.type != QpType::rc || qp.route == nullptr) return false;
+  if (under_ctrl_pressure() || !fabric_.data_fast_path()) return false;
+  if (qp.emit_cursor < qp.sq.head()) qp.emit_cursor = qp.sq.head();
+  if (qp.emit_cursor >= qp.sq.tail()) return false;
+  SendWqe& wqe = qp.sq.at(static_cast<std::size_t>(qp.emit_cursor - qp.sq.head()));
+  switch (wqe.wr.opcode) {
+    case WrOpcode::send:
+    case WrOpcode::send_with_imm:
+    case WrOpcode::rdma_write:
+    case WrOpcode::rdma_write_with_imm:
+      break;
+    default:
+      return false;  // reads/atomics/binds keep the per-packet path
+  }
+  if (!wqe.psn_assigned) {
+    wqe.first_psn = qp.next_psn;
+    qp.next_psn += wqe.npkts;
+    wqe.psn_assigned = true;
+  }
+  if (wqe.npkts - wqe.emitted_pkts < 2) return false;  // trains need >= 2 packets
+
+  const std::uint32_t mtu = fabric_.config().mtu;
+  const bool is_write = wqe.wr.opcode == WrOpcode::rdma_write ||
+                        wqe.wr.opcode == WrOpcode::rdma_write_with_imm;
+  const bool with_imm = wqe.wr.opcode == WrOpcode::send_with_imm ||
+                        wqe.wr.opcode == WrOpcode::rdma_write_with_imm;
+  if (wqe.msg_buf.empty() && wqe.bytes > 0) {
+    wqe.msg_buf = common::PayloadRef::alloc(wqe.bytes);
+  }
+  const std::uint32_t n = std::min(kMaxBurst, wqe.npkts - wqe.emitted_pkts);
+  std::vector<net::Packet> train = fabric_.acquire_train();
+  train.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t offset = static_cast<std::uint64_t>(wqe.emitted_pkts) * mtu;
+    const std::uint32_t chunk =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(mtu, wqe.bytes - offset));
+    if (chunk > 0) {
+      auto st = dma_read(*qp.ctx, wqe.wr.sge, offset,
+                         wqe.msg_buf.mutable_span().subspan(offset, chunk));
+      if (!st.is_ok()) {
+        MIGR_WARN() << "local DMA fault on QP " << qp.qpn << ": " << st.to_string();
+        fabric_.send_data_burst(*qp.route, std::move(train));  // what made it out
+        flush_qp(qp, /*notify=*/true);
+        return true;
+      }
+    }
+    WirePacket pkt;
+    pkt.src_qpn = qp.qpn;
+    pkt.dst_qpn = qp.remote_qpn;
+    pkt.psn = wqe.first_psn + wqe.emitted_pkts;
+    pkt.first = wqe.emitted_pkts == 0;
+    pkt.last = wqe.emitted_pkts + 1 == wqe.npkts;
+    pkt.offset = static_cast<std::uint32_t>(offset);
+    pkt.msg_len = static_cast<std::uint32_t>(wqe.bytes);
+    pkt.op = is_write ? PktOp::write : PktOp::send;
+    if (is_write) {
+      pkt.remote_addr = wqe.wr.remote_addr + offset;
+      pkt.rkey = wqe.wr.rkey;
+    }
+    if (pkt.last && with_imm) {
+      pkt.has_imm = true;
+      pkt.imm = wqe.wr.imm;
+    }
+    pkt.payload = wqe.msg_buf.slice(offset, chunk);
+    counters_.tx_packets++;
+    counters_.tx_bytes += chunk;
+
+    net::Packet raw;
+    raw.src = host_;
+    raw.dst = qp.remote_host;
+    pkt.serialize_header(raw.header);
+    raw.body = std::move(pkt.payload);
+    train.push_back(std::move(raw));
+    wqe.emitted_pkts++;
+  }
+  if (wqe.emitted_pkts == wqe.npkts) qp.emit_cursor++;
+  qp.last_progress = loop_.now();
+  fabric_.send_data_burst(*qp.route, std::move(train));
+  arm_retransmit_timer(qp);  // one timer covers the whole train
+  return true;
 }
 
 bool Device::emit_next_packet(Qp& qp) {
@@ -336,9 +432,12 @@ bool Device::emit_next_packet(Qp& qp) {
         const std::uint64_t offset = static_cast<std::uint64_t>(wqe.emitted_pkts) * mtu;
         const std::uint32_t chunk =
             static_cast<std::uint32_t>(std::min<std::uint64_t>(mtu, wqe.bytes - offset));
-        pkt.payload.resize(chunk);
+        if (wqe.msg_buf.empty() && wqe.bytes > 0) {
+          wqe.msg_buf = common::PayloadRef::alloc(wqe.bytes);
+        }
         if (chunk > 0) {
-          auto st = dma_read(*qp.ctx, wqe.wr.sge, offset, pkt.payload);
+          auto st = dma_read(*qp.ctx, wqe.wr.sge, offset,
+                             wqe.msg_buf.mutable_span().subspan(offset, chunk));
           if (!st.is_ok()) {
             // Local protection fault mid-transfer (e.g. buffer unmapped):
             // the QP moves to error, as real hardware does.
@@ -347,6 +446,7 @@ bool Device::emit_next_packet(Qp& qp) {
             return false;
           }
         }
+        pkt.payload = wqe.msg_buf.slice(offset, chunk);
         pkt.first = wqe.emitted_pkts == 0;
         pkt.last = wqe.emitted_pkts + 1 == wqe.npkts;
         pkt.offset = static_cast<std::uint32_t>(offset);
@@ -393,7 +493,8 @@ bool Device::emit_next_packet(Qp& qp) {
         break;
     }
 
-    transmit(std::move(pkt), dst_host);
+    transmit(std::move(pkt), dst_host,
+             qp.type == QpType::rc ? qp.route : fabric_.route(host_, dst_host));
     wqe.emitted_pkts++;
     if (wqe.emitted_pkts == wqe.npkts) qp.emit_cursor++;
     qp.last_progress = loop_.now();
@@ -408,14 +509,19 @@ bool Device::emit_next_packet(Qp& qp) {
   return false;
 }
 
-void Device::transmit(WirePacket pkt, net::HostId dst) {
+void Device::transmit(WirePacket pkt, net::HostId dst, net::Fabric::Route* route) {
   counters_.tx_packets++;
   counters_.tx_bytes += pkt.payload.size();
   net::Packet raw;
   raw.src = host_;
   raw.dst = dst;
-  raw.payload = pkt.serialize();
-  fabric_.send_data(std::move(raw));
+  pkt.serialize_header(raw.header);
+  raw.body = std::move(pkt.payload);
+  if (route != nullptr) {
+    fabric_.send_data(*route, std::move(raw));
+  } else {
+    fabric_.send_data(std::move(raw));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -460,14 +566,21 @@ Psn retransmit_point(const Qp& qp) {
 
 void Device::arm_retransmit_timer(Qp& qp) {
   if (qp.retries < 0) return;  // timer disabled
+  // Fault-free fast path: one live timer already covers the whole SQ (it
+  // re-arms itself until the queue drains), so per-packet arming would only
+  // pile up redundant events. With faults active, arm unconditionally —
+  // identical timer population to the per-packet protocol.
+  if (fabric_.data_fast_path() && qp.rtx_outstanding > 0) return;
+  qp.rtx_outstanding++;
   const Qpn qpn = qp.qpn;
-  loop_.schedule_in(costs().retransmit_timeout, [this, qpn] { on_retransmit_timer(qpn); });
+  loop_.post_in(costs().retransmit_timeout, [this, qpn] { on_retransmit_timer(qpn); });
 }
 
 void Device::on_retransmit_timer(Qpn qpn) {
   auto it = qp_routes_.find(qpn);
   if (it == qp_routes_.end()) return;
   Qp& qp = *it->second;
+  if (qp.rtx_outstanding > 0) qp.rtx_outstanding--;
   if (qp.state != QpState::rts || qp.type != QpType::rc) return;
   if (qp.sq.empty()) return;
   // Anything left unacked and quiet for a full timeout?
@@ -501,7 +614,7 @@ void Device::send_ack(Qp& qp) {
   ack.src_qpn = qp.qpn;
   ack.dst_qpn = qp.remote_qpn;
   ack.psn = qp.expected_psn;  // cumulative: everything below is received
-  transmit(std::move(ack), qp.remote_host);
+  transmit(std::move(ack), qp.remote_host, qp.route);
 }
 
 void Device::send_nak(Qp& qp, bool rnr) {
@@ -514,7 +627,7 @@ void Device::send_nak(Qp& qp, bool rnr) {
   nak.dst_qpn = qp.remote_qpn;
   nak.psn = qp.expected_psn;
   nak.atomic_op = rnr ? kNakRnr : kErrNone;
-  transmit(std::move(nak), qp.remote_host);
+  transmit(std::move(nak), qp.remote_host, qp.route);
 }
 
 void Device::on_ack(Qp& qp, const WirePacket& pkt) {
@@ -633,7 +746,7 @@ void Device::flush_qp(Qp& qp, bool notify) {
 // ---------------------------------------------------------------------------
 
 void Device::handle_packet(net::Packet&& raw) {
-  auto parsed = WirePacket::parse(raw.payload);
+  auto parsed = WirePacket::parse(std::move(raw));
   if (!parsed.is_ok()) {
     MIGR_WARN() << "malformed packet dropped on host " << host_;
     return;
@@ -697,10 +810,10 @@ void Device::on_request(Qp& qp, WirePacket& pkt) {
           resp.dst_qpn = qp.remote_qpn;
           resp.psn = pkt.psn;
           resp.resp_token = pkt.resp_token;
-          resp.payload.resize(8);
+          resp.payload = common::PayloadRef::alloc(8);
           std::uint64_t v = it->second;
-          std::memcpy(resp.payload.data(), &v, 8);
-          transmit(std::move(resp), qp.remote_host);
+          std::memcpy(resp.payload.mutable_data(), &v, 8);
+          transmit(std::move(resp), qp.remote_host, qp.route);
         }
         return;
       }
@@ -849,9 +962,9 @@ void Device::on_request(Qp& qp, WirePacket& pkt) {
       resp.dst_qpn = qp.remote_qpn;
       resp.psn = pkt.psn;
       resp.resp_token = pkt.resp_token;
-      resp.payload.resize(8);
-      std::memcpy(resp.payload.data(), &orig, 8);
-      transmit(std::move(resp), qp.remote_host);
+      resp.payload = common::PayloadRef::alloc(8);
+      std::memcpy(resp.payload.mutable_data(), &orig, 8);
+      transmit(std::move(resp), qp.remote_host, qp.route);
       return;
     }
     default:
@@ -868,8 +981,13 @@ void Device::on_request_read(Qp& qp, const WirePacket& pkt) {
     return;
   }
   // Stream the response. Response packets carry the requester's token so a
-  // re-issued read matches up with the same WQE.
+  // re-issued read matches up with the same WQE. One buffer holds the whole
+  // message; each response packet carries a zero-copy slice of it.
   const std::uint32_t mtu = fabric_.config().mtu;
+  common::PayloadRef buf = common::PayloadRef::alloc(pkt.msg_len);
+  if (pkt.msg_len > 0) {
+    (void)target->ctx->process().mem().read(pkt.remote_addr, buf.mutable_span());
+  }
   std::uint32_t off = 0;
   do {
     const std::uint32_t chunk = std::min(mtu, pkt.msg_len - off);
@@ -882,11 +1000,8 @@ void Device::on_request_read(Qp& qp, const WirePacket& pkt) {
     resp.msg_len = pkt.msg_len;
     resp.first = off == 0;
     resp.last = off + chunk >= pkt.msg_len;
-    resp.payload.resize(chunk);
-    if (chunk > 0) {
-      (void)target->ctx->process().mem().read(pkt.remote_addr + off, resp.payload);
-    }
-    transmit(std::move(resp), qp.remote_host);
+    resp.payload = buf.slice(off, chunk);
+    transmit(std::move(resp), qp.remote_host, qp.route);
     off += chunk;
   } while (off < pkt.msg_len);
 }
@@ -898,7 +1013,7 @@ void Device::reply_remote_error(Qp& qp) {
   e.dst_qpn = qp.remote_qpn;
   e.psn = qp.expected_psn;
   e.atomic_op = kErrRemoteAccess;
-  transmit(std::move(e), qp.remote_host);
+  transmit(std::move(e), qp.remote_host, qp.route);
 }
 
 void Device::on_read_resp(Qp& qp, const WirePacket& pkt) {

@@ -5,6 +5,20 @@ namespace migr::rnic {
 using common::ByteReader;
 using common::ByteWriter;
 
+namespace {
+
+inline void put_le(std::uint8_t*& p, std::uint64_t v, int nbytes) {
+  for (int i = 0; i < nbytes; ++i) *p++ = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline std::uint64_t get_le(const std::uint8_t*& p, int nbytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < nbytes; ++i) v |= static_cast<std::uint64_t>(*p++) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
 common::Bytes WirePacket::serialize() const {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(op));
@@ -25,8 +39,35 @@ common::Bytes WirePacket::serialize() const {
   w.u64(compare_add);
   w.u64(swap);
   w.u64(resp_token);
-  w.bytes(payload);
+  w.bytes(payload.span());
   return std::move(w).take();
+}
+
+void WirePacket::serialize_header(net::FrameHeader& out) const {
+  // Identical field order and encoding to serialize(); the u32 payload
+  // length that serialize() emits as the bytes() prefix closes the header,
+  // so header-bytes + body == the flat frame, byte for byte.
+  out.resize(kHeaderBytes);
+  std::uint8_t* p = out.data();
+  *p++ = static_cast<std::uint8_t>(op);
+  put_le(p, dst_qpn, 4);
+  put_le(p, src_qpn, 4);
+  put_le(p, psn, 8);
+  std::uint8_t flags = 0;
+  if (first) flags |= 1;
+  if (last) flags |= 2;
+  if (has_imm) flags |= 4;
+  *p++ = flags;
+  put_le(p, imm, 4);
+  put_le(p, remote_addr, 8);
+  put_le(p, rkey, 4);
+  put_le(p, msg_len, 4);
+  put_le(p, offset, 4);
+  *p++ = atomic_op;
+  put_le(p, compare_add, 8);
+  put_le(p, swap, 8);
+  put_le(p, resp_token, 8);
+  put_le(p, payload.size(), 4);
 }
 
 common::Result<WirePacket> WirePacket::parse(std::span<const std::uint8_t> data) {
@@ -53,8 +94,45 @@ common::Result<WirePacket> WirePacket::parse(std::span<const std::uint8_t> data)
   MIGR_ASSIGN_OR_RETURN(p.compare_add, r.u64());
   MIGR_ASSIGN_OR_RETURN(p.swap, r.u64());
   MIGR_ASSIGN_OR_RETURN(p.resp_token, r.u64());
-  MIGR_ASSIGN_OR_RETURN(p.payload, r.bytes());
+  MIGR_ASSIGN_OR_RETURN(auto body, r.bytes());
+  p.payload = common::PayloadRef::copy_of(body);
   return p;
+}
+
+common::Result<WirePacket> WirePacket::parse(net::Packet&& raw) {
+  if (raw.header.empty()) return parse(raw.body.span());
+  if (raw.header.size() != kHeaderBytes) {
+    return common::err(common::Errc::invalid_argument, "bad packet header size");
+  }
+  const std::uint8_t* p = raw.header.data();
+  WirePacket pkt;
+  const auto op = static_cast<std::uint8_t>(*p++);
+  if (op > static_cast<std::uint8_t>(PktOp::nak)) {
+    return common::err(common::Errc::invalid_argument, "bad packet opcode");
+  }
+  pkt.op = static_cast<PktOp>(op);
+  pkt.dst_qpn = static_cast<Qpn>(get_le(p, 4));
+  pkt.src_qpn = static_cast<Qpn>(get_le(p, 4));
+  pkt.psn = static_cast<Psn>(get_le(p, 8));
+  const auto flags = static_cast<std::uint8_t>(*p++);
+  pkt.first = (flags & 1) != 0;
+  pkt.last = (flags & 2) != 0;
+  pkt.has_imm = (flags & 4) != 0;
+  pkt.imm = static_cast<std::uint32_t>(get_le(p, 4));
+  pkt.remote_addr = static_cast<proc::VirtAddr>(get_le(p, 8));
+  pkt.rkey = static_cast<Rkey>(get_le(p, 4));
+  pkt.msg_len = static_cast<std::uint32_t>(get_le(p, 4));
+  pkt.offset = static_cast<std::uint32_t>(get_le(p, 4));
+  pkt.atomic_op = static_cast<std::uint8_t>(*p++);
+  pkt.compare_add = get_le(p, 8);
+  pkt.swap = get_le(p, 8);
+  pkt.resp_token = get_le(p, 8);
+  const auto declared_len = static_cast<std::uint32_t>(get_le(p, 4));
+  if (declared_len != raw.body.size()) {
+    return common::err(common::Errc::invalid_argument, "payload length mismatch");
+  }
+  pkt.payload = std::move(raw.body);
+  return pkt;
 }
 
 }  // namespace migr::rnic

@@ -3,12 +3,20 @@
 // Base Transport Header plus the RETH/AtomicETH extended headers, carrying
 // exactly the fields MigrRDMA cares about: destination QPN (routing), PSN
 // (go-back-N reliability), and rkey/remote address (one-sided validation).
+//
+// On the fast path the header serializes into the net::Packet's inline
+// FrameHeader and the payload rides as a zero-copy PayloadRef slice; the
+// flat serialize()/parse(span) pair remains for raw-frame senders (tests)
+// and produces byte-identical framing (header, then u32-length-prefixed
+// payload).
 #pragma once
 
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "common/payload.hpp"
 #include "common/result.hpp"
+#include "net/fabric.hpp"
 #include "rnic/types.hpp"
 
 namespace migr::rnic {
@@ -25,6 +33,9 @@ enum class PktOp : std::uint8_t {
 };
 
 struct WirePacket {
+  /// Serialized header size: fixed fields (67 B) + u32 payload length.
+  static constexpr std::size_t kHeaderBytes = 71;
+
   PktOp op = PktOp::send;
   Qpn dst_qpn = 0;
   Qpn src_qpn = 0;
@@ -51,10 +62,20 @@ struct WirePacket {
   // responses, so retried requests match up.
   std::uint64_t resp_token = 0;
 
-  common::Bytes payload;
+  common::PayloadRef payload;
 
+  /// Flat frame (header + length-prefixed payload copy). Compat path.
   common::Bytes serialize() const;
+  /// Fast path: header (incl. payload length) into the packet's inline
+  /// buffer; the payload travels separately as Packet::body.
+  void serialize_header(net::FrameHeader& out) const;
+
+  /// Parse a flat frame (copies the payload out of `data`).
   static common::Result<WirePacket> parse(std::span<const std::uint8_t> data);
+  /// Fast path: decode the inline header and adopt `raw.body` without
+  /// copying. Falls back to flat-frame parsing when the header is empty
+  /// (raw senders put a full serialize()d frame in the body).
+  static common::Result<WirePacket> parse(net::Packet&& raw);
 };
 
 }  // namespace migr::rnic

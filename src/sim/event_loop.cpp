@@ -1,10 +1,64 @@
 #include "sim/event_loop.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <limits>
 #include <utility>
 
 namespace migr::sim {
+
+namespace detail {
+namespace {
+
+// Size classes for spilled closures. Anything larger than the biggest class
+// is rare enough (one-off control-path lambdas) to hit operator new directly.
+constexpr std::size_t kFnClasses[] = {256, 512, 1024};
+
+int fn_class(std::size_t n) noexcept {
+  for (int i = 0; i < 3; ++i) {
+    if (n <= kFnClasses[i]) return i;
+  }
+  return -1;
+}
+
+// The sim is single-threaded per loop; thread_local keeps the pool safe for
+// the odd test that spins loops on several threads. The destructor returns
+// everything to the system so leak detection stays clean.
+struct FnPool {
+  std::vector<void*> free[3];
+  ~FnPool() {
+    for (auto& cls : free) {
+      for (void* p : cls) ::operator delete(p);
+    }
+  }
+};
+thread_local FnPool g_fn_pool;
+
+}  // namespace
+
+void* fn_pool_alloc(std::size_t n) {
+  const int cls = fn_class(n);
+  if (cls < 0) return ::operator new(n);
+  auto& free = g_fn_pool.free[cls];
+  if (!free.empty()) {
+    void* p = free.back();
+    free.pop_back();
+    return p;
+  }
+  return ::operator new(kFnClasses[cls]);
+}
+
+void fn_pool_free(void* p, std::size_t n) noexcept {
+  const int cls = fn_class(n);
+  if (cls < 0) {
+    ::operator delete(p);
+    return;
+  }
+  g_fn_pool.free[cls].push_back(p);
+}
+
+}  // namespace detail
 
 namespace {
 std::int64_t wall_now_ns() {
@@ -14,7 +68,8 @@ std::int64_t wall_now_ns() {
 }
 }  // namespace
 
-EventLoop::EventLoop() {
+EventLoop::EventLoop() : table_(std::make_shared<detail::SlotTable>()) {
+  heap_.reserve(1024);
   auto& reg = obs::Registry::global();
   events_counter_ = &reg.counter("sim.events_dispatched");
   sim_ns_counter_ = &reg.counter("sim.sim_ns_advanced");
@@ -33,46 +88,68 @@ void EventLoop::account_run(TimeNs sim_start, std::int64_t wall_start_ns) {
   }
 }
 
-EventHandle EventLoop::schedule_at(TimeNs at, Fn fn) {
-  if (at < now_) at = now_;
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{at, next_seq_++, alive, std::move(fn)});
-  return EventHandle{std::move(alive)};
+EventHandle EventLoop::do_schedule(TimeNs at, DurationNs period, detail::EventFn fn) {
+  const std::uint32_t slot = table_->acquire();
+  detail::Slot& s = table_->slots[slot];
+  s.period = period;
+  s.fn = std::move(fn);
+  push_entry(at, slot, s.gen);
+  return EventHandle(table_, slot, s.gen);
 }
 
-EventHandle EventLoop::schedule_every(DurationNs period, Fn fn, DurationNs first_delay) {
-  assert(period > 0);
-  auto alive = std::make_shared<bool>(true);
-  // The periodic wrapper reschedules itself while the shared flag is set.
-  // Ownership lives in the queued relay, never in the wrapper itself: the
-  // body only holds a weak_ptr, so once the task is cancelled (or the loop
-  // is destroyed with the event still queued) the last relay copy frees the
-  // wrapper instead of a self-referencing shared_ptr keeping it alive.
-  auto wrapper = std::make_shared<std::function<void()>>();
-  std::weak_ptr<std::function<void()>> weak = wrapper;
-  *wrapper = [this, period, alive, weak, fn = std::move(fn)]() {
-    if (!*alive) return;
-    fn();
-    if (!*alive) return;
-    if (auto self = weak.lock()) {
-      queue_.push(Event{now_ + period, next_seq_++, alive, [self]() { (*self)(); }});
+void EventLoop::do_post(TimeNs at, detail::EventFn fn) {
+  const std::uint32_t slot = table_->acquire();
+  detail::Slot& s = table_->slots[slot];
+  s.period = 0;
+  s.fn = std::move(fn);
+  push_entry(at, slot, s.gen);
+}
+
+void EventLoop::push_entry(TimeNs at, std::uint32_t slot, std::uint32_t gen) {
+  heap_.push_back(HeapEntry{at, next_seq_++, slot, gen});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void EventLoop::pop_entry() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+}
+
+bool EventLoop::dispatch_one(TimeNs deadline) {
+  auto& slots = table_->slots;
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    if (slots[top.slot].gen != top.gen) {  // cancelled; slot already recycled
+      pop_entry();
+      continue;
     }
-  };
-  const DurationNs delay = first_delay >= 0 ? first_delay : period;
-  queue_.push(Event{now_ + delay, next_seq_++, alive, [wrapper]() { (*wrapper)(); }});
-  return EventHandle{std::move(alive)};
-}
-
-bool EventLoop::dispatch_one() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    assert(ev.at >= now_);
-    if (!*ev.alive) continue;  // cancelled
-    now_ = ev.at;
+    if (top.at > deadline) return false;
+    pop_entry();
+    assert(top.at >= now_);
+    now_ = top.at;
     dispatched_++;
     events_counter_->inc();
-    ev.fn();
+    detail::Slot& s = slots[top.slot];
+    if (s.period > 0) {
+      // Periodic: the fn stays in its slot across firings. Mark it running
+      // so a self-cancel from inside the callback defers the slot release.
+      table_->running = top.slot;
+      table_->running_cancelled = false;
+      s.fn();
+      table_->running = detail::kNoSlot;
+      if (table_->running_cancelled) {
+        table_->release(top.slot);
+      } else {
+        push_entry(now_ + s.period, top.slot, s.gen);
+      }
+    } else {
+      // One-shot: free the slot before invoking, so the callback can safely
+      // schedule new work (possibly reusing this slot) and a cancel() of the
+      // in-flight handle is a stale-generation no-op.
+      detail::EventFn fn = std::move(s.fn);
+      table_->release(top.slot);
+      fn();
+    }
     return true;
   }
   return false;
@@ -83,7 +160,8 @@ std::uint64_t EventLoop::run() {
   const TimeNs sim_start = now_;
   const std::int64_t wall_start = wall_now_ns();
   std::uint64_t n = 0;
-  while (!stopped_ && dispatch_one()) ++n;
+  constexpr TimeNs kForever = std::numeric_limits<TimeNs>::max();
+  while (!stopped_ && dispatch_one(kForever)) ++n;
   account_run(sim_start, wall_start);
   return n;
 }
@@ -93,9 +171,7 @@ std::uint64_t EventLoop::run_until(TimeNs deadline) {
   const TimeNs sim_start = now_;
   const std::int64_t wall_start = wall_now_ns();
   std::uint64_t n = 0;
-  while (!stopped_ && !queue_.empty() && queue_.top().at <= deadline) {
-    if (dispatch_one()) ++n;
-  }
+  while (!stopped_ && dispatch_one(deadline)) ++n;
   if (!stopped_ && now_ < deadline) now_ = deadline;
   account_run(sim_start, wall_start);
   return n;

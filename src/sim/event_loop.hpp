@@ -5,12 +5,25 @@
 // (stable), which makes every run bit-for-bit reproducible — a property the
 // migration tests lean on when asserting exact WR-ID sequences across a
 // migration.
+//
+// The dispatch path is allocation-free for the common case: callbacks are
+// stored in a small-buffer-optimised EventFn (oversized closures fall back
+// to a size-classed free-list pool), cancellation is a generation-counter
+// check instead of a per-event shared_ptr<bool>, and the ready queue is a
+// binary heap of 24-byte POD entries over a slot table that recycles
+// storage. A handle-free post_at() covers fire-and-forget events (packet
+// deliveries, pump slots) without any handle bookkeeping.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <deque>
 #include <functional>
 #include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -19,6 +32,167 @@
 
 namespace migr::sim {
 
+namespace detail {
+
+/// Free-list pool for closures that exceed EventFn's inline buffer.
+void* fn_pool_alloc(std::size_t n);
+void fn_pool_free(void* p, std::size_t n) noexcept;
+
+/// Move-only type-erased callback with inline small-buffer storage. Unlike
+/// std::function it never copies, and oversized closures go through the
+/// size-classed pool above instead of raw operator new.
+class EventFn {
+ public:
+  static constexpr std::size_t kInline = 152;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fd = std::decay_t<F>;
+    if constexpr (sizeof(Fd) <= kInline && alignof(Fd) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fd(std::forward<F>(f));
+      ops_ = &InlineOps<Fd>::ops;
+    } else {
+      void* mem = fn_pool_alloc(sizeof(Fd));
+      Fd* p = ::new (mem) Fd(std::forward<F>(f));
+      std::memcpy(storage_, &p, sizeof(p));
+      ops_ = &HeapOps<Fd>::ops;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->call(storage_); }
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*call)(void* storage);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename F>
+  struct InlineOps {
+    static void call(void* s) { (*std::launder(reinterpret_cast<F*>(s)))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      F* sp = std::launder(reinterpret_cast<F*>(src));
+      ::new (dst) F(std::move(*sp));
+      sp->~F();
+    }
+    static void destroy(void* s) noexcept { std::launder(reinterpret_cast<F*>(s))->~F(); }
+    static constexpr Ops ops{&call, &relocate, &destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static F* get(void* s) noexcept {
+      F* p;
+      std::memcpy(&p, s, sizeof(p));
+      return p;
+    }
+    static void call(void* s) { (*get(s))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      std::memcpy(dst, src, sizeof(F*));
+    }
+    static void destroy(void* s) noexcept {
+      F* p = get(s);
+      p->~F();
+      fn_pool_free(p, sizeof(F));
+    }
+    static constexpr Ops ops{&call, &relocate, &destroy};
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInline];
+};
+
+constexpr std::uint32_t kNoSlot = 0xFFFF'FFFF;
+
+/// One scheduled callback. Slots are recycled through a free list; the
+/// generation counter detects stale heap entries and stale handles.
+struct Slot {
+  std::uint32_t gen = 0;
+  DurationNs period = 0;  // > 0: periodic task, fn retained across firings
+  EventFn fn;
+};
+
+/// Slot storage shared (via shared_ptr) between the loop and its handles, so
+/// a handle outliving the loop degrades to a no-op instead of dangling.
+/// std::deque keeps slot references stable while the table grows.
+struct SlotTable {
+  std::deque<Slot> slots;
+  std::vector<std::uint32_t> free_list;
+  std::uint32_t running = kNoSlot;  // slot whose periodic fn is executing
+  bool running_cancelled = false;   // cancel() arrived during that execution
+
+  std::uint32_t acquire() {
+    if (!free_list.empty()) {
+      const std::uint32_t s = free_list.back();
+      free_list.pop_back();
+      return s;
+    }
+    slots.emplace_back();
+    return static_cast<std::uint32_t>(slots.size() - 1);
+  }
+
+  void release(std::uint32_t slot) {
+    Slot& s = slots[slot];
+    s.gen++;
+    s.period = 0;
+    s.fn.reset();
+    free_list.push_back(slot);
+  }
+
+  bool pending(std::uint32_t slot, std::uint32_t gen) const noexcept {
+    if (slot >= slots.size() || slots[slot].gen != gen) return false;
+    if (running == slot && running_cancelled) return false;
+    return static_cast<bool>(slots[slot].fn);
+  }
+
+  void cancel(std::uint32_t slot, std::uint32_t gen) {
+    if (slot >= slots.size() || slots[slot].gen != gen) return;
+    if (running == slot) {
+      // A periodic task cancelling itself from inside its own callback: the
+      // fn is executing, so defer the release until it returns.
+      running_cancelled = true;
+      return;
+    }
+    release(slot);
+  }
+
+  std::size_t allocated() const noexcept { return slots.size() - free_list.size(); }
+};
+
+}  // namespace detail
+
 /// Cancellation handle for a scheduled event or periodic task. Destroying
 /// the handle does NOT cancel (handles are observers); call cancel().
 class EventHandle {
@@ -26,14 +200,23 @@ class EventHandle {
   EventHandle() = default;
 
   void cancel() noexcept {
-    if (alive_) *alive_ = false;
+    if (auto table = table_.lock()) table->cancel(slot_, gen_);
   }
-  bool pending() const noexcept { return alive_ && *alive_; }
+  /// True while the event is still scheduled (not yet fired, not cancelled).
+  bool pending() const noexcept {
+    auto table = table_.lock();
+    return table && table->pending(slot_, gen_);
+  }
 
  private:
   friend class EventLoop;
-  explicit EventHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  EventHandle(const std::shared_ptr<detail::SlotTable>& table, std::uint32_t slot,
+              std::uint32_t gen)
+      : table_(table), slot_(slot), gen_(gen) {}
+
+  std::weak_ptr<detail::SlotTable> table_;
+  std::uint32_t slot_ = detail::kNoSlot;
+  std::uint32_t gen_ = 0;
 };
 
 class EventLoop : public common::SimTimeSource {
@@ -47,16 +230,36 @@ class EventLoop : public common::SimTimeSource {
   std::int64_t now_ns() const noexcept override { return now_; }
 
   /// Schedule `fn` at absolute simulated time `at` (clamped to now()).
-  EventHandle schedule_at(TimeNs at, Fn fn);
+  template <typename F>
+  EventHandle schedule_at(TimeNs at, F&& fn) {
+    return do_schedule(at < now_ ? now_ : at, 0, detail::EventFn(std::forward<F>(fn)));
+  }
 
   /// Schedule `fn` after `delay` ns of simulated time.
-  EventHandle schedule_in(DurationNs delay, Fn fn) {
-    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  template <typename F>
+  EventHandle schedule_in(DurationNs delay, F&& fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::forward<F>(fn));
   }
 
   /// Schedule `fn` every `period` ns, first firing after `period` (or
-  /// `first_delay` if given). The task reschedules itself until cancelled.
-  EventHandle schedule_every(DurationNs period, Fn fn, DurationNs first_delay = -1);
+  /// `first_delay` if given). The task repeats until cancelled.
+  template <typename F>
+  EventHandle schedule_every(DurationNs period, F&& fn, DurationNs first_delay = -1) {
+    assert(period > 0);
+    const DurationNs delay = first_delay >= 0 ? first_delay : period;
+    return do_schedule(now_ + delay, period, detail::EventFn(std::forward<F>(fn)));
+  }
+
+  /// Fire-and-forget fast path: like schedule_at but returns no handle, so
+  /// the hot paths (packet delivery, pump pacing) skip handle bookkeeping.
+  template <typename F>
+  void post_at(TimeNs at, F&& fn) {
+    do_post(at < now_ ? now_ : at, detail::EventFn(std::forward<F>(fn)));
+  }
+  template <typename F>
+  void post_in(DurationNs delay, F&& fn) {
+    post_at(now_ + (delay < 0 ? 0 : delay), std::forward<F>(fn));
+  }
 
   /// Run events until the queue is empty or stop() is called.
   /// Returns the number of events dispatched.
@@ -72,8 +275,8 @@ class EventLoop : public common::SimTimeSource {
   /// Stop the current run()/run_until() after the in-flight event returns.
   void stop() noexcept { stopped_ = true; }
 
-  bool empty() const noexcept { return queue_.empty(); }
-  std::size_t pending_events() const noexcept { return queue_.size(); }
+  bool empty() const noexcept { return table_->allocated() == 0; }
+  std::size_t pending_events() const noexcept { return table_->allocated(); }
 
   /// Events dispatched by this loop since construction.
   std::uint64_t events_dispatched() const noexcept { return dispatched_; }
@@ -82,27 +285,33 @@ class EventLoop : public common::SimTimeSource {
   std::uint64_t wall_ns_in_run() const noexcept { return wall_ns_; }
 
  private:
-  struct Event {
+  struct HeapEntry {
     TimeNs at;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    std::shared_ptr<bool> alive;
-    Fn fn;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  bool dispatch_one();
+  EventHandle do_schedule(TimeNs at, DurationNs period, detail::EventFn fn);
+  void do_post(TimeNs at, detail::EventFn fn);
+  void push_entry(TimeNs at, std::uint32_t slot, std::uint32_t gen);
+  void pop_entry();
+  /// Dispatch the earliest live event at or before `deadline`; false if none.
+  bool dispatch_one(TimeNs deadline);
 
   void account_run(TimeNs sim_start, std::int64_t wall_start_ns);
 
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::shared_ptr<detail::SlotTable> table_;
+  std::vector<HeapEntry> heap_;
 
   // Telemetry (process-wide registry; several loops aggregate).
   std::uint64_t dispatched_ = 0;

@@ -1,0 +1,98 @@
+// Determinism guard for the simulator fast path: the 8-host drain scenario
+// runs twice in one process and must render byte-identical
+// format_drain_report output — once on a fault-free fabric (where the
+// transport's burst-coalesced emission and pooled-event fast path are
+// active) and once under a seeded lossy fault plan (where the transport
+// degrades to per-packet fidelity). Any hidden global state, pool-reuse
+// ordering effect, or wall-clock leakage into the sim shows up as a diff.
+//
+// Set MIGR_DUMP_DRAIN_REPORT=<dir> to also write the rendered reports to
+// <dir>/drain_report_{clean,lossy}.txt — used to diff the fast path against
+// a pre-change baseline build.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "cluster/drain.hpp"
+#include "fault/fault.hpp"
+
+namespace migr::cluster {
+namespace {
+
+// Mixed message sizes: 8 KiB messages packetize into multi-packet trains
+// (burst-eligible on a clean fabric); 1 KiB messages stay single-packet.
+TrafficProfile stream_profile() {
+  TrafficProfile p;
+  p.send_interval = sim::usec(60);
+  p.msg_bytes = 8192;
+  p.extra_mem_bytes = 1 << 20;
+  p.dirty_interval = sim::msec(1);
+  return p;
+}
+
+TrafficProfile chatty_profile() {
+  TrafficProfile p;
+  p.send_interval = sim::usec(40);
+  p.msg_bytes = 1024;
+  p.extra_mem_bytes = 1 << 20;
+  p.dirty_interval = sim::msec(1);
+  return p;
+}
+
+std::string run_drain_once(bool lossy) {
+  ClusterConfig cfg;
+  cfg.hosts = 8;
+  cfg.seed = 7;
+  ClusterModel model(cfg);
+  for (GuestId g = 0; g < 6; ++g) {
+    const TrafficProfile prof = (g % 2 == 0) ? stream_profile() : chatty_profile();
+    EXPECT_TRUE(model.add_guest(1, 100 + g, prof).is_ok());
+    EXPECT_TRUE(model.add_guest(2 + g, 200 + g, prof).is_ok());
+    EXPECT_TRUE(model.connect_guests(100 + g, 200 + g).is_ok());
+  }
+  model.run_for(sim::msec(5));
+
+  fault::ScenarioRunner scenario(model.loop(), model.fabric());
+  if (lossy) {
+    fault::FaultPlan plan;
+    plan.baseline(0.01);
+    scenario.run(plan);
+  }
+
+  SchedulerConfig scfg;
+  scfg.limits.max_concurrent_fleet = 4;
+  scfg.limits.max_concurrent_per_source = 4;
+  scfg.limits.max_concurrent_per_dest = 4;
+  MigrationScheduler sched(model, scfg);
+  DrainWorkflow drain(model, sched);
+  const DrainReport rep = drain.run(1);
+  EXPECT_TRUE(rep.ok) << format_drain_report(rep);
+  EXPECT_EQ(model.audit_stuck_qps(sim::msec(50)), 0u);
+  return format_drain_report(rep);
+}
+
+void maybe_dump(const std::string& rendered, const char* name) {
+  const char* dir = std::getenv("MIGR_DUMP_DRAIN_REPORT");
+  if (dir == nullptr || *dir == '\0') return;
+  std::ofstream out(std::string(dir) + "/drain_report_" + name + ".txt");
+  out << rendered;
+}
+
+TEST(DeterminismTest, FaultFreeDrainReportIsByteIdenticalAcrossRuns) {
+  const std::string first = run_drain_once(/*lossy=*/false);
+  const std::string second = run_drain_once(/*lossy=*/false);
+  EXPECT_EQ(first, second);
+  maybe_dump(first, "clean");
+}
+
+TEST(DeterminismTest, LossyDrainReportIsByteIdenticalAcrossRuns) {
+  const std::string first = run_drain_once(/*lossy=*/true);
+  const std::string second = run_drain_once(/*lossy=*/true);
+  EXPECT_EQ(first, second);
+  maybe_dump(first, "lossy");
+}
+
+}  // namespace
+}  // namespace migr::cluster

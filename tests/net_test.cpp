@@ -27,7 +27,7 @@ TEST_F(FabricTest, DuplicateAttachRejected) {
 TEST_F(FabricTest, DataPacketDelivered) {
   std::size_t received = 0;
   fabric_.set_data_handler(2, [&](Packet&& p) {
-    received = p.payload.size();
+    received = p.body.size();
     EXPECT_EQ(p.src, 1u);
   });
   fabric_.send_data(Packet{1, 2, make_payload(1000)});
@@ -75,13 +75,13 @@ TEST_F(FabricTest, PartitionKillsBothPlanes) {
   fabric_.register_service(2, "svc", [&](HostId, common::Bytes&&) { ctrl++; });
   fabric_.set_partitioned(2, true);
   fabric_.send_data(Packet{1, 2, make_payload(10)});
-  fabric_.send_ctrl(1, 2, "svc", make_payload(10));
+  (void)fabric_.send_ctrl(1, 2, "svc", make_payload(10));
   loop_.run();
   EXPECT_EQ(data, 0);
   EXPECT_EQ(ctrl, 0);
   fabric_.set_partitioned(2, false);
   fabric_.send_data(Packet{1, 2, make_payload(10)});
-  fabric_.send_ctrl(1, 2, "svc", make_payload(10));
+  (void)fabric_.send_ctrl(1, 2, "svc", make_payload(10));
   loop_.run();
   EXPECT_EQ(data, 1);
   EXPECT_EQ(ctrl, 1);
@@ -94,7 +94,7 @@ TEST_F(FabricTest, CtrlPlaneRoutedByService) {
     EXPECT_EQ(src, 1u);
   });
   common::Bytes msg{'h', 'i'};
-  fabric_.send_ctrl(1, 2, "migr.notify", msg);
+  (void)fabric_.send_ctrl(1, 2, "migr.notify", msg);
   loop_.run();
   EXPECT_EQ(got, "hi");
 }
@@ -105,7 +105,7 @@ TEST_F(FabricTest, CtrlPlaneInOrderPerPair) {
     order.push_back(b[0]);
   });
   for (int i = 0; i < 5; ++i) {
-    fabric_.send_ctrl(1, 2, "svc", common::Bytes{static_cast<std::uint8_t>(i)});
+    (void)fabric_.send_ctrl(1, 2, "svc", common::Bytes{static_cast<std::uint8_t>(i)});
   }
   loop_.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
@@ -114,11 +114,19 @@ TEST_F(FabricTest, CtrlPlaneInOrderPerPair) {
 TEST_F(FabricTest, CtrlTransferTimeScalesWithSize) {
   // A 100 MB image at 100 Gbps should take ~8 ms of port time.
   const auto done = fabric_.send_ctrl(1, 2, "svc", make_payload(100 << 20));
-  EXPECT_NEAR(sim::to_msec(done), 8.39, 0.1);
+  ASSERT_TRUE(done.is_ok());
+  EXPECT_NEAR(sim::to_msec(done.value()), 8.39, 0.1);
+}
+
+TEST_F(FabricTest, CtrlToUnattachedHostReportsError) {
+  EXPECT_EQ(fabric_.send_ctrl(1, 99, "svc", make_payload(8)).code(),
+            common::Errc::not_found);
+  EXPECT_EQ(fabric_.send_ctrl(99, 1, "svc", make_payload(8)).code(),
+            common::Errc::not_found);
 }
 
 TEST_F(FabricTest, UnregisteredServiceIsSilentlyDropped) {
-  fabric_.send_ctrl(1, 2, "ghost", make_payload(1));
+  (void)fabric_.send_ctrl(1, 2, "ghost", make_payload(1));
   loop_.run();  // no crash, nothing delivered
   SUCCEED();
 }

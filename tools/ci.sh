@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full CI pipeline: plain build + tests, the adversarial/lossy suites on
 # their own (fast signal on transport/migration robustness regressions),
+# a perf smoke (simulator event-rate bench vs the checked-in baseline),
 # then the sanitizer pass.
 #
 #   tools/ci.sh              # everything
@@ -13,12 +14,12 @@ cd "$REPO_ROOT"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "==> [1/3] plain build + full test suite"
+echo "==> [1/4] plain build + full test suite"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [2/3] lossy-seed suites (fault injection, adversarial migrations, lossy drain)"
+echo "==> [2/4] lossy-seed suites (fault injection, adversarial migrations, lossy drain)"
 # Deterministic seeded runs: the fault scenario suite, every property test
 # that drives traffic through injected loss/reordering/partitions, and the
 # cluster suite (scheduler admission/retry plus the seeded lossy drain with
@@ -26,10 +27,42 @@ echo "==> [2/3] lossy-seed suites (fault injection, adversarial migrations, loss
 ctest --test-dir build --output-on-failure -j "$(nproc)" \
   -R '(ScenarioRunner|MigrationAbort|AdversarialMigrationProperty|TransportProperty|ClusterScheduler|ClusterDrain)'
 
+echo "==> [3/4] perf smoke (bench_simrate vs BENCH_simrate.json baseline)"
+# Advisory, not a gate: wall time on shared CI machines is noisy, so a
+# regression prints a loud warning instead of failing the pipeline. The
+# fresh numbers land in build/BENCH_simrate.json for inspection; refresh
+# the checked-in baseline from a quiet machine when the fast path changes.
+build/bench/bench_simrate build/BENCH_simrate.json
+if [[ -f BENCH_simrate.json ]]; then
+  python3 - <<'EOF'
+import json
+
+with open("BENCH_simrate.json") as f:
+    base = json.load(f)["workloads"]
+with open("build/BENCH_simrate.json") as f:
+    cur = json.load(f)["workloads"]
+
+regressed = False
+for name, b in base.items():
+    c = cur.get(name)
+    if c is None:
+        continue
+    ratio = c["wall_ns"] / b["wall_ns"] if b["wall_ns"] > 0 else 1.0
+    print(f"    {name}: {c['wall_ns'] / 1e6:.0f} ms vs baseline {b['wall_ns'] / 1e6:.0f} ms ({ratio:.2f}x)")
+    if ratio > 2.0:
+        regressed = True
+        print(f"    WARNING: {name} wall time regressed >2x vs baseline")
+if regressed:
+    print("==> PERF SMOKE WARNING: simulator wall-time regression detected (advisory only)")
+EOF
+else
+  echo "    no checked-in BENCH_simrate.json baseline; skipping comparison"
+fi
+
 if [[ "$FAST" == "1" ]]; then
-  echo "==> [3/3] sanitizer pass skipped (--fast)"
+  echo "==> [4/4] sanitizer pass skipped (--fast)"
   exit 0
 fi
 
-echo "==> [3/3] sanitizer pass (address)"
+echo "==> [4/4] sanitizer pass (address)"
 tools/run_sanitized.sh address
