@@ -5,11 +5,25 @@
 // observed on the drained host's port.
 //
 //   build/bench/bench_cluster_drain
+//
+// Artifact mode: any of --trace/--timeseries/--record/--loss/--seed/--conc
+// switches the binary to a single instrumented drain that writes the named
+// observability artifacts instead of the sweep — the CI blackout-anatomy
+// stage and EXPERIMENTS.md recipes drive it this way:
+//
+//   bench_cluster_drain --loss 0.01 --seed 11 --conc 4 \
+//       --trace drain.trace.json --timeseries drain.ts.csv --record drain.cap.json
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "bench_util.hpp"
 #include "cluster/drain.hpp"
+#include "fault/fault.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
 
 using namespace migr;
 using namespace migr::cluster;
@@ -22,11 +36,18 @@ struct SweepRow {
   double peak_gbps = 0;
 };
 
-SweepRow run_drain(std::uint32_t concurrency) {
+SweepRow run_drain(std::uint32_t concurrency, std::uint64_t seed = 42, double loss = 0.0,
+                   bool traced = false, obs::TimeSeriesSampler* sampler = nullptr,
+                   sim::DurationNs sample_interval = sim::usec(250)) {
   ClusterConfig cfg;
   cfg.hosts = 8;
-  cfg.seed = 42;
+  cfg.seed = seed;
   ClusterModel model(cfg);
+  if (traced) obs::Tracer::global().set_clock(&model.loop());
+  if (sampler != nullptr) {
+    model.loop().schedule_every(sample_interval,
+                                [&model, sampler] { sampler->sample(model.loop().now()); });
+  }
 
   // Eight busy guests on host 1, each messaging a partner pinned on one of
   // hosts 2..8 (round-robin): the drain moves real dirty memory under live
@@ -42,6 +63,13 @@ SweepRow run_drain(std::uint32_t concurrency) {
     if (!model.connect_guests(100 + g, 200 + g).is_ok()) std::abort();
   }
   model.run_for(sim::msec(5));  // reach steady state before draining
+
+  fault::ScenarioRunner scenario(model.loop(), model.fabric());
+  if (loss > 0) {
+    fault::FaultPlan plan;
+    plan.baseline(loss);
+    scenario.run(plan);
+  }
 
   SchedulerConfig scfg;
   scfg.limits.max_concurrent_fleet = concurrency;
@@ -62,9 +90,103 @@ SweepRow run_drain(std::uint32_t concurrency) {
   return row;
 }
 
+struct Options {
+  std::string trace_path;
+  std::string timeseries_path;
+  std::string record_path;
+  double loss = 0.0;
+  std::uint64_t seed = 42;
+  std::uint32_t conc = 4;
+  bool artifact_mode = false;  // any flag given: single instrumented drain
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", name);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      o.trace_path = need_value("--trace");
+    } else if (arg == "--timeseries") {
+      o.timeseries_path = need_value("--timeseries");
+    } else if (arg == "--record") {
+      o.record_path = need_value("--record");
+    } else if (arg == "--loss") {
+      o.loss = std::strtod(need_value("--loss"), nullptr);
+    } else if (arg == "--seed") {
+      o.seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (arg == "--conc") {
+      o.conc = static_cast<std::uint32_t>(std::strtoul(need_value("--conc"), nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace OUT.json] [--timeseries OUT.csv|OUT.json]\n"
+                   "          [--record OUT.json] [--loss P] [--seed S] [--conc N]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+    o.artifact_mode = true;
+  }
+  return o;
+}
+
+int run_artifact_mode(const Options& opt) {
+  const bool traced = !opt.trace_path.empty();
+  if (traced) {
+    auto& tracer = obs::Tracer::global();
+    tracer.set_enabled(true);
+    tracer.set_flush_path(opt.trace_path);
+  }
+  if (!opt.record_path.empty()) obs::FlightRecorder::global().set_enabled(true);
+  obs::TimeSeriesSampler sampler;
+  obs::TimeSeriesSampler* sp = opt.timeseries_path.empty() ? nullptr : &sampler;
+
+  const SweepRow row = run_drain(opt.conc, opt.seed, opt.loss, traced, sp);
+  std::fputs(format_drain_report(row.report).c_str(), stdout);
+  for (const PhaseAttribution& a : row.report.phase_rollup) {
+    std::printf("anatomy: %-24s worst_of=%2llu total=%8.3f ms max=%8.3f ms\n",
+                a.phase.c_str(), static_cast<unsigned long long>(a.worst_count),
+                sim::to_msec(a.total), sim::to_msec(a.max));
+  }
+
+  int rc = 0;
+  if (traced) {
+    auto& tracer = obs::Tracer::global();
+    if (auto st = tracer.write_chrome_json(opt.trace_path); !st.is_ok()) {
+      std::fprintf(stderr, "cannot write trace: %s\n", st.to_string().c_str());
+      rc = 1;
+    }
+    tracer.set_clock(nullptr);
+  }
+  if (!opt.timeseries_path.empty()) {
+    if (auto st = sampler.write(opt.timeseries_path); !st.is_ok()) {
+      std::fprintf(stderr, "cannot write timeseries: %s\n", st.to_string().c_str());
+      rc = 1;
+    }
+  }
+  if (!opt.record_path.empty()) {
+    auto& rec = obs::FlightRecorder::global();
+    if (auto st = rec.write_json(opt.record_path); !st.is_ok()) {
+      std::fprintf(stderr, "cannot write capture: %s\n", st.to_string().c_str());
+      rc = 1;
+    }
+    std::printf("flight recorder: %llu packet(s) seen, %llu dump(s)\n",
+                static_cast<unsigned long long>(rec.total_recorded()),
+                static_cast<unsigned long long>(rec.dumps_triggered()));
+  }
+  return rc;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+  if (opt.artifact_mode) return run_artifact_mode(opt);
   bench::print_header(
       "Fleet drain sweep — 8 hosts, 8 guests evacuated, concurrency 1/2/4/8");
   bench::print_row_header({"conc", "makespan_ms", "blk_p50_ms", "blk_p99_ms", "blk_max_ms",

@@ -24,6 +24,7 @@
 
 #include "bench_util.hpp"
 #include "cluster/drain.hpp"
+#include "obs/flight_recorder.hpp"
 
 // ---------------------------------------------------------------------------
 // Counting allocator: every path in the process funnels through these.
@@ -201,6 +202,24 @@ Measurement run_drain8(bool* out_ok) {
   return m;
 }
 
+// Pull drain8's events_per_sec out of a prior BENCH_simrate.json without a
+// JSON library: find the "drain8" object, then its "events_per_sec" key.
+double baseline_drain8_events_per_sec(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return 0.0;
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const std::size_t at = text.find("\"drain8\"");
+  if (at == std::string::npos) return 0.0;
+  const std::string key = "\"events_per_sec\":";
+  const std::size_t k = text.find(key, at);
+  if (k == std::string::npos) return 0.0;
+  return std::strtod(text.c_str() + k + key.size(), nullptr);
+}
+
 void print_measurement(const char* name, const Measurement& m) {
   std::printf("%12s %14llu %10.2f %14.0f %12.0f %10.2f\n", name,
               static_cast<unsigned long long>(m.events),
@@ -240,10 +259,33 @@ int main(int argc, char** argv) {
   print_measurement("stream", stream);
   std::printf("%12s goodput: %.1f Gbps\n", "", stream_gbps);
 
+  // drain8 is the perf-smoke reference number and must be a recorder-off
+  // measurement, or the advisory band below compares unlike with like.
+  if (migr::obs::FlightRecorder::global().enabled()) {
+    std::printf("  !! flight recorder was enabled — disabling for drain8\n");
+    migr::obs::FlightRecorder::global().set_enabled(false);
+  }
   bool drain_ok = false;
   const Measurement drain = run_drain8(&drain_ok);
   print_measurement("drain8", drain);
   if (!drain_ok) std::printf("  !! drain8 reported failure\n");
+
+  // Advisory throughput band vs the checked-in baseline (override the file
+  // with MIGR_SIMRATE_BASELINE). events/sec is steadier than wall time on
+  // shared machines, but this still only warns — it never fails the run.
+  const char* base_env = std::getenv("MIGR_SIMRATE_BASELINE");
+  const double base_eps =
+      baseline_drain8_events_per_sec(base_env != nullptr ? base_env : "BENCH_simrate.json");
+  if (base_eps > 0) {
+    const double ratio = drain.events_per_sec() / base_eps;
+    std::printf("%12s drain8 vs baseline: %.2fx (%.0f vs %.0f events/s)\n", "", ratio,
+                drain.events_per_sec(), base_eps);
+    if (ratio < 0.4 || ratio > 2.5) {
+      std::printf(
+          "  !! ADVISORY: drain8 events/sec outside the [0.4x, 2.5x] baseline band — "
+          "re-baseline from a quiet machine if the fast path changed\n");
+    }
+  }
 
   FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {

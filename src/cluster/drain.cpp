@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <map>
 
 #include "common/log.hpp"
 #include "obs/trace.hpp"
@@ -114,6 +115,24 @@ void DrainWorkflow::finalize() {
   report_.blackout_p99 = nearest_rank(blackouts_, 99);
   report_.blackout_max = blackouts_.empty() ? 0 : blackouts_.back();
 
+  // Phase attribution rollup: every outcome's blackout waterfall, keyed by
+  // slice name. std::map keeps the rendering order (and thus the determinism
+  // diffs) independent of outcome order.
+  std::map<std::string, PhaseAttribution> rollup;
+  for (const MigrationOutcome& o : report_.outcomes) {
+    const migrlib::PhaseSlice* worst = nullptr;
+    for (const migrlib::PhaseSlice& s : o.report.waterfall) {
+      PhaseAttribution& a = rollup[s.name];
+      a.phase = s.name;
+      a.total += s.dur;
+      a.max = std::max(a.max, s.dur);
+      if (worst == nullptr || s.dur > worst->dur) worst = &s;
+    }
+    if (worst != nullptr) rollup[worst->name].worst_count++;
+  }
+  report_.phase_rollup.clear();
+  for (auto& [name, attr] : rollup) report_.phase_rollup.push_back(std::move(attr));
+
   auto& reg = obs::Registry::global();
   reg.counter("cluster.drain.completed").inc();
   reg.gauge("cluster.drain.last_makespan_ns").set(static_cast<double>(report_.makespan()));
@@ -172,12 +191,20 @@ std::string format_drain_report(const DrainReport& r) {
                 static_cast<long long>(r.blackout_p99),
                 static_cast<long long>(r.blackout_max), r.egress_gbps.size());
   out += line;
+  for (const PhaseAttribution& a : r.phase_rollup) {
+    std::snprintf(line, sizeof(line),
+                  "phase=%s worst_of=%" PRIu64 " total_ns=%lld max_ns=%lld\n",
+                  a.phase.c_str(), a.worst_count, static_cast<long long>(a.total),
+                  static_cast<long long>(a.max));
+    out += line;
+  }
   for (const MigrationOutcome& o : r.outcomes) {
     std::snprintf(line, sizeof(line),
                   "guest=%u src=%u dest=%u attempts=%d ok=%d blackout_ns=%lld "
-                  "start_ns=%lld end_ns=%lld\n",
+                  "wf_ns=%lld start_ns=%lld end_ns=%lld\n",
                   o.guest, o.source, o.dest, o.attempts, o.completed ? 1 : 0,
                   static_cast<long long>(o.completed ? o.report.service_blackout() : 0),
+                  static_cast<long long>(o.report.waterfall_total()),
                   static_cast<long long>(o.report.start),
                   static_cast<long long>(o.report.end));
     out += line;

@@ -31,6 +31,15 @@ struct BandwidthSample {
   double gbps = 0;  // drained-host egress (data + ctrl) over the last interval
 };
 
+/// Fleet-level rollup of one blackout phase across every migration in the
+/// drain (from the per-migration waterfalls).
+struct PhaseAttribution {
+  std::string phase;
+  std::uint64_t worst_count = 0;  // migrations whose longest slice was this phase
+  sim::DurationNs total = 0;      // summed over all waterfalls
+  sim::DurationNs max = 0;        // worst single slice
+};
+
 struct DrainReport {
   net::HostId host = 0;
   bool ok = false;  // every resident guest evacuated (all completed)
@@ -52,6 +61,10 @@ struct DrainReport {
   sim::DurationNs blackout_max = 0;
 
   std::vector<BandwidthSample> egress_gbps;
+
+  // Blackout anatomy across the fleet: which phase dominated each
+  // migration's blackout, sorted by phase name (deterministic).
+  std::vector<PhaseAttribution> phase_rollup;
 
   sim::DurationNs makespan() const { return finished_at - started_at; }
 };

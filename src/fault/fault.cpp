@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 
 namespace migr::fault {
 
@@ -86,6 +87,10 @@ ScenarioRunner::ScenarioRunner(sim::EventLoop& loop, net::Fabric& fabric)
   events_applied_ = &reg.counter("fault.events_applied");
   events_healed_ = &reg.counter("fault.events_healed");
   active_gauge_ = &reg.gauge("fault.active_windows");
+}
+
+ScenarioRunner::~ScenarioRunner() {
+  (void)obs::Tracer::global().flush();
 }
 
 void ScenarioRunner::run(const FaultPlan& plan) {

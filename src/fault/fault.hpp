@@ -77,6 +77,10 @@ class FaultPlan {
 class ScenarioRunner {
  public:
   ScenarioRunner(sim::EventLoop& loop, net::Fabric& fabric);
+  /// Flushes the global tracer (if a flush path is set): a scenario torn
+  /// down early — test failure, exception, operator abort — still leaves a
+  /// complete, loadable Chrome trace behind.
+  ~ScenarioRunner();
   ScenarioRunner(const ScenarioRunner&) = delete;
   ScenarioRunner& operator=(const ScenarioRunner&) = delete;
 

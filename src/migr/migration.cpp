@@ -1,6 +1,7 @@
 #include "migr/migration.hpp"
 
 #include "common/log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -26,7 +27,43 @@ void trace_instant(sim::TimeNs at, std::string_view name, std::string args = {})
   auto& t = obs::Tracer::global();
   if (t.enabled()) t.instant(at, name, "migr", std::move(args));
 }
+
+// Blackout-waterfall spans nest under the workflow spans on their own
+// "migr.blackout" track (a separate category so the field-for-field span
+// checks on "migr" keep their one-event-per-name shape).
+void trace_blackout_span(sim::TimeNs start, sim::DurationNs dur, std::string_view name,
+                         std::string args = {}) {
+  auto& t = obs::Tracer::global();
+  if (t.enabled()) t.complete(start, dur, name, "migr.blackout", std::move(args));
+}
 }  // namespace
+
+std::string MigrationReport::waterfall_json() const {
+  std::string out = "{\"freeze_at_ns\":" + std::to_string(freeze_at) +
+                    ",\"resume_at_ns\":" + std::to_string(resume_at) +
+                    ",\"blackout_ns\":" + std::to_string(service_blackout()) +
+                    ",\"aborted\":" + (aborted ? "true" : "false") + ",\"slices\":[";
+  for (std::size_t i = 0; i < waterfall.size(); ++i) {
+    const PhaseSlice& s = waterfall[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":\"" + s.name + "\",\"start_ns\":" + std::to_string(s.start) +
+           ",\"dur_ns\":" + std::to_string(s.dur);
+    if (!s.detail.empty()) {
+      out += ',';
+      out += s.detail;
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+void MigrationController::push_waterfall(std::string name, sim::DurationNs dur,
+                                         std::string detail) {
+  trace_blackout_span(wf_cursor_, dur, name, detail);
+  report_.waterfall.push_back(PhaseSlice{std::move(name), wf_cursor_, dur, std::move(detail)});
+  wf_cursor_ += dur;
+}
 
 MigrationController::MigrationController(sim::EventLoop& loop, net::Fabric& fabric,
                                          GuestDirectory& directory, MigrationOptions options)
@@ -87,6 +124,9 @@ void MigrationController::fail(const Status& st) {
   report_.end = loop_.now();
   obs::Registry::global().counter("migr.migrations_failed").inc();
   trace_instant(loop_.now(), "migration_failed", "\"guest\":" + std::to_string(guest_id_));
+  // A failed run never reaches a tool's normal trace write; flush so the
+  // partial trace is still loadable.
+  (void)obs::Tracer::global().flush();
   if (done_) done_(report_);
 }
 
@@ -126,11 +166,37 @@ void MigrationController::abort(const Status& st) {
   report_.error = st.to_string();
   report_.end = loop_.now();
   report_.source_resumed = !src_proc_->frozen() && !guest_->suspended();
+
+  // Blackout bookkeeping for an abort after the freeze: the source just
+  // thawed, so the service blackout ends NOW (on the source, not the
+  // destination). Close the waterfall with an attribution slice covering
+  // whatever ran between the last completed phase and the rollback, keeping
+  // the sum-equals-blackout invariant on aborted reports too.
+  if (report_.freeze_at != 0 && report_.resume_at == 0) {
+    report_.resume_at = loop_.now();
+    push_waterfall(std::string{"aborted_in_"} + phase_, loop_.now() - wf_cursor_,
+                   "\"guest\":" + std::to_string(guest_id_));
+    trace_blackout_span(report_.freeze_at, report_.service_blackout(), "blackout",
+                        "\"guest\":" + std::to_string(guest_id_) + ",\"aborted\":true");
+  }
+
   auto& reg = obs::Registry::global();
   reg.counter("migr.migrations_aborted").inc();
   reg.counter("migr.migrations_aborted_in", {{"phase", phase_}}).inc();
   trace_instant(loop_.now(), "migration_aborted",
                 "\"guest\":" + std::to_string(guest_id_) + ",\"phase\":\"" + phase_ + "\"");
+
+  // Anomaly capture: the moment the wire history matters most. Flush the
+  // trace ring to its configured file and snapshot the flight-recorder
+  // window around the abort.
+  (void)obs::Tracer::global().flush();
+  auto& rec = obs::FlightRecorder::global();
+  if (rec.enabled()) {
+    rec.trigger_dump(loop_.now(), "migration_abort",
+                     "\"guest\":" + std::to_string(guest_id_) + ",\"phase\":\"" + phase_ +
+                         "\",\"src_host\":" + std::to_string(src_rt_->host()) +
+                         ",\"dest_host\":" + std::to_string(dest_rt_->host()));
+  }
   if (done_) done_(report_);
 }
 
@@ -421,8 +487,9 @@ void MigrationController::on_wbs_complete() {
 
 void MigrationController::phase_final_transfer() {
   phase_ = "final_transfer";
-  // Step 4: freeze the service.
+  // Step 4: freeze the service. The blackout waterfall starts here.
   report_.freeze_at = loop_.now();
+  wf_cursor_ = report_.freeze_at;
   trace_instant(report_.freeze_at, "freeze");
   src_proc_->freeze();
 
@@ -453,6 +520,9 @@ void MigrationController::phase_final_transfer() {
   // the report fields (the dump costs elapse sequentially via schedule_in).
   trace_span(report_.freeze_at, report_.dump_others, "dump_others");
   trace_span(report_.freeze_at + report_.dump_others, report_.dump_rdma, "dump_rdma");
+  push_waterfall("dump_others", report_.dump_others);
+  push_waterfall("dump_rdma", report_.dump_rdma,
+                 "\"bytes\":" + std::to_string(final_rdma_bytes_.size()));
 
   const sim::DurationNs dump_cost = report_.dump_others + rdma_dump_cost;
   loop_.schedule_in(dump_cost, [this, payload = std::move(payload)]() mutable {
@@ -461,6 +531,9 @@ void MigrationController::phase_final_transfer() {
       report_.transfer = loop_.now() - xfer_start;
       trace_span(xfer_start, report_.transfer, "transfer",
                  "\"bytes\":" + std::to_string(report_.final_bytes));
+      push_waterfall("transfer", report_.transfer,
+                     "\"bytes\":" + std::to_string(report_.final_bytes) +
+                         ",\"retries\":" + std::to_string(report_.transfer_retries));
       phase_final_restore(std::move(p));
     });
   });
@@ -544,6 +617,8 @@ void MigrationController::phase_final_restore(Bytes payload) {
   trace_span(restore_start + report_.full_restore, report_.restore_rdma, "restore_rdma");
   trace_instant(restore_start + report_.full_restore, "map_resources");
   trace_instant(restore_start + report_.full_restore + report_.restore_rdma, "replay");
+  push_waterfall("full_restore", report_.full_restore);
+  push_waterfall("restore_rdma", report_.restore_rdma);
 
   loop_.schedule_in(criu_cost + rdma_cost, [this] { phase_resume(); });
 }
@@ -563,6 +638,30 @@ void MigrationController::phase_resume() {
   trace_instant(report_.resume_at, "resume", "\"guest\":" + std::to_string(guest_id_));
   trace_span(report_.start, report_.resume_at - report_.start, "migration",
              "\"guest\":" + std::to_string(guest_id_));
+
+  // Close the waterfall: a zero-duration thaw marker at the boundary, then
+  // the parent span covering the whole attributed window.
+  push_waterfall("thaw", 0);
+  trace_blackout_span(report_.freeze_at, report_.service_blackout(), "blackout",
+                      "\"guest\":" + std::to_string(guest_id_));
+
+  // Time-to-first-completion after resume: the first CQE the migrated guest
+  // sees is the earliest externally visible proof the service is live again.
+  // The controller object may be retired before it lands, so the watcher
+  // captures values, not `this`.
+  {
+    sim::EventLoop* loop = &loop_;
+    const GuestId gid = guest_id_;
+    const sim::TimeNs resume_at = report_.resume_at;
+    guest_->raw().watch_next_cqe([loop, gid, resume_at] {
+      const sim::TimeNs now = loop->now();
+      obs::Registry::global()
+          .gauge("migr.first_completion_ns", {{"guest", std::to_string(gid)}})
+          .set(static_cast<double>(now - resume_at));
+      trace_blackout_span(resume_at, now - resume_at, "first_post_resume_completion",
+                          "\"guest\":" + std::to_string(gid));
+    });
+  }
 
   // Publish the report's timing breakdown so benches (and --metrics) can
   // read it from the shared registry.

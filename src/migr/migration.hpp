@@ -48,6 +48,17 @@ struct MigrationOptions {
   rnic::Psn psn_seed = 500'000;
 };
 
+/// One contiguous slice of the service-blackout window. Slices tile the
+/// window: each starts where the previous ended, the first starts at
+/// freeze_at, and the durations sum exactly to service_blackout() — the
+/// waterfall is an attribution of the blackout, not a sampling of it.
+struct PhaseSlice {
+  std::string name;
+  sim::TimeNs start = 0;
+  sim::DurationNs dur = 0;
+  std::string detail;  // extra JSON object *fragment*, e.g. "\"bytes\":512"
+};
+
 struct MigrationReport {
   bool ok = false;
   std::string error;
@@ -89,12 +100,28 @@ struct MigrationReport {
   std::uint64_t precopy_bytes = 0;
   std::uint64_t final_bytes = 0;
 
+  // Blackout waterfall: gap-free attribution of [freeze_at, resume_at].
+  // Empty when the migration never froze the service (e.g. early abort).
+  // An aborted-after-freeze migration ends with an "aborted_in_<phase>"
+  // slice covering freeze-to-thaw, so the invariant holds on every outcome
+  // that has a blackout window.
+  std::vector<PhaseSlice> waterfall;
+
   sim::DurationNs duration() const { return end - start; }
   sim::DurationNs service_blackout() const { return resume_at - freeze_at; }
   sim::DurationNs comm_blackout() const { return resume_at - suspend_at; }
   sim::DurationNs blackout_components() const {
     return dump_rdma + dump_others + transfer + restore_rdma + full_restore;
   }
+  sim::DurationNs waterfall_total() const {
+    sim::DurationNs t = 0;
+    for (const auto& s : waterfall) t += s.dur;
+    return t;
+  }
+  /// Structured blackout anatomy: {"freeze_at_ns":..,"resume_at_ns":..,
+  /// "blackout_ns":..,"aborted":..,"slices":[{"name":..,"start_ns":..,
+  /// "dur_ns":..,<detail>}...]}.
+  std::string waterfall_json() const;
 };
 
 /// Applications that survive migration implement this: the controller calls
@@ -147,6 +174,12 @@ class MigrationController {
   rnic::Psn next_psn() { return psn_cursor_ += 4096; }
   GuestContext* partner_guest(GuestId id) const;
 
+  /// Append one blackout slice at the waterfall cursor (and emit the
+  /// matching nested trace span on the "migr.blackout" track), then advance
+  /// the cursor. Callers only ever supply durations; contiguity is by
+  /// construction.
+  void push_waterfall(std::string name, sim::DurationNs dur, std::string detail = {});
+
   sim::EventLoop& loop_;
   net::Fabric& fabric_;
   GuestDirectory& directory_;
@@ -180,6 +213,7 @@ class MigrationController {
 
   // Abort/rollback state machine.
   const char* phase_ = "init";
+  sim::TimeNs wf_cursor_ = 0;  // end of the last waterfall slice
   bool committed_ = false;  // source released: abort no longer possible
   int xfer_attempt_ = 0;
   common::Bytes xfer_payload_;  // retained for re-sends

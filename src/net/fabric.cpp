@@ -9,6 +9,43 @@ namespace migr::net {
 using common::Errc;
 using common::Status;
 
+namespace {
+
+// The RNIC wire-header layout pinned by rnic::WirePacket::serialize_header:
+// op u8 at [0], dst_qpn u32le at [1..4], src_qpn u32le at [5..8], psn u64le
+// at [9..16]; 71 bytes total. net cannot depend on rnic, so the flight
+// recorder peeks the three fields it needs at fixed offsets; a header of
+// any other size records as "not RNIC-framed" (opcode 0xff).
+constexpr std::size_t kRnicHeaderBytes = 71;
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_le64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(load_le32(p)) |
+         (static_cast<std::uint64_t>(load_le32(p + 4)) << 32);
+}
+
+}  // namespace
+
+void Fabric::record_packet(const Packet& p, obs::PacketVerdict verdict, sim::TimeNs at) {
+  obs::PacketRecord rec;
+  rec.ts_ns = at;
+  rec.src = p.src;
+  rec.dst = p.dst;
+  rec.bytes = static_cast<std::uint32_t>(p.wire_size());
+  rec.verdict = verdict;
+  if (p.header.size() == kRnicHeaderBytes) {
+    const std::uint8_t* h = p.header.data();
+    rec.opcode = h[0];
+    rec.qpn = load_le32(h + 1);
+    rec.psn = load_le64(h + 9);
+  }
+  recorder_->record(rec);
+}
+
 Fabric::~Fabric() {
   for (auto& [host, port] : ports_) {
     (void)host;
@@ -114,21 +151,35 @@ void Fabric::send_data(Route& r, Packet&& packet) {
   // Serialization happens (and consumes bandwidth) even for packets that
   // will be dropped in the network.
   const sim::TimeNs serialized_at = reserve_egress(*r.src, frame_bytes + config_.header_bytes);
+  const bool recording = recorder_->enabled();
 
   if (r.src->is_partitioned || r.dst->is_partitioned ||
       (faults_.data_loss_prob > 0 && rng_.chance(faults_.data_loss_prob))) {
     r.src->stats.data_packets_dropped++;
     r.drops->inc();
+    if (recording) {
+      const bool part = r.src->is_partitioned || r.dst->is_partitioned;
+      record_packet(packet,
+                    part ? obs::PacketVerdict::partitioned : obs::PacketVerdict::dropped,
+                    loop_.now());
+    }
     return;
   }
 
   sim::TimeNs deliver_at = serialized_at + config_.propagation;
+  bool held_back = false;
   if (faults_.reorder_prob > 0 && faults_.reorder_delay > 0 &&
       rng_.chance(faults_.reorder_prob)) {
     // Hold this packet back so packets serialized after it can overtake it.
     deliver_at += static_cast<sim::DurationNs>(
         rng_.range(1, static_cast<std::uint64_t>(faults_.reorder_delay)));
     r.src->stats.data_packets_reordered++;
+    held_back = true;
+  }
+  if (recording) {
+    record_packet(packet,
+                  held_back ? obs::PacketVerdict::reordered : obs::PacketVerdict::delivered,
+                  loop_.now());
   }
   loop_.post_at(deliver_at, [this, rp = &r, packet = std::move(packet)]() mutable {
     deliver(*rp, std::move(packet));
@@ -136,8 +187,16 @@ void Fabric::send_data(Route& r, Packet&& packet) {
 }
 
 void Fabric::deliver(Route& r, Packet&& packet) {
-  // Faults may have flipped between serialization and arrival.
-  if (r.src->is_partitioned || r.dst->is_partitioned) return;
+  // Faults may have flipped between serialization and arrival. A packet
+  // eaten mid-flight gets a second record (the send already logged it as
+  // delivered/reordered) — both paths funnel through here, so the record
+  // streams stay path-identical.
+  if (r.src->is_partitioned || r.dst->is_partitioned) {
+    if (recorder_->enabled()) {
+      record_packet(packet, obs::PacketVerdict::partitioned, loop_.now());
+    }
+    return;
+  }
   r.dst->stats.data_packets_rx++;
   r.dst->stats.data_bytes_rx += packet.wire_size();
   if (r.dst->handler) r.dst->handler(std::move(packet));
@@ -166,6 +225,7 @@ void Fabric::send_data_burst(Route& r, std::vector<Packet>&& train) {
     recycle_train(std::move(train));
     return;
   }
+  const bool recording = recorder_->enabled();
   for (Packet& p : train) {
     const std::size_t frame_bytes = p.wire_size();
     r.src->stats.data_packets_tx++;
@@ -174,6 +234,7 @@ void Fabric::send_data_burst(Route& r, std::vector<Packet>&& train) {
     r.bytes->inc(frame_bytes);
     p.deliver_at_ =
         reserve_egress(*r.src, frame_bytes + config_.header_bytes) + config_.propagation;
+    if (recording) record_packet(p, obs::PacketVerdict::delivered, loop_.now());
   }
   const sim::TimeNs first_at = train.front().deliver_at_;
   loop_.post_at(first_at, [this, rp = &r, t = std::move(train)]() mutable {

@@ -35,6 +35,7 @@
 #include "common/payload.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_loop.hpp"
 
@@ -166,8 +167,21 @@ class Fabric {
   /// True while the data plane has no active loss/reorder faults and no
   /// partitions — the precondition for burst coalescing.
   bool data_fast_path() const noexcept {
-    return faults_.data_loss_prob <= 0 && faults_.reorder_prob <= 0 &&
+    return !force_slow_path_ && faults_.data_loss_prob <= 0 && faults_.reorder_prob <= 0 &&
            npartitioned_ == 0;
+  }
+
+  /// Force the per-packet send path even on a fault-free fabric. Clean runs
+  /// consume no fault RNG on either path, so the determinism guard uses this
+  /// to assert burst coalescing and per-packet fidelity agree observable-
+  /// for-observable on one seed.
+  void set_force_slow_path(bool on) noexcept { force_slow_path_ = on; }
+
+  /// Flight recorder fed by both data paths (defaults to the process-wide
+  /// one; nullptr resets to it). While the recorder is disabled the per-
+  /// packet cost is a single predictable branch.
+  void set_recorder(obs::FlightRecorder* rec) noexcept {
+    recorder_ = rec == nullptr ? &obs::FlightRecorder::global() : rec;
   }
 
   /// A recycled packet vector for assembling a burst train.
@@ -236,6 +250,9 @@ class Fabric {
   void deliver(Route& r, Packet&& packet);
   void deliver_burst(Route& r, std::vector<Packet>&& train, std::size_t idx);
   void recycle_train(std::vector<Packet>&& train);
+  /// Append one observation to the flight recorder (caller already checked
+  /// recorder_->enabled()).
+  void record_packet(const Packet& p, obs::PacketVerdict verdict, sim::TimeNs at);
 
   sim::EventLoop& loop_;
   FabricConfig config_;
@@ -247,6 +264,8 @@ class Fabric {
   std::map<std::pair<HostId, std::string>, CtrlHandler> services_;
   std::unordered_set<HostId> partitioned_orphans_;  // partitioned but unattached
   std::uint32_t npartitioned_ = 0;
+  bool force_slow_path_ = false;
+  obs::FlightRecorder* recorder_ = &obs::FlightRecorder::global();
   std::vector<std::vector<Packet>> train_pool_;
 };
 

@@ -1,0 +1,254 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace migr::obs {
+
+const char* to_string(PacketVerdict v) noexcept {
+  switch (v) {
+    case PacketVerdict::delivered: return "delivered";
+    case PacketVerdict::dropped: return "dropped";
+    case PacketVerdict::reordered: return "reordered";
+    case PacketVerdict::partitioned: return "partitioned";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+FlightRecorder::FlightRecorder(std::size_t per_host_capacity)
+    : capacity_(per_host_capacity == 0 ? 1 : per_host_capacity) {}
+
+void FlightRecorder::set_capacity(std::size_t per_host_capacity) {
+  capacity_ = per_host_capacity == 0 ? 1 : per_host_capacity;
+  rings_.clear();
+  total_ = 0;
+}
+
+FlightRecorder::Ring& FlightRecorder::ring_for(std::uint32_t src_host) {
+  auto it = rings_.find(src_host);
+  if (it == rings_.end()) {
+    it = rings_.emplace(src_host, Ring{}).first;
+    it->second.slots.resize(capacity_);  // the one allocation per host
+  }
+  return it->second;
+}
+
+void FlightRecorder::record(const PacketRecord& r) {
+  if (!enabled()) return;
+  Ring& ring = ring_for(r.src);
+  if (ring.size < ring.slots.size()) {
+    ring.slots[ring.size++] = r;
+  } else {
+    ring.slots[ring.head] = r;
+    ring.head = (ring.head + 1) % ring.slots.size();
+  }
+  ring.total++;
+  total_++;
+}
+
+std::vector<PacketRecord> FlightRecorder::records(std::uint32_t src_host) const {
+  std::vector<PacketRecord> out;
+  auto it = rings_.find(src_host);
+  if (it == rings_.end()) return out;
+  const Ring& ring = it->second;
+  out.reserve(ring.size);
+  for (std::size_t i = 0; i < ring.size; ++i) {
+    out.push_back(ring.slots[(ring.head + i) % ring.slots.size()]);
+  }
+  return out;
+}
+
+std::vector<PacketRecord> FlightRecorder::window(std::uint32_t src_host,
+                                                 std::size_t last_n) const {
+  std::vector<PacketRecord> all = records(src_host);
+  if (all.size() > last_n) all.erase(all.begin(), all.end() - static_cast<long>(last_n));
+  return all;
+}
+
+std::uint64_t FlightRecorder::overwritten() const noexcept {
+  std::uint64_t held = 0;
+  for (const auto& [host, ring] : rings_) {
+    (void)host;
+    held += ring.size;
+  }
+  return total_ - held;
+}
+
+void FlightRecorder::clear() {
+  rings_.clear();
+  total_ = 0;
+  dumps_ = 0;
+  last_dump_json_.clear();
+  last_dump_path_.clear();
+}
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_packet(std::string& out, const PacketRecord& r) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ts_ns\":%lld,\"src\":%u,\"dst\":%u,\"op\":%u,\"qpn\":%u,"
+                "\"psn\":%llu,\"bytes\":%u,\"verdict\":\"%s\"}",
+                static_cast<long long>(r.ts_ns), r.src, r.dst,
+                static_cast<unsigned>(r.opcode), r.qpn,
+                static_cast<unsigned long long>(r.psn), r.bytes, to_string(r.verdict));
+  out += buf;
+}
+
+}  // namespace
+
+void FlightRecorder::append_records_json(std::string& out, std::int64_t from_ns) const {
+  // Deterministic host order (rings_ is unordered), then a stable merge by
+  // time so concurrent records keep host order within one timestamp.
+  std::vector<std::uint32_t> hosts;
+  hosts.reserve(rings_.size());
+  for (const auto& [host, ring] : rings_) {
+    (void)ring;
+    hosts.push_back(host);
+  }
+  std::sort(hosts.begin(), hosts.end());
+
+  std::vector<PacketRecord> merged;
+  for (std::uint32_t h : hosts) {
+    for (const PacketRecord& r : records(h)) {
+      if (r.ts_ns >= from_ns) merged.push_back(r);
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const PacketRecord& a, const PacketRecord& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     return a.src < b.src;
+                   });
+
+  out += "\"packets\":[";
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (i != 0) out += ',';
+    append_packet(out, merged[i]);
+  }
+  out += ']';
+}
+
+std::string FlightRecorder::trigger_dump(std::int64_t now_ns, std::string_view reason,
+                                         std::string_view detail) {
+  if (!enabled()) return {};
+  dumps_++;
+  Registry::global().counter("obs.recorder.dumps").inc();
+
+  const std::int64_t from_ns = now_ns - window_ns_;
+  std::string out;
+  out.reserve(4096);
+  out += "{\"kind\":\"flight_recorder_dump\",\"reason\":\"";
+  append_escaped(out, reason);
+  out += "\",\"ts_ns\":";
+  out += std::to_string(now_ns);
+  out += ",\"window_ns\":";
+  out += std::to_string(window_ns_);
+  out += ",\"detail\":{";
+  out += detail;  // caller-provided JSON object fragment
+  out += "},";
+  append_records_json(out, from_ns);
+
+  // The surrounding trace window: spans/instants whose timestamp falls in
+  // the same look-back window, so the dump reads as "what the workflow was
+  // doing while these packets were on the wire".
+  out += ",\"trace\":[";
+  bool first = true;
+  for (const TraceEvent& ev : Tracer::global().events()) {
+    if (ev.ts_ns < from_ns) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"";
+    out += static_cast<char>(ev.ph);
+    out += "\",\"ts_ns\":";
+    out += std::to_string(ev.ts_ns);
+    if (ev.ph == TraceEvent::Phase::complete) {
+      out += ",\"dur_ns\":";
+      out += std::to_string(ev.dur_ns);
+    }
+    out += ",\"name\":\"";
+    append_escaped(out, ev.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, ev.cat);
+    out += "\",\"args\":{";
+    out += ev.args;
+    out += "}}";
+  }
+  out += "]}";
+
+  last_dump_json_ = out;
+  last_dump_path_.clear();
+  if (!dump_dir_.empty()) {
+    std::string name = "flight_" + std::to_string(dumps_) + "_";
+    for (char c : reason) {
+      name += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+    }
+    const std::string path = dump_dir_ + "/" + name + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f != nullptr) {
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+      last_dump_path_ = path;
+    }
+  }
+  return out;
+}
+
+std::string FlightRecorder::export_json() const {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"kind\":\"flight_recorder_capture\",\"total_recorded\":";
+  out += std::to_string(total_);
+  out += ",\"overwritten\":";
+  out += std::to_string(overwritten());
+  out += ",\"dumps\":";
+  out += std::to_string(dumps_);
+  out += ',';
+  append_records_json(out, /*from_ns=*/std::numeric_limits<std::int64_t>::min());
+  out += '}';
+  return out;
+}
+
+common::Status FlightRecorder::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return common::err(common::Errc::internal, "cannot open recorder file " + path);
+  }
+  const std::string json = export_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return common::err(common::Errc::internal, "short write to recorder file " + path);
+  }
+  return common::Status::ok();
+}
+
+}  // namespace migr::obs

@@ -1,0 +1,70 @@
+// Sim-time time-series sampler over the metrics registry.
+//
+// sample(now_ns) snapshots the registry and appends one row per call; the
+// accumulated rows export as CSV (one column per instrument, sorted by
+// name) or JSON ({"series":[{name, points:[[ts,v],...]},...]}). The paper's
+// throughput-over-time figures (Fig. 5's brownout dips, the drain egress
+// curves) come straight out of this.
+//
+// Layering: obs cannot see the event loop, so the sampler is caller-driven
+// — tools and benches wire `loop.schedule_every(interval, [&]{
+// sampler.sample(loop.now()); })` and write the file at exit. Instruments
+// that appear mid-run (a guest's counters materializing when it starts)
+// simply begin contributing from the first row that saw them; earlier rows
+// render empty CSV cells for those columns.
+//
+// Histograms contribute two columns: `<name>` (running mean) and
+// `<name>.count`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "obs/metrics.hpp"
+
+namespace migr::obs {
+
+class TimeSeriesSampler {
+ public:
+  struct Options {
+    /// Only instruments whose rendered name starts with one of these
+    /// prefixes are sampled; empty samples everything.
+    std::vector<std::string> prefixes;
+  };
+
+  explicit TimeSeriesSampler(Registry& registry = Registry::global(), Options opts = {})
+      : registry_(registry), opts_(std::move(opts)) {}
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Take one sample at sim time `now_ns`.
+  void sample(std::int64_t now_ns);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t series() const noexcept { return columns_.size(); }
+  void clear();
+
+  std::string export_csv() const;
+  std::string export_json() const;
+  /// Writes CSV or JSON depending on the path's extension (.json = JSON).
+  common::Status write(const std::string& path) const;
+
+ private:
+  struct Row {
+    std::int64_t ts_ns = 0;
+    std::vector<std::pair<std::uint32_t, double>> values;  // (column id, value)
+  };
+
+  std::uint32_t column_id(const std::string& name);
+  bool matches(const std::string& name) const;
+
+  Registry& registry_;
+  Options opts_;
+  std::map<std::string, std::uint32_t> columns_;  // name -> id, sorted
+  std::vector<Row> rows_;
+};
+
+}  // namespace migr::obs

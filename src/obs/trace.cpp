@@ -163,6 +163,11 @@ std::string Tracer::export_chrome_json() const {
   return out;
 }
 
+common::Status Tracer::flush() const {
+  if (flush_path_.empty()) return common::Status::ok();
+  return write_chrome_json(flush_path_);
+}
+
 common::Status Tracer::write_chrome_json(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

@@ -80,6 +80,17 @@ class Tracer {
   std::string export_chrome_json() const;
   common::Status write_chrome_json(const std::string& path) const;
 
+  /// Abort safety net: with a flush path configured, flush() rewrites the
+  /// full buffer to that file as a complete, well-formed Chrome trace.
+  /// Abort paths (migration abort/failure, ScenarioRunner teardown) call it
+  /// so a run that never reaches its normal exit still leaves a loadable
+  /// trace behind. Tools set the path as soon as they enable tracing;
+  /// repeated flushes simply overwrite with a more complete buffer.
+  void set_flush_path(std::string path) { flush_path_ = std::move(path); }
+  const std::string& flush_path() const noexcept { return flush_path_; }
+  /// Write the buffer to the flush path; ok() no-op when no path is set.
+  common::Status flush() const;
+
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
 
  private:
@@ -87,6 +98,7 @@ class Tracer {
 
   bool enabled_ = false;
   const common::SimTimeSource* clock_ = nullptr;
+  std::string flush_path_;
   std::vector<TraceEvent> buf_;
   std::size_t capacity_;
   std::size_t head_ = 0;  // oldest element once the ring has wrapped

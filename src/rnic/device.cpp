@@ -170,6 +170,18 @@ std::vector<Qpn> Device::audit_stuck_qps(sim::DurationNs stale_after) const {
     if (qp->sq.empty() || !qp->sq.front().psn_assigned) continue;
     if (loop_.now() - qp->last_progress >= stale_after) stuck.push_back(qpn);
   }
+  // A hit is an anomaly the property tests treat as fatal: capture the wire
+  // history around it while it is still in the ring.
+  auto& rec = obs::FlightRecorder::global();
+  if (!stuck.empty() && rec.enabled()) {
+    std::string detail = "\"host\":" + std::to_string(host_) + ",\"qpns\":[";
+    for (std::size_t i = 0; i < stuck.size(); ++i) {
+      if (i != 0) detail += ',';
+      detail += std::to_string(stuck[i]);
+    }
+    detail += ']';
+    rec.trigger_dump(loop_.now(), "stuck_qps", detail);
+  }
   return stuck;
 }
 

@@ -49,6 +49,11 @@ struct DeviceConfig {
   std::uint32_t max_qp_wr = 16384;
   std::uint64_t device_memory_bytes = 256 * 1024;  // on-chip memory pool
   CostModel costs;
+  // NAK-storm anomaly trigger: when this device's responders emit at least
+  // `nak_storm_threshold` NAKs within one `nak_storm_window`, the flight
+  // recorder (if enabled) dumps the surrounding packet window. 0 disables.
+  std::uint32_t nak_storm_threshold = 64;
+  sim::DurationNs nak_storm_window = sim::msec(1);
   // MigrOS ablation only: allows extract/inject of live QP transport state
   // as a modified RNIC would. Commodity mode (default) refuses.
   bool migration_aware_hw = false;
@@ -299,6 +304,12 @@ class Context {
   using AsyncEventHandler = std::function<void(Qpn)>;
   void set_qp_error_handler(AsyncEventHandler fn) { qp_error_handler_ = std::move(fn); }
 
+  /// One-shot hook fired on the next CQE delivered to ANY CQ of this
+  /// context, then discarded. The blackout profiler uses it to timestamp the
+  /// first post-resume completion (the moment the migrated guest observably
+  /// makes progress again) without polling.
+  void watch_next_cqe(std::function<void()> fn) { next_cqe_watch_ = std::move(fn); }
+
   /// Total accumulated control-path cost (what a caller measuring wall time
   /// of setup code would have waited for). The migration orchestrator reads
   /// and resets this to convert the synchronous sim API into elapsed time.
@@ -328,6 +339,7 @@ class Context {
   std::unordered_map<Handle, MemoryWindow> mws_;
 
   AsyncEventHandler qp_error_handler_;
+  std::function<void()> next_cqe_watch_;
   sim::DurationNs ctrl_cost_ = 0;
 };
 
@@ -418,6 +430,10 @@ class Device {
   bool emit_burst(Qp& qp);
   void transmit(WirePacket pkt, net::HostId dst, net::Fabric::Route* route);
 
+  // Rolls the NAK-storm window and fires the flight-recorder dump when the
+  // threshold trips (then re-arms on a fresh window).
+  void note_nak_for_storm(const Qp& qp);
+
   void complete_head_wqes(Qp& qp);
   void flush_qp(Qp& qp, bool notify);
   void arm_retransmit_timer(Qp& qp);
@@ -452,6 +468,8 @@ class Device {
   const sim::TimeNs* egress_clock_ = nullptr;
   std::uint64_t dm_free_;
   sim::TimeNs ctrl_pressure_until_ = 0;
+  sim::TimeNs nak_window_start_ = 0;
+  std::uint32_t nak_window_count_ = 0;
 
   PortCounters counters_;
 

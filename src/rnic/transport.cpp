@@ -233,6 +233,12 @@ void Context::push_cqe(Handle cq_handle, Cqe cqe) {
     return;
   }
   dev_.metrics_.cqe_delivered->inc();
+  if (next_cqe_watch_) {
+    // Move out first: the watcher may re-install itself.
+    auto watch = std::move(next_cqe_watch_);
+    next_cqe_watch_ = nullptr;
+    watch();
+  }
   if (cq.armed && cq.channel != 0) {
     cq.armed = false;
     auto ch = channels_.find(cq.channel);
@@ -617,10 +623,31 @@ void Device::send_ack(Qp& qp) {
   transmit(std::move(ack), qp.remote_host, qp.route);
 }
 
+void Device::note_nak_for_storm(const Qp& qp) {
+  if (config_.nak_storm_threshold == 0) return;
+  const sim::TimeNs now = loop_.now();
+  if (now - nak_window_start_ > config_.nak_storm_window) {
+    nak_window_start_ = now;
+    nak_window_count_ = 0;
+  }
+  if (++nak_window_count_ < config_.nak_storm_threshold) return;
+  // Threshold tripped: dump and re-arm on a fresh window so a sustained
+  // storm produces one dump per window, not one per NAK.
+  nak_window_start_ = now;
+  nak_window_count_ = 0;
+  auto& rec = obs::FlightRecorder::global();
+  if (!rec.enabled()) return;
+  std::string detail = "\"host\":" + std::to_string(host_) +
+                       ",\"qpn\":" + std::to_string(qp.qpn) +
+                       ",\"naks_in_window\":" + std::to_string(config_.nak_storm_threshold);
+  rec.trigger_dump(now, "nak_storm", detail);
+}
+
 void Device::send_nak(Qp& qp, bool rnr) {
   if (qp.last_nak_psn == qp.expected_psn) return;  // one NAK per gap event
   qp.last_nak_psn = qp.expected_psn;
   metrics_.nak_tx->inc();
+  note_nak_for_storm(qp);
   WirePacket nak;
   nak.op = PktOp::nak;
   nak.src_qpn = qp.qpn;

@@ -16,6 +16,7 @@
 
 #include "cluster/drain.hpp"
 #include "fault/fault.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace migr::cluster {
 namespace {
@@ -320,6 +321,126 @@ TEST(ClusterDrainLossyTest, DrainSurvivesLossAndMidDrainPartition) {
   EXPECT_GE(rep.retries, 1u);
   EXPECT_EQ(model.audit_stuck_qps(sim::msec(50)), 0u);
   for (GuestId g = 0; g < 3; ++g) EXPECT_NE(model.host_of(100 + g), 1u);
+
+  // Blackout-anatomy invariant under faults too: the most recent attempt's
+  // waterfall sums exactly to its blackout on every terminal outcome,
+  // completed or aborted (an abort before the freeze has both at zero).
+  for (const MigrationOutcome& o : rep.outcomes) {
+    EXPECT_EQ(o.report.waterfall_total(), o.report.service_blackout())
+        << "guest " << o.guest << ": " << o.report.waterfall_json();
+  }
+}
+
+// Acceptance: in the deterministic 8-host drain, every migration's emitted
+// phase durations sum EXACTLY to the blackout the report claims, and the
+// slices tile [freeze_at, resume_at] without gaps.
+TEST(ClusterDrainTest, WaterfallDurationsSumExactlyToBlackout) {
+  ClusterConfig cfg;
+  cfg.hosts = 8;
+  cfg.seed = 7;
+  ClusterModel model(cfg);
+  for (GuestId g = 0; g < 6; ++g) {
+    ASSERT_TRUE(model.add_guest(1, 100 + g, busy_profile()).is_ok());
+    ASSERT_TRUE(model.add_guest(2 + g, 200 + g, busy_profile()).is_ok());
+    ASSERT_TRUE(model.connect_guests(100 + g, 200 + g).is_ok());
+  }
+  model.run_for(sim::msec(5));
+
+  SchedulerConfig scfg;
+  scfg.limits.max_concurrent_fleet = 4;
+  scfg.limits.max_concurrent_per_source = 4;
+  scfg.limits.max_concurrent_per_dest = 4;
+  MigrationScheduler sched(model, scfg);
+  DrainWorkflow drain(model, sched);
+  const DrainReport rep = drain.run(1);
+  ASSERT_TRUE(rep.ok) << format_drain_report(rep);
+  ASSERT_EQ(rep.outcomes.size(), 6u);
+
+  for (const MigrationOutcome& o : rep.outcomes) {
+    const migrlib::MigrationReport& r = o.report;
+    ASSERT_FALSE(r.waterfall.empty()) << "guest " << o.guest;
+    // The exact-sum acceptance check.
+    EXPECT_EQ(r.waterfall_total(), r.service_blackout())
+        << "guest " << o.guest << ": " << r.waterfall_json();
+    // Gap-free tiling of the blackout window.
+    EXPECT_EQ(r.waterfall.front().start, r.freeze_at);
+    sim::TimeNs cursor = r.freeze_at;
+    for (const migrlib::PhaseSlice& s : r.waterfall) {
+      EXPECT_EQ(s.start, cursor) << "guest " << o.guest << " slice " << s.name;
+      EXPECT_GE(s.dur, 0) << "guest " << o.guest << " slice " << s.name;
+      cursor = s.start + s.dur;
+    }
+    EXPECT_EQ(cursor, r.resume_at) << "guest " << o.guest;
+    // And the summary fields agree with the attribution.
+    EXPECT_EQ(r.waterfall_total(), r.blackout_components()) << "guest " << o.guest;
+  }
+
+  // The fleet rollup covers the five real phases plus the thaw marker, and
+  // its totals equal the slice-wise sums.
+  ASSERT_FALSE(rep.phase_rollup.empty());
+  sim::DurationNs rollup_total = 0;
+  std::uint64_t worst_total = 0;
+  for (const PhaseAttribution& a : rep.phase_rollup) {
+    rollup_total += a.total;
+    worst_total += a.worst_count;
+  }
+  sim::DurationNs blackout_total = 0;
+  for (const MigrationOutcome& o : rep.outcomes) blackout_total += o.report.service_blackout();
+  EXPECT_EQ(rollup_total, blackout_total);
+  EXPECT_EQ(worst_total, rep.outcomes.size());  // one dominant phase per migration
+}
+
+// Acceptance: a forced abort under loss leaves a flight-recorder dump with
+// the offending traffic's last-window packets (QPNs and all).
+TEST(ClusterDrainLossyTest, ForcedAbortUnderLossDumpsFlightRecorder) {
+  auto& rec = obs::FlightRecorder::global();
+  rec.clear();
+  rec.set_enabled(true);
+
+  ClusterConfig cfg;
+  cfg.hosts = 4;
+  cfg.seed = 5;
+  ClusterModel model(cfg);
+  ASSERT_TRUE(model.add_guest(1, 100, busy_profile()).is_ok());
+  ASSERT_TRUE(model.add_guest(2, 200, busy_profile()).is_ok());
+  ASSERT_TRUE(model.connect_guests(100, 200).is_ok());
+  model.run_for(sim::msec(2));
+
+  fault::ScenarioRunner scenario(model.loop(), model.fabric());
+  fault::FaultPlan plan;
+  plan.baseline(0.02);
+  scenario.run(plan);
+  // The pinned destination never answers: the transfer deadline trips and
+  // the migration aborts.
+  model.fabric().set_partitioned(3, true);
+
+  SchedulerConfig scfg;
+  scfg.migration.transfer_timeout = sim::msec(2);
+  scfg.migration.max_transfer_retries = 0;
+  scfg.max_retries = 0;
+  MigrationScheduler sched(model, scfg);
+
+  MigrationOutcome out;
+  bool terminal = false;
+  sched.submit({100, 3, 0}, [&](const MigrationOutcome& o) {
+    out = o;
+    terminal = true;
+  });
+  ASSERT_TRUE(sched.run_until_idle(sim::sec(60)).is_ok());
+  ASSERT_TRUE(terminal);
+  ASSERT_TRUE(out.report.aborted) << out.error;
+
+  EXPECT_GE(rec.dumps_triggered(), 1u);
+  const std::string& dump = rec.last_dump_json();
+  EXPECT_NE(dump.find("\"reason\":\"migration_abort\""), std::string::npos) << dump;
+  // The capture window holds real wire traffic from the guest's host,
+  // decoded down to QPN/PSN.
+  EXPECT_NE(dump.find("\"src\":1"), std::string::npos);
+  EXPECT_NE(dump.find("\"qpn\":"), std::string::npos);
+  EXPECT_NE(dump.find("\"psn\":"), std::string::npos);
+
+  rec.set_enabled(false);
+  rec.clear();
 }
 
 }  // namespace

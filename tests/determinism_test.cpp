@@ -17,6 +17,9 @@
 
 #include "cluster/drain.hpp"
 #include "fault/fault.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace migr::cluster {
 namespace {
@@ -92,6 +95,93 @@ TEST(DeterminismTest, LossyDrainReportIsByteIdenticalAcrossRuns) {
   const std::string second = run_drain_once(/*lossy=*/true);
   EXPECT_EQ(first, second);
   maybe_dump(first, "lossy");
+}
+
+// ---------------------------------------------------------------------------
+// Fast path vs per-packet fallback, recorder on vs off
+// ---------------------------------------------------------------------------
+
+struct InstrumentedRun {
+  std::string report;   // format_drain_report rendering
+  std::string metrics;  // registry snapshot, "sim." excluded
+  std::uint64_t spans = 0;  // tracer events emitted during the run
+};
+
+// One smaller clean drain (4 guests, 6 hosts) with the full observability
+// stack armed: tracing on, the flight recorder per `recorder_on`, and the
+// fabric optionally forced off its burst fast path. Registry/tracer/recorder
+// are reset at entry so each run starts from the same observability state.
+InstrumentedRun run_instrumented(bool force_slow, bool recorder_on) {
+  obs::Registry::global().reset();
+  auto& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  auto& rec = obs::FlightRecorder::global();
+  rec.clear();
+  rec.set_enabled(recorder_on);
+
+  InstrumentedRun out;
+  {
+    ClusterConfig cfg;
+    cfg.hosts = 6;
+    cfg.seed = 7;
+    ClusterModel model(cfg);
+    model.fabric().set_force_slow_path(force_slow);
+    for (GuestId g = 0; g < 4; ++g) {
+      const TrafficProfile prof = (g % 2 == 0) ? stream_profile() : chatty_profile();
+      EXPECT_TRUE(model.add_guest(1, 100 + g, prof).is_ok());
+      EXPECT_TRUE(model.add_guest(2 + g, 200 + g, prof).is_ok());
+      EXPECT_TRUE(model.connect_guests(100 + g, 200 + g).is_ok());
+    }
+    model.run_for(sim::msec(5));
+
+    SchedulerConfig scfg;
+    scfg.limits.max_concurrent_fleet = 4;
+    scfg.limits.max_concurrent_per_source = 4;
+    scfg.limits.max_concurrent_per_dest = 4;
+    MigrationScheduler sched(model, scfg);
+    DrainWorkflow drain(model, sched);
+    const DrainReport rep = drain.run(1);
+    EXPECT_TRUE(rep.ok) << format_drain_report(rep);
+    out.report = format_drain_report(rep);
+  }
+
+  // Everything in the registry except "sim.*" must be transport-visible and
+  // thus path-independent; sim.* is wall-clock and event-count bookkeeping,
+  // which legitimately differs (the slow path schedules per-packet events,
+  // the fast path one train).
+  for (const auto& e : obs::Registry::global().snapshot()) {
+    if (e.name.rfind("sim.", 0) == 0) continue;
+    out.metrics += e.name + "=" + std::to_string(e.value) + "," + std::to_string(e.count) + "\n";
+  }
+  out.spans = tracer.total_emitted();
+  tracer.set_enabled(false);
+  tracer.clear();
+  rec.set_enabled(false);
+  rec.clear();
+  return out;
+}
+
+TEST(DeterminismTest, ForcedSlowPathMatchesFastPathMetricsAndSpans) {
+  const InstrumentedRun fast = run_instrumented(/*force_slow=*/false, /*recorder_on=*/false);
+  const InstrumentedRun slow = run_instrumented(/*force_slow=*/true, /*recorder_on=*/false);
+  EXPECT_EQ(fast.report, slow.report);
+  EXPECT_EQ(fast.metrics, slow.metrics);
+  EXPECT_EQ(fast.spans, slow.spans);
+}
+
+TEST(DeterminismTest, RecorderOnDoesNotPerturbEitherPath) {
+  const InstrumentedRun fast_on = run_instrumented(/*force_slow=*/false, /*recorder_on=*/true);
+  const InstrumentedRun slow_on = run_instrumented(/*force_slow=*/true, /*recorder_on=*/true);
+  EXPECT_EQ(fast_on.report, slow_on.report);
+  EXPECT_EQ(fast_on.metrics, slow_on.metrics);
+  EXPECT_EQ(fast_on.spans, slow_on.spans);
+
+  // And the recorder itself must be invisible to the simulation: the same
+  // run with it off renders the identical report.
+  const InstrumentedRun fast_off = run_instrumented(/*force_slow=*/false, /*recorder_on=*/false);
+  EXPECT_EQ(fast_on.report, fast_off.report);
+  EXPECT_EQ(fast_on.spans, fast_off.spans);
 }
 
 }  // namespace

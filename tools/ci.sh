@@ -2,7 +2,9 @@
 # Full CI pipeline: plain build + tests, the adversarial/lossy suites on
 # their own (fast signal on transport/migration robustness regressions),
 # a perf smoke (simulator event-rate bench vs the checked-in baseline),
-# then the sanitizer pass.
+# a blackout-anatomy artifact stage (instrumented lossy drain + schema
+# validation of the trace/timeseries/flight-recorder outputs), then the
+# sanitizer pass.
 #
 #   tools/ci.sh              # everything
 #   tools/ci.sh --fast       # skip the sanitizer pass
@@ -14,12 +16,12 @@ cd "$REPO_ROOT"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "==> [1/4] plain build + full test suite"
+echo "==> [1/5] plain build + full test suite"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [2/4] lossy-seed suites (fault injection, adversarial migrations, lossy drain)"
+echo "==> [2/5] lossy-seed suites (fault injection, adversarial migrations, lossy drain)"
 # Deterministic seeded runs: the fault scenario suite, every property test
 # that drives traffic through injected loss/reordering/partitions, and the
 # cluster suite (scheduler admission/retry plus the seeded lossy drain with
@@ -27,7 +29,7 @@ echo "==> [2/4] lossy-seed suites (fault injection, adversarial migrations, loss
 ctest --test-dir build --output-on-failure -j "$(nproc)" \
   -R '(ScenarioRunner|MigrationAbort|AdversarialMigrationProperty|TransportProperty|ClusterScheduler|ClusterDrain)'
 
-echo "==> [3/4] perf smoke (bench_simrate vs BENCH_simrate.json baseline)"
+echo "==> [3/5] perf smoke (bench_simrate vs BENCH_simrate.json baseline)"
 # Advisory, not a gate: wall time on shared CI machines is noisy, so a
 # regression prints a loud warning instead of failing the pipeline. The
 # fresh numbers land in build/BENCH_simrate.json for inspection; refresh
@@ -59,10 +61,26 @@ else
   echo "    no checked-in BENCH_simrate.json baseline; skipping comparison"
 fi
 
+echo "==> [4/5] blackout-anatomy artifacts (instrumented lossy drain + schema validation)"
+# One seeded lossy drain with the full observability stack armed: Chrome
+# trace, metric time series, and the wire flight recorder. The python
+# validator pins the artifact schemas so downstream tooling (trace viewers,
+# the EXPERIMENTS.md recipes) can rely on them.
+ART_DIR=build/artifacts
+mkdir -p "$ART_DIR"
+build/bench/bench_cluster_drain --loss 0.01 --seed 11 --conc 4 \
+  --trace "$ART_DIR/drain.trace.json" \
+  --timeseries "$ART_DIR/drain.ts.csv" \
+  --record "$ART_DIR/drain.cap.json"
+python3 tools/validate_artifacts.py \
+  --trace "$ART_DIR/drain.trace.json" \
+  --timeseries "$ART_DIR/drain.ts.csv" \
+  --record "$ART_DIR/drain.cap.json"
+
 if [[ "$FAST" == "1" ]]; then
-  echo "==> [4/4] sanitizer pass skipped (--fast)"
+  echo "==> [5/5] sanitizer pass skipped (--fast)"
   exit 0
 fi
 
-echo "==> [4/4] sanitizer pass (address)"
+echo "==> [5/5] sanitizer pass (address)"
 tools/run_sanitized.sh address

@@ -8,16 +8,23 @@
 //   migrrdma_sim [--qps N] [--msg BYTES] [--depth N] [--opcode write|send]
 //                [--no-presetup] [--migrate-receiver] [--loss P]
 //                [--wbs-timeout-ms T] [--precopy-rounds N] [--seed S]
-//                [--trace OUT.json] [--metrics]
+//                [--trace OUT.json] [--timeseries OUT.csv|OUT.json]
+//                [--timeseries-interval-us N] [--record OUT.json] [--metrics]
 //
 // Examples:
 //   migrrdma_sim --qps 256 --msg 4096
 //   migrrdma_sim --qps 16 --msg 2097152 --depth 4 --migrate-receiver
 //   migrrdma_sim --loss 1.0 --wbs-timeout-ms 3      # buggy-network path
 //   migrrdma_sim --trace out.json --metrics         # Chrome trace + registry dump
+//   migrrdma_sim --timeseries ts.csv --record cap.json   # metrics series + wire capture
 //
 // --trace writes a Chrome trace-event JSON covering the whole run (load it
-// in about://tracing or https://ui.perfetto.dev); --metrics prints the
+// in about://tracing or https://ui.perfetto.dev); the same path doubles as
+// the tracer's flush target, so an aborted migration still leaves a valid
+// file. --timeseries samples the metrics registry on a sim-time period and
+// writes a CSV (or JSON with a .json suffix). --record enables the wire
+// flight recorder and writes its capture at exit; anomaly dumps (abort, NAK
+// storm, stuck QPs) are counted in the capture. --metrics prints the
 // process-wide metrics registry at exit.
 #include <cstdio>
 #include <cstdlib>
@@ -27,7 +34,9 @@
 #include "apps/perftest.hpp"
 #include "common/log.hpp"
 #include "migr/migration.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "rnic/world.hpp"
 
@@ -46,7 +55,10 @@ struct Options {
   sim::DurationNs wbs_timeout = sim::sec(5);
   int precopy_rounds = 3;
   std::uint64_t seed = 42;
-  std::string trace_path;  // empty = tracing off
+  std::string trace_path;       // empty = tracing off
+  std::string timeseries_path;  // empty = sampling off
+  sim::DurationNs timeseries_interval = sim::usec(100);
+  std::string record_path;      // empty = flight recorder off
   bool metrics = false;
 };
 
@@ -55,7 +67,8 @@ struct Options {
                "usage: %s [--qps N] [--msg BYTES] [--depth N] [--opcode write|send]\n"
                "          [--no-presetup] [--migrate-receiver] [--loss P]\n"
                "          [--wbs-timeout-ms T] [--precopy-rounds N] [--seed S]\n"
-               "          [--trace OUT.json] [--metrics]\n",
+               "          [--trace OUT.json] [--timeseries OUT.csv|OUT.json]\n"
+               "          [--timeseries-interval-us N] [--record OUT.json] [--metrics]\n",
                argv0);
   std::exit(2);
 }
@@ -100,6 +113,13 @@ Options parse(int argc, char** argv) {
       o.seed = std::strtoull(need_value("--seed"), nullptr, 10);
     } else if (arg == "--trace") {
       o.trace_path = need_value("--trace");
+    } else if (arg == "--timeseries") {
+      o.timeseries_path = need_value("--timeseries");
+    } else if (arg == "--timeseries-interval-us") {
+      o.timeseries_interval =
+          sim::usec(std::strtod(need_value("--timeseries-interval-us"), nullptr));
+    } else if (arg == "--record") {
+      o.record_path = need_value("--record");
     } else if (arg == "--metrics") {
       o.metrics = true;
     } else {
@@ -121,6 +141,15 @@ int main(int argc, char** argv) {
     auto& tracer = obs::Tracer::global();
     tracer.set_clock(&world.loop());
     tracer.set_enabled(true);
+    // Aborts and failures flush to this path, so even a run that dies
+    // mid-migration leaves a loadable trace.
+    tracer.set_flush_path(opt.trace_path);
+  }
+  if (!opt.record_path.empty()) obs::FlightRecorder::global().set_enabled(true);
+  obs::TimeSeriesSampler sampler;
+  if (!opt.timeseries_path.empty()) {
+    world.loop().schedule_every(opt.timeseries_interval,
+                                [&] { sampler.sample(world.loop().now()); });
   }
   world.fabric().set_faults(net::Faults{.data_loss_prob = opt.loss});
   migrlib::GuestDirectory directory;
@@ -176,9 +205,39 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot start migration: %s\n", st.to_string().c_str());
     return 1;
   }
+  // Write the periodic/series artifacts. Called on both the failure and the
+  // success path: a blackout anatomy of a failed run is exactly when the
+  // artifacts matter.
+  auto write_artifacts = [&]() -> bool {
+    bool ok = true;
+    if (!opt.timeseries_path.empty()) {
+      if (auto wst = sampler.write(opt.timeseries_path); !wst.is_ok()) {
+        std::fprintf(stderr, "cannot write timeseries: %s\n", wst.to_string().c_str());
+        ok = false;
+      } else {
+        std::printf("timeseries: %zu sample(s) written to %s\n", sampler.rows(),
+                    opt.timeseries_path.c_str());
+      }
+    }
+    if (!opt.record_path.empty()) {
+      auto& rec = obs::FlightRecorder::global();
+      if (auto wst = rec.write_json(opt.record_path); !wst.is_ok()) {
+        std::fprintf(stderr, "cannot write capture: %s\n", wst.to_string().c_str());
+        ok = false;
+      } else {
+        std::printf("flight recorder: %llu packet(s) seen, %llu dump(s), capture at %s\n",
+                    static_cast<unsigned long long>(rec.total_recorded()),
+                    static_cast<unsigned long long>(rec.dumps_triggered()),
+                    opt.record_path.c_str());
+      }
+    }
+    return ok;
+  };
+
   while (!done && world.loop().now() < sim::sec(120)) world.loop().run_for(sim::msec(1));
   if (!report.ok) {
     std::fprintf(stderr, "migration failed: %s\n", report.error.c_str());
+    (void)write_artifacts();  // abort/fail already flushed the trace
     return 1;
   }
   world.loop().run_for(sim::msec(20));
@@ -218,6 +277,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(tracer.dropped()));
     tracer.set_clock(nullptr);
   }
+  if (!write_artifacts()) return 1;
+  std::printf("\nblackout waterfall: %s\n", report.waterfall_json().c_str());
   if (opt.metrics) {
     std::printf("\nmetrics registry:\n");
     obs::Registry::global().print(stdout);

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Schema checks for the blackout-anatomy observability artifacts.
+
+tools/ci.sh runs an instrumented lossy drain (bench_cluster_drain with
+--trace/--timeseries/--record) and feeds the three files through here:
+
+  python3 tools/validate_artifacts.py \
+      --trace drain.trace.json --timeseries drain.ts.csv --record drain.cap.json
+
+Each artifact is optional; whatever is named must parse and conform. Exits
+non-zero with a per-file report on the first violation class found.
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+VALID_PHASES = {"B", "E", "i", "X", "M"}
+PACKET_FIELDS = {"ts_ns", "src", "dst", "op", "qpn", "psn", "bytes", "verdict"}
+PACKET_VERDICTS = {"delivered", "dropped", "reordered", "partitioned"}
+RECORD_KINDS = {"flight_recorder_capture", "flight_recorder_dump"}
+
+
+def fail(path, msg):
+    print(f"FAIL {path}: {msg}")
+    return False
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        return fail(path, "traceEvents is not a list")
+    if not events:
+        return fail(path, "trace is empty")
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in VALID_PHASES:
+            return fail(path, f"event {i}: unexpected ph {ph!r}")
+        if "name" not in ev:
+            return fail(path, f"event {i}: missing name")
+        if ph != "M" and "ts" not in ev:  # metadata events carry no timestamp
+            return fail(path, f"event {i}: missing ts")
+        if ph == "X" and "dur" not in ev:
+            return fail(path, f"event {i}: complete event without dur")
+    print(f"OK   {path}: {len(events)} trace events")
+    return True
+
+
+def check_timeseries(path):
+    with open(path, newline="") as f:
+        rows = [r for r in csv.reader(f) if r]
+    if len(rows) < 2:
+        return fail(path, "no samples below the header")
+    header = rows[0]
+    if header[0] != "ts_ns":
+        return fail(path, f"first column is {header[0]!r}, expected ts_ns")
+    prev_ts = -1
+    for i, cells in enumerate(rows[1:], start=2):
+        if len(cells) != len(header):
+            return fail(path, f"line {i}: {len(cells)} cells vs {len(header)} columns")
+        ts = int(cells[0])
+        if ts < prev_ts:
+            return fail(path, f"line {i}: ts_ns went backwards ({ts} < {prev_ts})")
+        prev_ts = ts
+        for col, cell in zip(header[1:], cells[1:]):
+            if cell == "":
+                continue  # instrument not yet registered at this sample
+            try:
+                float(cell)
+            except ValueError:
+                return fail(path, f"line {i}: non-numeric cell {cell!r} in {col}")
+    print(f"OK   {path}: {len(rows) - 1} samples x {len(header) - 1} series")
+    return True
+
+
+def check_packets(path, packets):
+    for i, p in enumerate(packets):
+        missing = PACKET_FIELDS - p.keys()
+        if missing:
+            return fail(path, f"packet {i}: missing {sorted(missing)}")
+        if p["verdict"] not in PACKET_VERDICTS:
+            return fail(path, f"packet {i}: unexpected verdict {p['verdict']!r}")
+    return True
+
+
+def check_record(path):
+    with open(path) as f:
+        doc = json.load(f)
+    kind = doc.get("kind")
+    if kind not in RECORD_KINDS:
+        return fail(path, f"unexpected kind {kind!r}")
+    if not isinstance(doc.get("packets"), list):
+        return fail(path, "packets is not a list")
+    if not check_packets(path, doc["packets"]):
+        return False
+    if kind == "flight_recorder_dump":
+        if "reason" not in doc or not isinstance(doc.get("trace"), list):
+            return fail(path, "dump without reason/trace window")
+    print(f"OK   {path}: {kind} with {len(doc['packets'])} packets")
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--trace")
+    ap.add_argument("--timeseries")
+    ap.add_argument("--record")
+    args = ap.parse_args()
+
+    ok = True
+    if args.trace:
+        ok = check_trace(args.trace) and ok
+    if args.timeseries:
+        ok = check_timeseries(args.timeseries) and ok
+    if args.record:
+        ok = check_record(args.record) and ok
+    if not (args.trace or args.timeseries or args.record):
+        ap.error("nothing to validate: pass --trace/--timeseries/--record")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
