@@ -16,12 +16,15 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "bench_util.hpp"
 #include "cluster/drain.hpp"
 #include "fault/fault.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/sli.hpp"
+#include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
@@ -38,11 +41,13 @@ struct SweepRow {
 
 SweepRow run_drain(std::uint32_t concurrency, std::uint64_t seed = 42, double loss = 0.0,
                    bool traced = false, obs::TimeSeriesSampler* sampler = nullptr,
-                   sim::DurationNs sample_interval = sim::usec(250)) {
+                   sim::DurationNs sample_interval = sim::usec(250),
+                   bool slo_defer = false) {
   ClusterConfig cfg;
   cfg.hosts = 8;
   cfg.seed = seed;
   ClusterModel model(cfg);
+  if (obs::SliHub::global().enabled()) model.enable_sli(obs::SliHub::global());
   if (traced) obs::Tracer::global().set_clock(&model.loop());
   if (sampler != nullptr) {
     model.loop().schedule_every(sample_interval,
@@ -75,6 +80,7 @@ SweepRow run_drain(std::uint32_t concurrency, std::uint64_t seed = 42, double lo
   scfg.limits.max_concurrent_fleet = concurrency;
   scfg.limits.max_concurrent_per_source = concurrency;
   scfg.limits.max_concurrent_per_dest = concurrency;
+  scfg.slo_defer = slo_defer;
   MigrationScheduler sched(model, scfg);
   DrainWorkflow drain(model, sched);
 
@@ -87,7 +93,56 @@ SweepRow run_drain(std::uint32_t concurrency, std::uint64_t seed = 42, double lo
   if (model.audit_stuck_qps(sim::msec(10)) != 0) {
     std::printf("!! stuck QPs after drain at concurrency %u\n", concurrency);
   }
+  // Close every live SLI window while the model (and its retransmit-counter
+  // sources) is still alive; the hub only gets read after this.
+  model.run_for(sim::msec(2));  // let post-resume traffic settle -> recovery
+  obs::SliHub::global().flush(model.loop().now());
   return row;
+}
+
+/// One policy leg's service-quality summary for the policy_compare section.
+struct PolicyStats {
+  sim::DurationNs makespan = 0;
+  sim::DurationNs blackout_p99 = 0;
+  std::int64_t brownout_p99_ns = 0;  // p99 over non-idle windows' p99s
+  double goodput_loss_bytes = 0;
+  std::uint64_t alerts = 0;
+  std::uint64_t deferrals = 0;
+};
+
+PolicyStats collect_policy_stats(const DrainReport& report) {
+  PolicyStats s;
+  s.makespan = report.makespan();
+  s.blackout_p99 = report.blackout_p99;
+  s.alerts = report.slo_alerts;
+  s.deferrals = report.slo_deferrals;
+  auto& hub = obs::SliHub::global();
+  obs::Histogram brownout;
+  for (std::uint32_t id : hub.guest_ids()) {
+    const obs::GuestSli* g = hub.find(id);
+    if (g == nullptr) continue;
+    for (const obs::SliWindow& w : g->windows()) {
+      if (w.phase != obs::ServicePhase::idle && w.msgs > 0) brownout.record(w.p99_ns);
+    }
+    const obs::BrownoutAttribution att = hub.attribution(id);
+    if (att.valid) s.goodput_loss_bytes += att.goodput_loss_bytes;
+  }
+  s.brownout_p99_ns = brownout.percentile(99);
+  return s;
+}
+
+std::string policy_stats_json(const PolicyStats& s) {
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "{\"makespan_ns\":%lld,\"blackout_p99_ns\":%lld,"
+                "\"brownout_p99_ns\":%lld,\"goodput_loss_bytes\":%.1f,"
+                "\"slo_alerts\":%llu,\"slo_deferrals\":%llu}",
+                static_cast<long long>(s.makespan),
+                static_cast<long long>(s.blackout_p99),
+                static_cast<long long>(s.brownout_p99_ns), s.goodput_loss_bytes,
+                static_cast<unsigned long long>(s.alerts),
+                static_cast<unsigned long long>(s.deferrals));
+  return buf;
 }
 
 struct Options {
@@ -98,6 +153,9 @@ struct Options {
   std::uint64_t seed = 42;
   std::uint32_t conc = 4;
   bool artifact_mode = false;  // any flag given: single instrumented drain
+  std::string slo_spec;        // arm SLI + burn-rate engine + policy compare
+  std::string slo_out = "slo_report.json";
+  std::string sli_csv;
 };
 
 Options parse(int argc, char** argv) {
@@ -123,10 +181,17 @@ Options parse(int argc, char** argv) {
       o.seed = std::strtoull(need_value("--seed"), nullptr, 10);
     } else if (arg == "--conc") {
       o.conc = static_cast<std::uint32_t>(std::strtoul(need_value("--conc"), nullptr, 10));
+    } else if (arg == "--slo") {
+      o.slo_spec = need_value("--slo");
+    } else if (arg == "--slo-out") {
+      o.slo_out = need_value("--slo-out");
+    } else if (arg == "--sli-csv") {
+      o.sli_csv = need_value("--sli-csv");
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace OUT.json] [--timeseries OUT.csv|OUT.json]\n"
-                   "          [--record OUT.json] [--loss P] [--seed S] [--conc N]\n",
+                   "          [--record OUT.json] [--loss P] [--seed S] [--conc N]\n"
+                   "          [--slo SPEC] [--slo-out OUT.json] [--sli-csv OUT.csv]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -135,7 +200,45 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
+bool write_text(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
+
 int run_artifact_mode(const Options& opt) {
+  auto& hub = obs::SliHub::global();
+  std::vector<obs::SloRule> slo_rules;
+  std::unique_ptr<obs::SloEngine> engine;
+  const bool sli_on = !opt.slo_spec.empty() || !opt.sli_csv.empty();
+  if (sli_on) hub.set_enabled(true);
+  if (!opt.slo_spec.empty()) {
+    std::string err;
+    if (!obs::parse_slo_spec(opt.slo_spec, &slo_rules, &err)) {
+      std::fprintf(stderr, "bad --slo spec: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
+  // Baseline leg of the policy comparison: same fleet/seed/loss, scheduler
+  // blind to SLO burn. Runs before any trace/recorder arming so the main
+  // leg's artifacts cover only the main leg.
+  PolicyStats base{};
+  if (!slo_rules.empty()) {
+    hub.clear();
+    engine = std::make_unique<obs::SloEngine>(slo_rules);
+    hub.set_slo_engine(engine.get());
+    const SweepRow b =
+        run_drain(opt.conc, opt.seed, opt.loss, false, nullptr, sim::usec(250), false);
+    base = collect_policy_stats(b.report);
+    hub.set_slo_engine(nullptr);
+  }
+
   const bool traced = !opt.trace_path.empty();
   if (traced) {
     auto& tracer = obs::Tracer::global();
@@ -146,7 +249,13 @@ int run_artifact_mode(const Options& opt) {
   obs::TimeSeriesSampler sampler;
   obs::TimeSeriesSampler* sp = opt.timeseries_path.empty() ? nullptr : &sampler;
 
-  const SweepRow row = run_drain(opt.conc, opt.seed, opt.loss, traced, sp);
+  if (sli_on) hub.clear();
+  if (!slo_rules.empty()) {
+    engine = std::make_unique<obs::SloEngine>(slo_rules);
+    hub.set_slo_engine(engine.get());
+  }
+  const SweepRow row = run_drain(opt.conc, opt.seed, opt.loss, traced, sp, sim::usec(250),
+                                 /*slo_defer=*/!slo_rules.empty());
   std::fputs(format_drain_report(row.report).c_str(), stdout);
   for (const PhaseAttribution& a : row.report.phase_rollup) {
     std::printf("anatomy: %-24s worst_of=%2llu total=%8.3f ms max=%8.3f ms\n",
@@ -179,6 +288,30 @@ int run_artifact_mode(const Options& opt) {
                 static_cast<unsigned long long>(rec.total_recorded()),
                 static_cast<unsigned long long>(rec.dumps_triggered()));
   }
+  if (!opt.slo_spec.empty()) {
+    const PolicyStats defer = collect_policy_stats(row.report);
+    std::printf("slo policy: baseline brownout_p99=%.1f us alerts=%llu | "
+                "slo_defer brownout_p99=%.1f us alerts=%llu deferrals=%llu\n",
+                static_cast<double>(base.brownout_p99_ns) / 1000.0,
+                static_cast<unsigned long long>(base.alerts),
+                static_cast<double>(defer.brownout_p99_ns) / 1000.0,
+                static_cast<unsigned long long>(defer.alerts),
+                static_cast<unsigned long long>(defer.deferrals));
+    char scen[160];
+    std::snprintf(scen, sizeof scen, "bench_cluster_drain conc=%u loss=%.3f seed=%llu",
+                  opt.conc, opt.loss, static_cast<unsigned long long>(opt.seed));
+    const std::string extra = "\"policy_compare\":{\"baseline\":" +
+                              policy_stats_json(base) +
+                              ",\"slo_defer\":" + policy_stats_json(defer) + "}";
+    if (!write_text(opt.slo_out, obs::export_slo_json(hub, engine.get(), scen, extra))) {
+      rc = 1;
+    } else {
+      std::printf("slo report: %zu alert(s), written to %s\n",
+                  engine ? engine->alerts().size() : 0, opt.slo_out.c_str());
+    }
+  }
+  if (!opt.sli_csv.empty() && !write_text(opt.sli_csv, hub.export_csv())) rc = 1;
+  hub.set_slo_engine(nullptr);
   return rc;
 }
 

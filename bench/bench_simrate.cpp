@@ -25,6 +25,7 @@
 #include "bench_util.hpp"
 #include "cluster/drain.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/sli.hpp"
 
 // ---------------------------------------------------------------------------
 // Counting allocator: every path in the process funnels through these.
@@ -173,11 +174,16 @@ Measurement run_stream(double* out_gbps) {
 // Workload 3: the 8-host drain (bench_cluster_drain's scenario, conc 4).
 // --------------------------------------------------------------------------
 
-Measurement run_drain8(bool* out_ok) {
+// With sli_taps the brownout SLI taps are wired while the hub stays
+// disarmed: every guest caches a null GuestSli*, so the data path carries
+// exactly one branch per message and nothing else. main() pins that run
+// against the plain one — same events, zero extra allocations.
+Measurement run_drain8(bool* out_ok, bool sli_taps = false) {
   cluster::ClusterConfig cfg;
   cfg.hosts = 8;
   cfg.seed = 42;
   cluster::ClusterModel model(cfg);
+  if (sli_taps) model.enable_sli(migr::obs::SliHub::global());
   cluster::TrafficProfile profile;
   profile.send_interval = sim::usec(20);
   profile.msg_bytes = 2048;
@@ -270,6 +276,29 @@ int main(int argc, char** argv) {
   print_measurement("drain8", drain);
   if (!drain_ok) std::printf("  !! drain8 reported failure\n");
 
+  // SLI cost pin: the same drain with the brownout taps wired but the hub
+  // disarmed. The disabled pipeline must be invisible — identical event
+  // count (same seed, taps never touch the loop) and zero extra heap
+  // allocations. The first drain8 warms process-global state (metric-name
+  // interning in the registry), so the pin compares against a second plain
+  // run: both legs see a warm process and the delta isolates the taps.
+  // This one is a hard failure, not advisory: it is the "observability
+  // off = free" contract from DESIGN.md §12.
+  bool warm_ok = false;
+  const Measurement drain_warm = run_drain8(&warm_ok);
+  bool drain_sli_ok = false;
+  const Measurement drain_sli = run_drain8(&drain_sli_ok, /*sli_taps=*/true);
+  print_measurement("drain8_sli0", drain_sli);
+  const long long sli_extra_allocs =
+      static_cast<long long>(drain_sli.allocs) - static_cast<long long>(drain_warm.allocs);
+  const long long sli_extra_events =
+      static_cast<long long>(drain_sli.events) - static_cast<long long>(drain_warm.events);
+  const bool sli_pin_ok =
+      warm_ok && drain_sli_ok && sli_extra_allocs == 0 && sli_extra_events == 0;
+  std::printf("%12s disarmed SLI taps vs drain8: %+lld allocs, %+lld events%s\n", "",
+              sli_extra_allocs, sli_extra_events,
+              sli_pin_ok ? "" : "  !! SLI COST PIN FAILED");
+
   // Advisory throughput band vs the checked-in baseline (override the file
   // with MIGR_SIMRATE_BASELINE). events/sec is steadier than wall time on
   // shared machines, but this still only warns — it never fails the run.
@@ -295,10 +324,14 @@ int main(int argc, char** argv) {
   std::fprintf(f, "{\n  \"bench\": \"simrate\",\n  \"workloads\": {\n");
   json_measurement(f, "event_core", core, false);
   json_measurement(f, "stream", stream, false);
-  json_measurement(f, "drain8", drain, true);
-  std::fprintf(f, "  },\n  \"stream_gbps\": %.2f,\n  \"drain8_ok\": %s\n}\n", stream_gbps,
-               drain_ok ? "true" : "false");
+  json_measurement(f, "drain8", drain, false);
+  json_measurement(f, "drain8_sli0", drain_sli, true);
+  std::fprintf(f,
+               "  },\n  \"stream_gbps\": %.2f,\n  \"drain8_ok\": %s,\n"
+               "  \"sli_extra_allocs\": %lld,\n  \"sli_pin_ok\": %s\n}\n",
+               stream_gbps, drain_ok ? "true" : "false", sli_extra_allocs,
+               sli_pin_ok ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
-  return drain_ok ? 0 : 1;
+  return drain_ok && sli_pin_ok ? 0 : 1;
 }

@@ -71,6 +71,17 @@ Status MsgNode::connect(MsgNode& a, MsgNode& b) {
   return Status::ok();
 }
 
+void MsgNode::enable_sli(obs::SliHub& hub) {
+  sli_ = hub.guest(id_, proc_->loop().now());
+  if (sli_ == nullptr) return;  // hub disabled
+  hub.set_retransmit_source(id_, proc_->loop().now(),
+                            [this] { return guest_->total_retransmits(); });
+  for (auto& [pid, peer] : peers_) {
+    peer.send_ts.assign(config_.depth, 0);
+    peer.send_bytes.assign(config_.depth, 0);
+  }
+}
+
 common::Result<VQpn> MsgNode::qp_to(GuestId peer) const {
   auto it = peers_.find(peer);
   if (it == peers_.end()) return common::err(Errc::not_found, "peer not connected");
@@ -99,6 +110,14 @@ Status MsgNode::send(GuestId peer_id, const common::Bytes& payload) {
   wr.opcode = rnic::WrOpcode::send;
   wr.sge = {{addr, static_cast<std::uint32_t>(w.size()), peer.send_mr.vlkey}};
   MIGR_RETURN_IF_ERROR(guest_->post_send(peer.vqpn, wr));
+  if (sli_ != nullptr) {
+    if (peer.send_ts.empty()) {
+      peer.send_ts.assign(config_.depth, 0);
+      peer.send_bytes.assign(config_.depth, 0);
+    }
+    peer.send_ts[slot] = proc_->loop().now();
+    peer.send_bytes[slot] = static_cast<std::uint32_t>(payload.size());
+  }
   peer.send_slot++;
   peer.send_credits--;
   sent_++;
@@ -168,6 +187,7 @@ void MsgNode::tick() {
           if (len.is_ok() && r.remaining() >= len.value()) {
             common::Bytes payload(raw.begin() + 4, raw.begin() + 4 + len.value());
             received_++;
+            if (sli_ != nullptr) sli_->delivered(proc_->loop().now(), payload.size());
             GuestId from = 0;
             for (auto& [pid, p] : peers_) {
               if (&p == peer) from = pid;
@@ -179,6 +199,12 @@ void MsgNode::tick() {
         }
         repost_recv(*peer, peer->next_recv_seq++);
       } else {
+        if (sli_ != nullptr && !peer->send_ts.empty()) {
+          const std::size_t slot = cqe.wr_id % config_.depth;
+          const sim::TimeNs now = proc_->loop().now();
+          sli_->rtt(now, now - peer->send_ts[slot]);
+          sli_->delivered(now, peer->send_bytes[slot]);
+        }
         peer->send_credits++;
       }
     }

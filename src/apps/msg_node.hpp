@@ -14,6 +14,7 @@
 
 #include "migr/guest_lib.hpp"
 #include "migr/migration.hpp"
+#include "obs/sli.hpp"
 
 namespace migr::apps {
 
@@ -65,6 +66,13 @@ class MsgNode : public migrlib::MigratableApp {
   std::uint64_t received() const noexcept { return received_; }
   std::uint64_t errors() const noexcept { return errors_; }
 
+  /// Arm the SLI taps: message RTTs (post -> send-CQE; an RC send
+  /// completion implies the ack), delivered payload bytes (both
+  /// directions), and the guest's retransmit counters. No-op when the hub
+  /// is disabled; the armed-but-idle cost is one null-check branch per
+  /// message.
+  void enable_sli(obs::SliHub& hub);
+
   void on_migrated(proc::SimProcess& new_proc) override;
 
  private:
@@ -77,6 +85,10 @@ class MsgNode : public migrlib::MigratableApp {
     std::uint32_t send_credits = 0;  // free send slots
     std::uint32_t send_slot = 0;     // next slot index
     std::uint64_t next_recv_seq = 0;
+    // SLI RTT bookkeeping, indexed by wr_id % depth (sized when the taps
+    // are armed; empty otherwise).
+    std::vector<sim::TimeNs> send_ts;
+    std::vector<std::uint32_t> send_bytes;
   };
 
   void tick();
@@ -95,6 +107,7 @@ class MsgNode : public migrlib::MigratableApp {
   RawCqeHandler raw_handler_;
   sim::EventHandle task_;
   bool running_ = false;
+  obs::GuestSli* sli_ = nullptr;  // null = taps disarmed (one branch/msg)
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t errors_ = 0;

@@ -142,6 +142,14 @@ bool PerftestPeer::finished() const {
   return true;
 }
 
+void PerftestPeer::enable_sli(obs::SliHub& hub) {
+  sli_ = hub.guest(id_, proc_->loop().now());
+  if (sli_ == nullptr) return;  // hub disabled
+  hub.set_retransmit_source(id_, proc_->loop().now(),
+                            [this] { return guest_->total_retransmits(); });
+  for (auto& slot : slots_) slot.post_ts.assign(config_.queue_depth, 0);
+}
+
 void PerftestPeer::on_migrated(proc::SimProcess& new_proc) {
   proc_ = &new_proc;
   if (running_) {
@@ -201,6 +209,10 @@ void PerftestPeer::pump_sender(QpSlot& slot) {
       if (st.code() != Errc::resource_exhausted) stats_.errors++;
       return;
     }
+    if (sli_ != nullptr) {
+      if (slot.post_ts.empty()) slot.post_ts.assign(config_.queue_depth, 0);
+      slot.post_ts[slot.next_seq % config_.queue_depth] = proc_->loop().now();
+    }
     slot.outstanding++;
     slot.next_seq++;
   }
@@ -248,6 +260,11 @@ void PerftestPeer::handle_cqe(const Cqe& cqe) {
   if (slot->outstanding > 0) slot->outstanding--;
   stats_.completed_msgs++;
   stats_.completed_bytes += config_.msg_size;
+  if (sli_ != nullptr && !slot->post_ts.empty()) {
+    const sim::TimeNs now = proc_->loop().now();
+    sli_->rtt(now, now - slot->post_ts[cqe.wr_id % config_.queue_depth]);
+    sli_->delivered(now, config_.msg_size);
+  }
   const std::uint32_t idx = slot_index_.at(cqe.qpn);
   if (!in_ready_[idx]) {
     in_ready_[idx] = true;

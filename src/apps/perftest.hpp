@@ -21,6 +21,7 @@
 
 #include "migr/guest_lib.hpp"
 #include "migr/migration.hpp"
+#include "obs/sli.hpp"
 
 namespace migr::apps {
 
@@ -84,6 +85,11 @@ class PerftestPeer : public migrlib::MigratableApp {
   RemoteBuf remote_buf(std::uint32_t slot) const;
   void set_remote(std::uint32_t slot, GuestId peer, RemoteBuf buf);
 
+  /// Arm the SLI taps: per-message post -> completion RTT, completed bytes
+  /// as goodput, and the guest's retransmit counters. One null-check branch
+  /// per message while disarmed.
+  void enable_sli(obs::SliHub& hub);
+
   // MigratableApp:
   void on_migrated(proc::SimProcess& new_proc) override;
 
@@ -98,6 +104,9 @@ class PerftestPeer : public migrlib::MigratableApp {
     std::uint64_t outstanding = 0;
     std::uint64_t expect_completion = 0;  // next wr_id we must see complete
     std::uint64_t expect_recv = 0;
+    // SLI RTT bookkeeping, indexed by wr_id % queue_depth (sized when the
+    // taps are armed).
+    std::vector<sim::TimeNs> post_ts;
   };
 
   void tick();
@@ -121,6 +130,7 @@ class PerftestPeer : public migrlib::MigratableApp {
   VHandle cq_ = 0;
   std::vector<QpSlot> slots_;
   PerftestStats stats_;
+  obs::GuestSli* sli_ = nullptr;  // null = taps disarmed (one branch/msg)
   std::uint64_t stats_source_id_ = 0;
   sim::EventHandle task_;
   bool running_ = false;

@@ -51,6 +51,7 @@ common::Result<apps::MsgNode*> ClusterModel::add_guest(net::HostId host, GuestId
   }
   auto [it, inserted] = guests_.emplace(id, std::move(rec));
   GuestRecord& stored = it->second;
+  if (sli_hub_ != nullptr) stored.node->enable_sli(*sli_hub_);
   if (profile.dirty_interval > 0 && stored.extra_buf != 0) {
     // Page-granular churn over the extra MR: keeps the pre-copy rounds and
     // the final diff non-trivial. Pauses while the guest's process is frozen
@@ -164,6 +165,11 @@ std::vector<net::HostId> ClusterModel::placeable_hosts(net::HostId exclude) cons
     out.push_back(h);
   }
   return out;
+}
+
+void ClusterModel::enable_sli(obs::SliHub& hub) {
+  sli_hub_ = &hub;
+  for (auto& [id, rec] : guests_) rec.node->enable_sli(hub);
 }
 
 std::size_t ClusterModel::audit_stuck_qps(sim::DurationNs stale_after) const {

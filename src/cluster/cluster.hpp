@@ -95,6 +95,10 @@ class ClusterModel {
   /// partitioned, and != exclude. Sorted by host id.
   std::vector<net::HostId> placeable_hosts(net::HostId exclude = 0) const;
 
+  /// Arm the SLI taps (RTT, goodput, retransmits) on every placed guest and
+  /// on guests added afterwards. No-op per guest when the hub is disabled.
+  void enable_sli(obs::SliHub& hub);
+
   /// Fleet-wide QP health check: total stuck QPs across every device.
   std::size_t audit_stuck_qps(sim::DurationNs stale_after) const;
 
@@ -124,6 +128,7 @@ class ClusterModel {
   std::map<net::HostId, std::unique_ptr<MigrRdmaRuntime>> runtimes_;
   std::map<GuestId, GuestRecord> guests_;  // ordered: deterministic iteration
   std::set<net::HostId> draining_;
+  obs::SliHub* sli_hub_ = nullptr;  // set by enable_sli; arms future guests too
 };
 
 }  // namespace migr::cluster

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cinttypes>
-#include <cmath>
 #include <cstdio>
 #include <map>
 
 #include "common/log.hpp"
+#include "obs/sli.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace migr::cluster {
@@ -15,15 +16,6 @@ using common::Errc;
 using common::Status;
 
 namespace {
-
-sim::DurationNs nearest_rank(const std::vector<sim::DurationNs>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const std::size_t n = sorted.size();
-  std::size_t rank = static_cast<std::size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
-  if (rank == 0) rank = 1;
-  if (rank > n) rank = n;
-  return sorted[rank - 1];
-}
 
 std::uint64_t egress_bytes(const net::Fabric& fabric, net::HostId host) {
   const net::PortStats& s = fabric.stats(host);
@@ -43,7 +35,11 @@ Status DrainWorkflow::start(net::HostId host, DoneCb done, DrainOptions options)
   report_ = DrainReport{};
   report_.host = host;
   report_.started_at = model_.loop().now();
-  blackouts_.clear();
+  blackouts_.reset();
+  if (const obs::SloEngine* slo = obs::SliHub::global().slo_engine()) {
+    slo_alerts_at_start_ = slo->alerts().size();
+  }
+  slo_deferrals_at_start_ = scheduler_->slo_deferrals();
 
   model_.set_draining(host, true);
   const std::vector<GuestId> residents = model_.guests_on(host);
@@ -88,7 +84,7 @@ void DrainWorkflow::on_outcome(const MigrationOutcome& outcome) {
   report_.outcomes.push_back(outcome);
   if (outcome.completed) {
     report_.completed++;
-    blackouts_.push_back(outcome.report.service_blackout());
+    blackouts_.record(outcome.report.service_blackout());
   } else {
     report_.failed++;
   }
@@ -110,10 +106,13 @@ void DrainWorkflow::finalize() {
             [](const MigrationOutcome& a, const MigrationOutcome& b) {
               return a.guest < b.guest;
             });
-  std::sort(blackouts_.begin(), blackouts_.end());
-  report_.blackout_p50 = nearest_rank(blackouts_, 50);
-  report_.blackout_p99 = nearest_rank(blackouts_, 99);
-  report_.blackout_max = blackouts_.empty() ? 0 : blackouts_.back();
+  report_.blackout_p50 = blackouts_.percentile(50);
+  report_.blackout_p99 = blackouts_.percentile(99);
+  report_.blackout_max = blackouts_.count() > 0 ? blackouts_.max() : 0;
+  if (const obs::SloEngine* slo = obs::SliHub::global().slo_engine()) {
+    report_.slo_alerts = slo->alerts().size() - slo_alerts_at_start_;
+  }
+  report_.slo_deferrals = scheduler_->slo_deferrals() - slo_deferrals_at_start_;
 
   // Phase attribution rollup: every outcome's blackout waterfall, keyed by
   // slice name. std::map keeps the rendering order (and thus the determinism

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "cluster/scheduler.hpp"
+#include "obs/histogram.hpp"
 
 namespace migr::cluster {
 
@@ -55,10 +56,16 @@ struct DrainReport {
   std::uint64_t aborts = 0;   // aborted attempts (retried or terminal)
 
   // Service-blackout distribution over the completed migrations
-  // (nearest-rank percentiles).
+  // (nearest-rank percentiles via obs::Histogram's exact mode).
   sim::DurationNs blackout_p50 = 0;
   sim::DurationNs blackout_p99 = 0;
   sim::DurationNs blackout_max = 0;
+
+  // SLO summary for the drain window (zero when no SLO engine was armed).
+  // Not rendered by format_drain_report — the text format predates the SLO
+  // engine and stays byte-stable; benches read these fields directly.
+  std::uint64_t slo_alerts = 0;      // alerts fired during the drain
+  std::uint64_t slo_deferrals = 0;   // scheduler deferrals for burning guests
 
   std::vector<BandwidthSample> egress_gbps;
 
@@ -105,7 +112,9 @@ class DrainWorkflow {
   std::size_t outstanding_ = 0;
   std::uint64_t last_egress_bytes_ = 0;
   sim::EventHandle sampler_;
-  std::vector<sim::DurationNs> blackouts_;
+  obs::Histogram blackouts_;  // exact mode: nearest-rank, byte-identical reports
+  std::uint64_t slo_alerts_at_start_ = 0;
+  std::uint64_t slo_deferrals_at_start_ = 0;
 };
 
 }  // namespace migr::cluster

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/sli.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace migr::cluster {
@@ -28,9 +30,8 @@ MigrationScheduler::MigrationScheduler(ClusterModel& model, SchedulerConfig conf
   aborted_ = &reg.counter("cluster.sched.aborted");
   retried_ = &reg.counter("cluster.sched.retried");
   failed_ = &reg.counter("cluster.sched.failed");
-  queue_wait_ = &reg.histogram("cluster.sched.queue_wait_ns", {},
-                               {sim::usec(10), sim::usec(100), sim::msec(1), sim::msec(10),
-                                sim::msec(100), sim::sec(1), sim::sec(10)});
+  slo_deferred_ = &reg.counter("cluster.sched.slo_deferred");
+  queue_wait_ = &reg.histogram("cluster.sched.queue_wait_ns");
 }
 
 MigrationScheduler::~MigrationScheduler() = default;
@@ -160,6 +161,28 @@ void MigrationScheduler::pump() {
     if (conflicts_with_running(p.req.guest)) {
       keep.push_back(std::move(p));
       continue;
+    }
+    if (config_.slo_defer && p.slo_defers < config_.slo_defer_max) {
+      const obs::SloEngine* slo = obs::SliHub::global().slo_engine();
+      if (slo != nullptr && slo->burning(p.req.guest)) {
+        // Tenant is eating its error budget right now: migrating it would
+        // stack blackout on top of an active brownout. Defer (bounded).
+        p.slo_defers++;
+        slo_deferrals_++;
+        slo_deferred_->inc();
+        trace_instant(model_.loop(), "sched_slo_defer",
+                      "\"guest\":" + std::to_string(p.req.guest) +
+                          ",\"defers\":" + std::to_string(p.slo_defers));
+        if (!defer_pump_scheduled_) {
+          defer_pump_scheduled_ = true;
+          model_.loop().schedule_in(config_.slo_defer_backoff, [this] {
+            defer_pump_scheduled_ = false;
+            schedule_pump();
+          });
+        }
+        keep.push_back(std::move(p));
+        continue;
+      }
     }
     net::HostId dest = p.req.dest;
     if (dest == 0) {

@@ -58,6 +58,15 @@ struct SchedulerConfig {
   int max_retries = 3;         // re-submissions after an aborted attempt
   sim::DurationNs retry_backoff = sim::msec(10);  // doubles per retry
   std::string policy = "least-loaded";            // see placement.hpp
+
+  // SLO-aware admission (DESIGN.md §12): when true and an SloEngine is
+  // attached to the global SliHub, a request whose guest is currently
+  // burning its error budget (active SLO alert) is deferred and re-examined
+  // after slo_defer_backoff — at most slo_defer_max times, then admitted
+  // anyway so a permanently-burning tenant cannot livelock its own drain.
+  bool slo_defer = false;
+  sim::DurationNs slo_defer_backoff = sim::msec(1);
+  int slo_defer_max = 8;
 };
 
 struct MigrationRequest {
@@ -113,6 +122,8 @@ class MigrationScheduler {
 
   std::size_t queued() const noexcept { return pending_.size(); }
   std::size_t running() const noexcept { return running_.size(); }
+  /// Cumulative SLO-burn deferrals (config_.slo_defer policy).
+  std::uint64_t slo_deferrals() const noexcept { return slo_deferrals_; }
   bool idle() const noexcept {
     return pending_.empty() && running_.empty() && waiting_retry_ == 0;
   }
@@ -129,7 +140,8 @@ class MigrationScheduler {
   struct Pending {
     RequestId id = 0;
     MigrationRequest req;
-    int attempt = 0;  // completed controller starts so far
+    int attempt = 0;     // completed controller starts so far
+    int slo_defers = 0;  // SLO-burn deferrals so far (capped by slo_defer_max)
   };
   struct Running {
     RequestId id = 0;
@@ -162,6 +174,8 @@ class MigrationScheduler {
   std::map<RequestId, OutcomeCb> request_cbs_;
   int waiting_retry_ = 0;
   bool pump_scheduled_ = false;
+  bool defer_pump_scheduled_ = false;  // one delayed re-pump per defer wave
+  std::uint64_t slo_deferrals_ = 0;
   OutcomeCb outcome_cb_;
 
   // Admission bookkeeping.
@@ -178,6 +192,7 @@ class MigrationScheduler {
   obs::Counter* aborted_ = nullptr;
   obs::Counter* retried_ = nullptr;
   obs::Counter* failed_ = nullptr;
+  obs::Counter* slo_deferred_ = nullptr;
   obs::Histogram* queue_wait_ = nullptr;
 };
 

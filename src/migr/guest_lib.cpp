@@ -829,6 +829,15 @@ bool GuestContext::qp_suspended(VQpn vqpn) const {
   return qp != nullptr && qp->suspended;
 }
 
+std::uint64_t GuestContext::total_retransmits() const {
+  std::uint64_t total = 0;
+  if (ctx_ == nullptr) return 0;
+  for (const auto& [vqpn, qp] : qps_) {
+    if (const rnic::Qp* pqp = ctx_->find_qp(qp.pqpn)) total += pqp->retransmits;
+  }
+  return total;
+}
+
 std::size_t GuestContext::fake_cq_depth(VHandle vcq) const {
   auto it = cqs_.find(vcq);
   return it == cqs_.end() ? 0 : it->second.fake.size();

@@ -214,6 +214,12 @@ class GuestContext {
   /// Record the migrated peer's new location on QPs that pointed at it.
   void update_peer_location(GuestId peer, net::HostId new_host);
 
+  /// Lifetime transport retransmits summed over the guest's *current*
+  /// physical QPs — the SLI pipeline's per-guest retransmit source. Counts
+  /// restart when a migration switches the guest onto fresh QPs; consumers
+  /// (GuestSli) clamp window deltas at zero across the switch.
+  std::uint64_t total_retransmits() const;
+
   /// Metadata queries used by controller/benches/tests.
   std::size_t qp_count() const noexcept { return qps_.size(); }
   std::size_t mr_count() const noexcept { return mrs_.size(); }

@@ -105,6 +105,9 @@ Status MigrationController::start(GuestId id, net::HostId dest_host,
 
   report_ = MigrationReport{};
   report_.start = loop_.now();
+  // Brownout attribution: iteration 0 covers the initial full copy +
+  // partial restore; phase_precopy_round advances it per dirty round.
+  obs::SliHub::global().on_migration_start(guest_id_, report_.start);
   obs::Registry::global().counter("migr.migrations_started").inc();
   trace_instant(report_.start, "migration_start",
                 "\"guest\":" + std::to_string(guest_id_) +
@@ -122,6 +125,8 @@ void MigrationController::fail(const Status& st) {
   report_.ok = false;
   report_.error = st.to_string();
   report_.end = loop_.now();
+  obs::SliHub::global().on_migration_end(guest_id_, report_.end);
+  report_.brownout = obs::SliHub::global().attribution(guest_id_);
   obs::Registry::global().counter("migr.migrations_failed").inc();
   trace_instant(loop_.now(), "migration_failed", "\"guest\":" + std::to_string(guest_id_));
   // A failed run never reaches a tool's normal trace write; flush so the
@@ -179,6 +184,11 @@ void MigrationController::abort(const Status& st) {
     trace_blackout_span(report_.freeze_at, report_.service_blackout(), "blackout",
                         "\"guest\":" + std::to_string(guest_id_) + ",\"aborted\":true");
   }
+
+  // Rolled back: the source service is live again, so SLI-wise the guest
+  // goes back to idle (no recovery phase — the service never moved).
+  obs::SliHub::global().on_migration_end(guest_id_, report_.end);
+  report_.brownout = obs::SliHub::global().attribution(guest_id_);
 
   auto& reg = obs::Registry::global();
   reg.counter("migr.migrations_aborted").inc();
@@ -383,6 +393,7 @@ void MigrationController::phase_precopy_round() {
   }
   rounds_done_++;
   report_.precopy_rounds++;
+  obs::SliHub::global().on_precopy_iteration(guest_id_, loop_.now(), rounds_done_);
   auto dump = ckpt_->pre_dump();
   src_rt_->device().add_ctrl_pressure(dump.cost);
   ByteWriter w;
@@ -490,6 +501,7 @@ void MigrationController::phase_final_transfer() {
   // Step 4: freeze the service. The blackout waterfall starts here.
   report_.freeze_at = loop_.now();
   wf_cursor_ = report_.freeze_at;
+  obs::SliHub::global().on_freeze(guest_id_, report_.freeze_at);
   trace_instant(report_.freeze_at, "freeze");
   src_proc_->freeze();
 
@@ -626,6 +638,7 @@ void MigrationController::phase_final_restore(Bytes payload) {
 void MigrationController::phase_resume() {
   phase_ = "resume";
   report_.resume_at = loop_.now();
+  obs::SliHub::global().on_resume(guest_id_, report_.resume_at);
   // Source reclaims everything it still holds.
   src_proc_->kill();
   src_rt_->device().close(src_ctx_);
@@ -678,10 +691,11 @@ void MigrationController::phase_resume() {
   reg.gauge("migr.report.service_blackout_ns")
       .set(static_cast<double>(report_.service_blackout()));
   reg.gauge("migr.report.comm_blackout_ns").set(static_cast<double>(report_.comm_blackout()));
-  reg.histogram("migr.blackout_ns", {},
-                {sim::usec(100), sim::usec(500), sim::msec(1), sim::msec(5), sim::msec(10),
-                 sim::msec(50), sim::msec(100), sim::msec(500), sim::sec(1)})
-      .observe(report_.service_blackout());
+  reg.histogram("migr.blackout_ns").observe(report_.service_blackout());
+
+  // Brownout section: windows up to resume are closed (on_resume forced the
+  // boundary); recovery_ns stays -1 until the service settles post-report.
+  report_.brownout = obs::SliHub::global().attribution(guest_id_);
 
   if (done_) done_(report_);
 }

@@ -25,6 +25,7 @@
 #include "criu/checkpoint.hpp"
 #include "migr/plugin.hpp"
 #include "migr/runtime.hpp"
+#include "obs/sli.hpp"
 
 namespace migr::migrlib {
 
@@ -99,6 +100,13 @@ struct MigrationReport {
   std::uint64_t precopy_rounds = 0;
   std::uint64_t precopy_bytes = 0;
   std::uint64_t final_bytes = 0;
+
+  // Brownout attribution from the SLI pipeline: what the migration cost the
+  // *running* service (goodput loss, per-iteration p99 inflation, recovery
+  // time). `brownout.valid` is false when the SLI hub was disabled or the
+  // guest never armed its taps. Recovery completes after the report is
+  // emitted; re-query SliHub::attribution() for the final recovery_ns.
+  obs::BrownoutAttribution brownout;
 
   // Blackout waterfall: gap-free attribution of [freeze_at, resume_at].
   // Empty when the migration never froze the service (e.g. early abort).

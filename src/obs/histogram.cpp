@@ -1,0 +1,125 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace migr::obs {
+namespace {
+
+// 0..63 map one-to-one; above that each octave [2^k, 2^(k+1)) splits into
+// 32 sub-buckets of width 2^(k-5). First split octave is k=6 (values 64+).
+constexpr std::size_t kExactRun = 64;
+constexpr unsigned kSubBuckets = 32;   // 2^5 sub-buckets per octave
+constexpr unsigned kSubShiftBase = 5;  // log2(kSubBuckets)
+
+}  // namespace
+
+std::size_t Histogram::bucket_index(std::int64_t v) noexcept {
+  if (v < 0) return 0;
+  auto u = static_cast<std::uint64_t>(v);
+  if (u < kExactRun) return static_cast<std::size_t>(u);
+  // Octave k = position of the highest set bit (6..62 for in-range values).
+  unsigned k = 63u - static_cast<unsigned>(std::countl_zero(u));
+  if (k > 62) k = 62;
+  std::uint64_t sub = (u >> (k - kSubShiftBase)) & (kSubBuckets - 1);
+  std::size_t idx =
+      kExactRun + (k - 6) * kSubBuckets + static_cast<std::size_t>(sub);
+  return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+std::int64_t Histogram::bucket_upper(std::size_t i) noexcept {
+  if (i < kExactRun) return static_cast<std::int64_t>(i);
+  std::size_t rel = i - kExactRun;
+  unsigned k = 6 + static_cast<unsigned>(rel / kSubBuckets);
+  std::uint64_t sub = rel % kSubBuckets;
+  std::uint64_t width = std::uint64_t{1} << (k - kSubShiftBase);
+  std::uint64_t upper = (std::uint64_t{1} << k) + (sub + 1) * width - 1;
+  return static_cast<std::int64_t>(upper);
+}
+
+Histogram::Histogram(std::size_t exact_capacity) : buckets_(kBuckets, 0) {
+  samples_.reserve(exact_capacity);
+}
+
+void Histogram::record(std::int64_t v) noexcept {
+  buckets_[bucket_index(v)]++;
+  if (exact_) {
+    if (samples_.size() < samples_.capacity()) {
+      samples_.push_back(v);
+    } else {
+      exact_ = false;
+      samples_.clear();
+    }
+  }
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  count_++;
+  sum_ += static_cast<double>(v);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (exact_ && other.exact_ &&
+      samples_.size() + other.samples_.size() <= samples_.capacity()) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  } else {
+    exact_ = false;
+    samples_.clear();
+  }
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::int64_t Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Nearest rank: the ceil(p/100 * n)-th smallest, rank clamped to [1, n].
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  if (exact_) {
+    // Report-time scratch sort; the live reservoir stays untouched.
+    std::vector<std::int64_t> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[static_cast<std::size_t>(rank - 1)];
+  }
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      std::int64_t v = bucket_upper(i);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
+void Histogram::reset() noexcept {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  samples_.clear();
+  exact_ = true;
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+}  // namespace migr::obs

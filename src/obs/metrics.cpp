@@ -1,61 +1,8 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 namespace migr::obs {
-
-// ---------------------------------------------------------------------------
-// Histogram
-// ---------------------------------------------------------------------------
-
-Histogram::Histogram(std::vector<std::int64_t> bounds) : bounds_(std::move(bounds)) {
-  std::sort(bounds_.begin(), bounds_.end());
-  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
-  buckets_.assign(bounds_.size() + 1, 0);
-}
-
-void Histogram::observe(std::int64_t v) noexcept {
-#ifndef MIGR_OBS_DISABLED
-  std::size_t i = 0;
-  while (i < bounds_.size() && v > bounds_[i]) ++i;
-  buckets_[i]++;
-  if (count_ == 0) {
-    min_ = max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
-  }
-  count_++;
-  sum_ += static_cast<double>(v);
-#else
-  (void)v;
-#endif
-}
-
-std::int64_t Histogram::percentile(double p) const noexcept {
-  if (count_ == 0) return 0;
-  p = std::clamp(p, 0.0, 100.0);
-  // Rank of the sample that covers percentile p (nearest-rank, 1-based).
-  const std::uint64_t target = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
-  std::uint64_t cum = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    cum += buckets_[i];
-    if (cum >= target) {
-      // Overflow bucket has no upper bound: report the observed max.
-      return i < bounds_.size() ? bounds_[i] : max_;
-    }
-  }
-  return max_;
-}
-
-void Histogram::reset() noexcept {
-  std::fill(buckets_.begin(), buckets_.end(), 0);
-  count_ = 0;
-  sum_ = 0;
-  min_ = max_ = 0;
-}
 
 // ---------------------------------------------------------------------------
 // Registry
@@ -104,15 +51,14 @@ Gauge& Registry::gauge(std::string_view name, const Labels& labels) {
   return *slot;
 }
 
-Histogram& Registry::histogram(std::string_view name, const Labels& labels,
-                               std::vector<std::int64_t> bounds) {
+Histogram& Registry::histogram(std::string_view name, const Labels& labels) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!enabled_) {
-    static Histogram sink{{}};
+    static Histogram sink{0};
     return sink;
   }
   auto& slot = histograms_[render_name(name, labels)];
-  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 

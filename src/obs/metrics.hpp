@@ -1,6 +1,6 @@
-// Process-wide metrics registry: named counters, gauges, and fixed-bucket
-// histograms with percentile queries, all supporting labels (qp=<qpn>,
-// link=<a>-<b>, host=<h>, ...).
+// Process-wide metrics registry: named counters, gauges, and log-bucketed
+// histograms (obs/histogram.hpp) with percentile queries, all supporting
+// labels (qp=<qpn>, link=<a>-<b>, host=<h>, ...).
 //
 // Hot-path discipline: instrumented code resolves its instruments ONCE (at
 // construction) and keeps the returned references; an increment is then a
@@ -30,6 +30,8 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "obs/histogram.hpp"
 
 namespace migr::obs {
 
@@ -75,39 +77,9 @@ class Gauge {
   double v_ = 0;
 };
 
-/// Fixed-bucket histogram over int64 samples (typically DurationNs or byte
-/// counts). Buckets are [..b0], (b0..b1], ..., plus an overflow bucket.
-class Histogram {
- public:
-  explicit Histogram(std::vector<std::int64_t> bounds);
-
-  void observe(std::int64_t v) noexcept;
-
-  std::uint64_t count() const noexcept { return count_; }
-  double sum() const noexcept { return sum_; }
-  double mean() const noexcept { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
-  std::int64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
-  std::int64_t max() const noexcept { return count_ == 0 ? 0 : max_; }
-
-  /// Percentile query, p in [0, 100]. Returns 0 on an empty histogram. A
-  /// sample that lands in a finite bucket reports that bucket's upper bound;
-  /// percentiles that land in the overflow bucket report the observed max.
-  std::int64_t percentile(double p) const noexcept;
-
-  const std::vector<std::int64_t>& bounds() const noexcept { return bounds_; }
-  /// Per-bucket counts; index bounds().size() is the overflow bucket.
-  const std::vector<std::uint64_t>& buckets() const noexcept { return buckets_; }
-
-  void reset() noexcept;
-
- private:
-  std::vector<std::int64_t> bounds_;    // sorted upper bounds
-  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (overflow)
-  std::uint64_t count_ = 0;
-  double sum_ = 0;
-  std::int64_t min_ = 0;
-  std::int64_t max_ = 0;
-};
+// The registry's histogram IS obs::Histogram (obs/histogram.hpp): the
+// log-bucketed sketch with an exact-sample reservoir. Registry clients use
+// its observe() verb, which the MIGR_OBS_DISABLED kill switch compiles out.
 
 /// Point-in-time view of one instrument (or one polled source field).
 struct SnapshotEntry {
@@ -135,8 +107,7 @@ class Registry {
   /// stays valid for the registry's lifetime — cache it.
   Counter& counter(std::string_view name, const Labels& labels = {});
   Gauge& gauge(std::string_view name, const Labels& labels = {});
-  Histogram& histogram(std::string_view name, const Labels& labels,
-                       std::vector<std::int64_t> bounds);
+  Histogram& histogram(std::string_view name, const Labels& labels = {});
 
   /// A source is polled at snapshot time and contributes (field, value)
   /// pairs under `name`. Returns an id for unregister_source; any object

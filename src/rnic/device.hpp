@@ -174,6 +174,10 @@ struct Qp {
   std::uint64_t emit_cursor = 0;  // absolute SQ index of next WQE to (continue) emitting
   sim::TimeNs last_progress = 0;
   int retries = 0;
+  // Lifetime go-back-N rewinds on this QP (retry timer + NAK paths). The
+  // per-port counter aggregates across QPs; this one lets per-guest SLI
+  // attribution poll retransmits for exactly the QPs a guest owns.
+  std::uint64_t retransmits = 0;
   bool in_pump = false;    // queued in the device's transmit scheduler
   // Live retransmit timers for this QP. On the fault-free fast path one
   // timer covers the whole SQ (it re-arms itself until the queue drains),

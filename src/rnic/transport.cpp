@@ -607,6 +607,7 @@ void Device::on_retransmit_timer(Qpn qpn) {
     return;
   }
   counters_.retransmits++;
+  qp.retransmits++;
   metrics_.retransmits->inc();
   rewind_to(qp, retransmit_point(qp));
   qp.last_progress = loop_.now();
@@ -694,6 +695,7 @@ void Device::on_ack(Qp& qp, const WirePacket& pkt) {
       }
     }
     counters_.retransmits++;
+    qp.retransmits++;
     metrics_.retransmits->inc();
     rewind_to(qp, retransmit_point(qp));
     kick(qp);

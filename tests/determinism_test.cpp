@@ -13,12 +13,16 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/drain.hpp"
 #include "fault/fault.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sli.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace migr::cluster {
@@ -182,6 +186,100 @@ TEST(DeterminismTest, RecorderOnDoesNotPerturbEitherPath) {
   const InstrumentedRun fast_off = run_instrumented(/*force_slow=*/false, /*recorder_on=*/false);
   EXPECT_EQ(fast_on.report, fast_off.report);
   EXPECT_EQ(fast_on.spans, fast_off.spans);
+}
+
+// ---------------------------------------------------------------------------
+// Brownout SLI pipeline on vs off
+// ---------------------------------------------------------------------------
+
+struct SliRun {
+  std::string report;   // format_drain_report rendering
+  std::string metrics;  // registry snapshot, "sim." and "slo." excluded
+  std::string timeline; // SliHub window CSV (empty when SLI is off)
+};
+
+// The lossy 8-host drain with the SLI hub optionally armed (plus a burn-rate
+// engine, observe-only: the scheduler's slo_defer stays off). The pipeline
+// must be invisible to the simulation — it never schedules loop events — so
+// the drain report and every non-sim./slo. metric must not move when it is
+// switched on.
+SliRun run_with_sli(bool sli_on) {
+  obs::Registry::global().reset();
+  auto& hub = obs::SliHub::global();
+  hub.clear();
+  hub.set_enabled(sli_on);
+  std::vector<obs::SloRule> rules;
+  std::unique_ptr<obs::SloEngine> engine;
+  if (sli_on) {
+    std::string err;
+    EXPECT_TRUE(obs::parse_slo_spec("p99<60us,budget=0.05,fast=400us,slow=4ms,burn=2",
+                                    &rules, &err))
+        << err;
+    engine = std::make_unique<obs::SloEngine>(std::move(rules));
+    hub.set_slo_engine(engine.get());
+  }
+
+  SliRun out;
+  {
+    ClusterConfig cfg;
+    cfg.hosts = 8;
+    cfg.seed = 7;
+    ClusterModel model(cfg);
+    model.enable_sli(hub);  // no-op taps while the hub is disabled
+    for (GuestId g = 0; g < 6; ++g) {
+      const TrafficProfile prof = (g % 2 == 0) ? stream_profile() : chatty_profile();
+      EXPECT_TRUE(model.add_guest(1, 100 + g, prof).is_ok());
+      EXPECT_TRUE(model.add_guest(2 + g, 200 + g, prof).is_ok());
+      EXPECT_TRUE(model.connect_guests(100 + g, 200 + g).is_ok());
+    }
+    model.run_for(sim::msec(5));
+
+    fault::ScenarioRunner scenario(model.loop(), model.fabric());
+    fault::FaultPlan plan;
+    plan.baseline(0.01);
+    scenario.run(plan);
+
+    SchedulerConfig scfg;
+    scfg.limits.max_concurrent_fleet = 4;
+    scfg.limits.max_concurrent_per_source = 4;
+    scfg.limits.max_concurrent_per_dest = 4;
+    MigrationScheduler sched(model, scfg);
+    DrainWorkflow drain(model, sched);
+    const DrainReport rep = drain.run(1);
+    EXPECT_TRUE(rep.ok) << format_drain_report(rep);
+    out.report = format_drain_report(rep);
+    // Close live windows while the retransmit sources (transport objects
+    // owned by the model) are still alive.
+    hub.flush(model.loop().now());
+  }
+
+  for (const auto& e : obs::Registry::global().snapshot()) {
+    if (e.name.rfind("sim.", 0) == 0) continue;
+    if (e.name.rfind("slo.", 0) == 0) continue;  // only exists when armed
+    out.metrics += e.name + "=" + std::to_string(e.value) + "," + std::to_string(e.count) + "\n";
+  }
+  if (sli_on) out.timeline = hub.export_csv();
+  hub.set_slo_engine(nullptr);
+  hub.clear();
+  hub.set_enabled(false);
+  return out;
+}
+
+TEST(DeterminismTest, SliPipelineIsInvisibleToTheSimulation) {
+  const SliRun off = run_with_sli(/*sli_on=*/false);
+  const SliRun on = run_with_sli(/*sli_on=*/true);
+  EXPECT_EQ(off.report, on.report);
+  EXPECT_EQ(off.metrics, on.metrics);
+  EXPECT_TRUE(off.timeline.empty());
+  EXPECT_FALSE(on.timeline.empty());
+}
+
+TEST(DeterminismTest, SliTimelineIsByteIdenticalAcrossRuns) {
+  const SliRun first = run_with_sli(/*sli_on=*/true);
+  const SliRun second = run_with_sli(/*sli_on=*/true);
+  EXPECT_EQ(first.report, second.report);
+  EXPECT_EQ(first.metrics, second.metrics);
+  EXPECT_EQ(first.timeline, second.timeline);
 }
 
 }  // namespace

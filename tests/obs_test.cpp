@@ -104,62 +104,117 @@ TEST(RegistryTest, DisabledRegistryHandsOutDummies) {
 // Histogram percentile edges
 // ---------------------------------------------------------------------------
 
+// record() is the always-on library verb, so these tests run even with
+// MIGR_OBS_DISABLE=ON (only the registry-facing observe() is compiled out).
+
 TEST(HistogramTest, EmptyHistogramReportsZero) {
-  Histogram h({10, 100, 1000});
+  Histogram h;
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.percentile(0), 0);
   EXPECT_EQ(h.percentile(50), 0);
   EXPECT_EQ(h.percentile(100), 0);
   EXPECT_EQ(h.min(), 0);
   EXPECT_EQ(h.max(), 0);
+  EXPECT_TRUE(h.exact());
 }
 
-TEST(HistogramTest, SingleSampleDominatesEveryPercentile) {
-  SKIP_IF_OBS_DISABLED();
-  Histogram h({10, 100, 1000});
-  h.observe(42);
-  EXPECT_EQ(h.count(), 1u);
-  // 42 lands in the (10..100] bucket: every percentile reports that
-  // bucket's upper bound.
-  EXPECT_EQ(h.percentile(1), 100);
-  EXPECT_EQ(h.percentile(50), 100);
-  EXPECT_EQ(h.percentile(99), 100);
-  EXPECT_EQ(h.min(), 42);
-  EXPECT_EQ(h.max(), 42);
+TEST(HistogramTest, ExactModeReproducesNearestRankExactly) {
+  Histogram h;
+  // The DrainReport formula: rank = ceil(p/100*n) clamped to [1,n],
+  // answer = sorted[rank-1]. Values chosen to straddle bucket boundaries.
+  for (std::int64_t v : {731, 12, 99841, 5, 731, 64, 63}) h.record(v);
+  // sorted: 5 12 63 64 731 731 99841 (n=7)
+  EXPECT_EQ(h.percentile(0), 5);     // rank clamps up to 1
+  EXPECT_EQ(h.percentile(50), 64);   // ceil(3.5) = 4
+  EXPECT_EQ(h.percentile(99), 99841);
+  EXPECT_EQ(h.percentile(100), 99841);
+  EXPECT_EQ(h.min(), 5);
+  EXPECT_EQ(h.max(), 99841);
+  EXPECT_TRUE(h.exact());
 }
 
-TEST(HistogramTest, OverflowBucketReportsObservedMax) {
-  SKIP_IF_OBS_DISABLED();
-  Histogram h({10, 100});
-  h.observe(5);        // bucket 0
-  h.observe(5000);     // overflow
-  h.observe(700000);   // overflow (max)
-  EXPECT_EQ(h.count(), 3u);
-  EXPECT_EQ(h.percentile(1), 10);       // first sample: bucket bound
-  EXPECT_EQ(h.percentile(99), 700000);  // overflow: observed max
-  EXPECT_EQ(h.max(), 700000);
+TEST(HistogramTest, SubMinimumValuesClampToBucketZero) {
+  Histogram h;
+  h.record(-50);  // below the representable range
+  h.record(3);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), -50);           // true min survives
+  EXPECT_EQ(h.percentile(1), -50);   // exact mode: the raw sample
+  EXPECT_EQ(h.bucket_count(0), 1u);  // but bucketed as 0
 }
 
-TEST(HistogramTest, PercentilesWalkBucketsByRank) {
-  SKIP_IF_OBS_DISABLED();
-  Histogram h({10, 20, 30});
-  for (int i = 0; i < 50; ++i) h.observe(5);   // <=10
-  for (int i = 0; i < 40; ++i) h.observe(15);  // <=20
-  for (int i = 0; i < 10; ++i) h.observe(25);  // <=30
-  EXPECT_EQ(h.percentile(25), 10);
-  EXPECT_EQ(h.percentile(50), 10);
-  EXPECT_EQ(h.percentile(75), 20);
-  EXPECT_EQ(h.percentile(95), 30);
-  EXPECT_EQ(h.mean(), (50 * 5 + 40 * 15 + 10 * 25) / 100.0);
+TEST(HistogramTest, OverMaximumValuesLandInTopBucketWithExactMax) {
+  Histogram h(/*exact_capacity=*/1);
+  const std::int64_t huge = std::int64_t{1} << 62;
+  h.record(huge + 12345);
+  h.record(7);  // spills the 1-sample reservoir -> bucketed mode
+  EXPECT_FALSE(h.exact());
+  EXPECT_EQ(h.max(), huge + 12345);
+  // Bucketed p100 would report a bucket bound; it must clamp to max.
+  EXPECT_EQ(h.percentile(100), huge + 12345);
+  EXPECT_EQ(h.percentile(1), 7);  // clamped up to the observed min
 }
 
-TEST(HistogramTest, BoundsAreSortedAndDeduplicated) {
-  Histogram h({100, 10, 100, 50});
-  ASSERT_EQ(h.bounds().size(), 3u);
-  EXPECT_EQ(h.bounds()[0], 10);
-  EXPECT_EQ(h.bounds()[1], 50);
-  EXPECT_EQ(h.bounds()[2], 100);
-  EXPECT_EQ(h.buckets().size(), 4u);  // + overflow
+TEST(HistogramTest, SketchModeBoundsRelativeError) {
+  Histogram h(/*exact_capacity=*/0);  // force bucketed answers immediately
+  for (std::int64_t v = 1; v <= 100000; v += 7) h.record(v);
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const double exact = p / 100.0 * 100000.0;
+    const double got = static_cast<double>(h.percentile(p));
+    EXPECT_GE(got, exact * 0.96) << "p" << p;
+    EXPECT_LE(got, exact * 1.04) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, MergeOfDisjointRangesCoversBoth) {
+  Histogram lo(/*exact_capacity=*/0), hi(/*exact_capacity=*/0);
+  for (int i = 0; i < 100; ++i) lo.record(10 + i % 5);
+  for (int i = 0; i < 100; ++i) hi.record(1'000'000 + i);
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), 200u);
+  EXPECT_EQ(lo.min(), 10);
+  EXPECT_EQ(lo.max(), 1'000'099);
+  EXPECT_LE(lo.percentile(25), 14);        // low half intact
+  EXPECT_GE(lo.percentile(75), 1'000'000);  // high half intact
+}
+
+TEST(HistogramTest, MergeKeepsExactModeWhileSamplesFit) {
+  Histogram a, b;
+  for (std::int64_t v : {1, 5, 9}) a.record(v);
+  for (std::int64_t v : {2, 6}) b.record(v);
+  a.merge(b);
+  ASSERT_TRUE(a.exact());
+  // sorted: 1 2 5 6 9 -> p50 = ceil(2.5)=3rd = 5
+  EXPECT_EQ(a.percentile(50), 5);
+  EXPECT_EQ(a.count(), 5u);
+}
+
+TEST(HistogramTest, MergeIntoEmptyAndReset) {
+  Histogram a, b;
+  b.record(42);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.percentile(50), 42);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.percentile(99), 0);
+  EXPECT_TRUE(a.exact());
+  a.record(7);  // usable again after reset
+  EXPECT_EQ(a.percentile(50), 7);
+}
+
+TEST(HistogramTest, ReservoirSpillDegradesGracefully) {
+  Histogram h(/*exact_capacity=*/64);
+  for (std::int64_t v = 1; v <= 64; ++v) h.record(v);
+  EXPECT_TRUE(h.exact());
+  EXPECT_EQ(h.percentile(50), 32);  // exact
+  h.record(65);  // spill
+  EXPECT_FALSE(h.exact());
+  // Bucketed now, but values <= 63 have exact unit buckets so small
+  // percentiles stay exact and the top is clamped to max.
+  EXPECT_EQ(h.percentile(1), 1);
+  EXPECT_EQ(h.percentile(100), 65);
+  EXPECT_EQ(h.count(), 65u);
 }
 
 // ---------------------------------------------------------------------------

@@ -38,12 +38,25 @@ void* operator new(std::size_t n, std::align_val_t a) {
   throw std::bad_alloc{};
 }
 void* operator new[](std::size_t n, std::align_val_t a) { return ::operator new(n, a); }
+// The nothrow variants must funnel through the same malloc path: libstdc++'s
+// std::get_temporary_buffer (stable_sort) allocates via nothrow new but frees
+// via plain operator delete, and ASan flags the mismatch if the two halves
+// come from different allocators.
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_alloc_count++;
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return ::operator new(n, std::nothrow);
+}
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 namespace migr::obs {
 namespace {

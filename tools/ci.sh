@@ -76,6 +76,16 @@ python3 tools/validate_artifacts.py \
   --trace "$ART_DIR/drain.trace.json" \
   --timeseries "$ART_DIR/drain.ts.csv" \
   --record "$ART_DIR/drain.cap.json"
+# Brownout SLI/SLO artifact: a heavier-loss drain with the burn-rate engine
+# armed (baseline-policy leg + SLO-defer leg, one slo_report artifact). The
+# validator pins the schema, the gap-free window tiling, the frozen-window
+# bracket against the attribution, and that the lossy scenario actually
+# fired at least one burn-rate alert.
+build/bench/bench_cluster_drain --loss 0.2 --seed 11 --conc 4 \
+  --slo 'p99<60us,budget=0.05,fast=400us,slow=4ms,burn=2' \
+  --slo-out "$ART_DIR/drain.slo.json" \
+  --sli-csv "$ART_DIR/drain.sli.csv"
+python3 tools/validate_artifacts.py --slo "$ART_DIR/drain.slo.json" --expect-alert
 
 if [[ "$FAST" == "1" ]]; then
   echo "==> [5/5] sanitizer pass skipped (--fast)"

@@ -25,10 +25,15 @@
 // writes a CSV (or JSON with a .json suffix). --record enables the wire
 // flight recorder and writes its capture at exit; anomaly dumps (abort, NAK
 // storm, stuck QPs) are counted in the capture. --metrics prints the
-// process-wide metrics registry at exit.
+// process-wide metrics registry at exit. --slo arms the per-guest SLI
+// pipeline, evaluates the given SLO spec (DESIGN.md §12 grammar) over the
+// brownout windows, and writes the versioned slo_report artifact to
+// --slo-out (default slo_report.json); --sli-csv dumps the raw window
+// timeline.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "apps/perftest.hpp"
@@ -36,6 +41,8 @@
 #include "migr/migration.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sli.hpp"
+#include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "rnic/world.hpp"
@@ -60,6 +67,9 @@ struct Options {
   sim::DurationNs timeseries_interval = sim::usec(100);
   std::string record_path;      // empty = flight recorder off
   bool metrics = false;
+  std::string slo_spec;         // empty = SLO engine off
+  std::string slo_out = "slo_report.json";
+  std::string sli_csv;          // empty = no window-timeline CSV
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -68,7 +78,8 @@ struct Options {
                "          [--no-presetup] [--migrate-receiver] [--loss P]\n"
                "          [--wbs-timeout-ms T] [--precopy-rounds N] [--seed S]\n"
                "          [--trace OUT.json] [--timeseries OUT.csv|OUT.json]\n"
-               "          [--timeseries-interval-us N] [--record OUT.json] [--metrics]\n",
+               "          [--timeseries-interval-us N] [--record OUT.json] [--metrics]\n"
+               "          [--slo SPEC] [--slo-out OUT.json] [--sli-csv OUT.csv]\n",
                argv0);
   std::exit(2);
 }
@@ -122,6 +133,12 @@ Options parse(int argc, char** argv) {
       o.record_path = need_value("--record");
     } else if (arg == "--metrics") {
       o.metrics = true;
+    } else if (arg == "--slo") {
+      o.slo_spec = need_value("--slo");
+    } else if (arg == "--slo-out") {
+      o.slo_out = need_value("--slo-out");
+    } else if (arg == "--sli-csv") {
+      o.sli_csv = need_value("--sli-csv");
     } else {
       usage(argv[0]);
     }
@@ -175,6 +192,26 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // SLI/SLO pipeline: arm the taps before traffic starts so the idle
+  // baseline covers the warm-up, and attach the burn-rate engine.
+  auto& hub = obs::SliHub::global();
+  std::vector<obs::SloRule> slo_rules;
+  std::unique_ptr<obs::SloEngine> slo_engine;
+  if (!opt.slo_spec.empty() || !opt.sli_csv.empty()) {
+    hub.set_enabled(true);
+    if (!opt.slo_spec.empty()) {
+      std::string err;
+      if (!obs::parse_slo_spec(opt.slo_spec, &slo_rules, &err)) {
+        std::fprintf(stderr, "bad --slo spec: %s\n", err.c_str());
+        return 2;
+      }
+      slo_engine = std::make_unique<obs::SloEngine>(slo_rules);
+      hub.set_slo_engine(slo_engine.get());
+    }
+    sender.enable_sli(hub);
+    receiver.enable_sli(hub);
+  }
+
   sender.start();
   receiver.start();
   world.loop().run_for(sim::msec(5));
@@ -208,8 +245,36 @@ int main(int argc, char** argv) {
   // Write the periodic/series artifacts. Called on both the failure and the
   // success path: a blackout anatomy of a failed run is exactly when the
   // artifacts matter.
+  auto write_text = [](const std::string& path, const std::string& body) -> bool {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    return true;
+  };
   auto write_artifacts = [&]() -> bool {
     bool ok = true;
+    if (hub.enabled()) {
+      hub.flush(world.loop().now());
+      if (!opt.slo_spec.empty()) {
+        char scen[160];
+        std::snprintf(scen, sizeof scen, "migrrdma_sim qps=%u loss=%.3f seed=%llu",
+                      opt.qps, opt.loss, static_cast<unsigned long long>(opt.seed));
+        const std::string body =
+            obs::export_slo_json(hub, slo_engine.get(), scen);
+        if (write_text(opt.slo_out, body)) {
+          std::printf("slo report: %zu alert(s) over %zu guest(s), written to %s\n",
+                      slo_engine ? slo_engine->alerts().size() : 0,
+                      hub.guest_ids().size(), opt.slo_out.c_str());
+        } else {
+          ok = false;
+        }
+      }
+      if (!opt.sli_csv.empty() && !write_text(opt.sli_csv, hub.export_csv())) ok = false;
+    }
     if (!opt.timeseries_path.empty()) {
       if (auto wst = sampler.write(opt.timeseries_path); !wst.is_ok()) {
         std::fprintf(stderr, "cannot write timeseries: %s\n", wst.to_string().c_str());
@@ -259,6 +324,24 @@ int main(int argc, char** argv) {
   std::printf("  comm blackout          %.2f ms\n", sim::to_msec(report.comm_blackout()));
   std::printf("  pre-setup moved        %.2f ms of RDMA restore into the brownout\n",
               sim::to_msec(report.presetup_restore_rdma));
+  if (hub.enabled()) {
+    // Re-query: recovery usually completes in the post-resume settle window,
+    // after the report snapshot was taken.
+    hub.flush(world.loop().now());
+    const obs::BrownoutAttribution att = hub.attribution(target);
+    if (att.valid) {
+      char recovery[32];
+      if (att.recovery_ns < 0) {
+        std::snprintf(recovery, sizeof recovery, "pending");
+      } else {
+        std::snprintf(recovery, sizeof recovery, "%.2f ms",
+                      sim::to_msec(att.recovery_ns));
+      }
+      std::printf("  brownout               %.1f KiB goodput lost, %zu precopy iter(s), "
+                  "recovery %s\n",
+                  att.goodput_loss_bytes / 1024.0, att.precopy_p99.size(), recovery);
+    }
+  }
 
   const auto& s = rnic::is_two_sided(opt.opcode) ? receiver.stats() : sender.stats();
   std::printf("\ncorrectness: order violations %llu, corruptions %llu, errors %llu\n",

@@ -7,6 +7,11 @@ tools/ci.sh runs an instrumented lossy drain (bench_cluster_drain with
   python3 tools/validate_artifacts.py \
       --trace drain.trace.json --timeseries drain.ts.csv --record drain.cap.json
 
+--slo validates the brownout SLI/SLO artifact ("kind":"slo_report"): every
+guest's windows must tile its timeline gap-free, frozen windows must bracket
+[freeze_at, resume_at] exactly, and --expect-alert additionally requires at
+least one burn-rate alert in the log.
+
 Each artifact is optional; whatever is named must parse and conform. Exits
 non-zero with a per-file report on the first violation class found.
 """
@@ -20,6 +25,13 @@ VALID_PHASES = {"B", "E", "i", "X", "M"}
 PACKET_FIELDS = {"ts_ns", "src", "dst", "op", "qpn", "psn", "bytes", "verdict"}
 PACKET_VERDICTS = {"delivered", "dropped", "reordered", "partitioned"}
 RECORD_KINDS = {"flight_recorder_capture", "flight_recorder_dump"}
+SERVICE_PHASES = {"idle", "precopy", "frozen", "recovery"}
+WINDOW_FIELDS = {
+    "start_ns", "end_ns", "phase", "precopy_iter", "msgs", "bytes",
+    "retransmits", "p50_ns", "p99_ns", "p999_ns", "max_ns", "goodput_bps",
+    "retx_rate",
+}
+ALERT_FIELDS = {"guest", "rule", "fired_at_ns", "resolved_at_ns", "burn_fast", "burn_slow"}
 
 
 def fail(path, msg):
@@ -103,11 +115,77 @@ def check_record(path):
     return True
 
 
+def check_slo(path, expect_alert=False):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("kind") != "slo_report":
+        return fail(path, f"unexpected kind {doc.get('kind')!r}")
+    if doc.get("version") != 1:
+        return fail(path, f"unexpected version {doc.get('version')!r}")
+    if not isinstance(doc.get("guests"), list):
+        return fail(path, "guests is not a list")
+    n_windows = 0
+    for g in doc["guests"]:
+        gid = g.get("guest")
+        windows = g.get("windows")
+        if not isinstance(windows, list):
+            return fail(path, f"guest {gid}: windows is not a list")
+        prev_end = None
+        for i, w in enumerate(windows):
+            missing = WINDOW_FIELDS - w.keys()
+            if missing:
+                return fail(path, f"guest {gid} window {i}: missing {sorted(missing)}")
+            if w["phase"] not in SERVICE_PHASES:
+                return fail(path, f"guest {gid} window {i}: bad phase {w['phase']!r}")
+            if w["end_ns"] <= w["start_ns"]:
+                return fail(path, f"guest {gid} window {i}: non-positive duration")
+            if prev_end is not None and w["start_ns"] != prev_end:
+                return fail(
+                    path,
+                    f"guest {gid} window {i}: timeline gap "
+                    f"({w['start_ns']} != {prev_end}) — windows must tile",
+                )
+            prev_end = w["end_ns"]
+        n_windows += len(windows)
+        att = g.get("attribution")
+        if not isinstance(att, dict) or "valid" not in att:
+            return fail(path, f"guest {gid}: missing attribution")
+        if att["valid"]:
+            frozen = [w for w in windows if w["phase"] == "frozen"]
+            if frozen:
+                if frozen[0]["start_ns"] != att["freeze_at_ns"]:
+                    return fail(path, f"guest {gid}: frozen windows start after freeze_at")
+                if frozen[-1]["end_ns"] != att["resume_at_ns"]:
+                    return fail(path, f"guest {gid}: frozen windows end before resume_at")
+    alerts = doc.get("alerts")
+    if not isinstance(alerts, list):
+        return fail(path, "alerts is not a list")
+    for i, a in enumerate(alerts):
+        missing = ALERT_FIELDS - a.keys()
+        if missing:
+            return fail(path, f"alert {i}: missing {sorted(missing)}")
+        if a["resolved_at_ns"] >= 0 and a["resolved_at_ns"] < a["fired_at_ns"]:
+            return fail(path, f"alert {i}: resolved before it fired")
+    if expect_alert and not alerts:
+        return fail(path, "expected at least one SLO alert, saw none")
+    print(
+        f"OK   {path}: {len(doc['guests'])} guest timelines, "
+        f"{n_windows} windows, {len(alerts)} alerts"
+    )
+    return True
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--trace")
     ap.add_argument("--timeseries")
     ap.add_argument("--record")
+    ap.add_argument("--slo")
+    ap.add_argument(
+        "--expect-alert",
+        action="store_true",
+        help="fail unless the --slo report contains at least one alert",
+    )
     args = ap.parse_args()
 
     ok = True
@@ -117,8 +195,10 @@ def main():
         ok = check_timeseries(args.timeseries) and ok
     if args.record:
         ok = check_record(args.record) and ok
-    if not (args.trace or args.timeseries or args.record):
-        ap.error("nothing to validate: pass --trace/--timeseries/--record")
+    if args.slo:
+        ok = check_slo(args.slo, expect_alert=args.expect_alert) and ok
+    if not (args.trace or args.timeseries or args.record or args.slo):
+        ap.error("nothing to validate: pass --trace/--timeseries/--record/--slo")
     return 0 if ok else 1
 
 
