@@ -42,7 +42,9 @@ struct SweepRow {
 SweepRow run_drain(std::uint32_t concurrency, std::uint64_t seed = 42, double loss = 0.0,
                    bool traced = false, obs::TimeSeriesSampler* sampler = nullptr,
                    sim::DurationNs sample_interval = sim::usec(250),
-                   bool slo_defer = false) {
+                   bool slo_defer = false,
+                   migrlib::MigrationMode mode = migrlib::MigrationMode::precopy,
+                   std::uint32_t mem_mb = 2) {
   ClusterConfig cfg;
   cfg.hosts = 8;
   cfg.seed = seed;
@@ -60,7 +62,7 @@ SweepRow run_drain(std::uint32_t concurrency, std::uint64_t seed = 42, double lo
   TrafficProfile profile;
   profile.send_interval = sim::usec(20);
   profile.msg_bytes = 2048;
-  profile.extra_mem_bytes = 2 << 20;
+  profile.extra_mem_bytes = static_cast<std::uint64_t>(mem_mb) << 20;
   profile.dirty_interval = sim::msec(1);
   for (GuestId g = 0; g < 8; ++g) {
     (void)model.add_guest(1, 100 + g, profile).value();
@@ -81,6 +83,7 @@ SweepRow run_drain(std::uint32_t concurrency, std::uint64_t seed = 42, double lo
   scfg.limits.max_concurrent_per_source = concurrency;
   scfg.limits.max_concurrent_per_dest = concurrency;
   scfg.slo_defer = slo_defer;
+  scfg.migration.mode = mode;
   MigrationScheduler sched(model, scfg);
   DrainWorkflow drain(model, sched);
 
@@ -156,6 +159,9 @@ struct Options {
   std::string slo_spec;        // arm SLI + burn-rate engine + policy compare
   std::string slo_out = "slo_report.json";
   std::string sli_csv;
+  migrlib::MigrationMode mode = migrlib::MigrationMode::precopy;
+  std::string drain_out;       // drain_report_json artifact path
+  std::uint32_t mem_mb = 2;    // per-guest dirty MR size (write-heavy knob)
 };
 
 Options parse(int argc, char** argv) {
@@ -187,11 +193,27 @@ Options parse(int argc, char** argv) {
       o.slo_out = need_value("--slo-out");
     } else if (arg == "--sli-csv") {
       o.sli_csv = need_value("--sli-csv");
+    } else if (arg == "--mode") {
+      const std::string m = need_value("--mode");
+      if (m == "precopy") {
+        o.mode = migrlib::MigrationMode::precopy;
+      } else if (m == "postcopy") {
+        o.mode = migrlib::MigrationMode::postcopy;
+      } else {
+        std::fprintf(stderr, "--mode must be precopy or postcopy\n");
+        std::exit(2);
+      }
+    } else if (arg == "--drain-out") {
+      o.drain_out = need_value("--drain-out");
+    } else if (arg == "--mem-mb") {
+      o.mem_mb = static_cast<std::uint32_t>(std::strtoul(need_value("--mem-mb"), nullptr, 10));
+      if (o.mem_mb == 0) o.mem_mb = 1;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace OUT.json] [--timeseries OUT.csv|OUT.json]\n"
                    "          [--record OUT.json] [--loss P] [--seed S] [--conc N]\n"
-                   "          [--slo SPEC] [--slo-out OUT.json] [--sli-csv OUT.csv]\n",
+                   "          [--slo SPEC] [--slo-out OUT.json] [--sli-csv OUT.csv]\n"
+                   "          [--mode precopy|postcopy] [--drain-out OUT.json] [--mem-mb N]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -233,8 +255,8 @@ int run_artifact_mode(const Options& opt) {
     hub.clear();
     engine = std::make_unique<obs::SloEngine>(slo_rules);
     hub.set_slo_engine(engine.get());
-    const SweepRow b =
-        run_drain(opt.conc, opt.seed, opt.loss, false, nullptr, sim::usec(250), false);
+    const SweepRow b = run_drain(opt.conc, opt.seed, opt.loss, false, nullptr,
+                                 sim::usec(250), false, opt.mode, opt.mem_mb);
     base = collect_policy_stats(b.report);
     hub.set_slo_engine(nullptr);
   }
@@ -255,8 +277,19 @@ int run_artifact_mode(const Options& opt) {
     hub.set_slo_engine(engine.get());
   }
   const SweepRow row = run_drain(opt.conc, opt.seed, opt.loss, traced, sp, sim::usec(250),
-                                 /*slo_defer=*/!slo_rules.empty());
+                                 /*slo_defer=*/!slo_rules.empty(), opt.mode, opt.mem_mb);
   std::fputs(format_drain_report(row.report).c_str(), stdout);
+  if (!opt.drain_out.empty()) {
+    char scen[160];
+    std::snprintf(scen, sizeof scen,
+                  "bench_cluster_drain conc=%u loss=%.3f seed=%llu mem_mb=%u", opt.conc,
+                  opt.loss, static_cast<unsigned long long>(opt.seed), opt.mem_mb);
+    const std::string json =
+        drain_report_json(row.report, migrlib::migration_mode_name(opt.mode), scen);
+    if (!write_text(opt.drain_out, json)) return 1;
+    std::printf("drain report (%s): written to %s\n",
+                migrlib::migration_mode_name(opt.mode), opt.drain_out.c_str());
+  }
   for (const PhaseAttribution& a : row.report.phase_rollup) {
     std::printf("anatomy: %-24s worst_of=%2llu total=%8.3f ms max=%8.3f ms\n",
                 a.phase.c_str(), static_cast<unsigned long long>(a.worst_count),

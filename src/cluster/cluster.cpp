@@ -9,6 +9,18 @@ namespace migr::cluster {
 using common::Errc;
 using common::Status;
 
+namespace {
+// Deterministic token bucket: skip exactly `factor` of the ticks, spread
+// evenly, regardless of tick period.
+bool throttled_tick(double factor, double& acc) {
+  if (factor <= 0) return false;
+  acc += factor;
+  if (acc < 1.0) return false;
+  acc -= 1.0;
+  return true;
+}
+}  // namespace
+
 ClusterModel::ClusterModel(ClusterConfig config)
     : config_(config), world_(config.fabric, config.seed) {
   for (net::HostId h = 1; h <= config_.hosts; ++h) {
@@ -61,6 +73,7 @@ common::Result<apps::MsgNode*> ClusterModel::add_guest(net::HostId host, GuestId
       if (g == guests_.end() || g->second.extra_buf == 0) return;
       GuestRecord& r = g->second;
       if (r.node->process().frozen()) return;
+      if (throttled_tick(r.throttle, r.dirty_acc)) return;
       const std::uint8_t stamp = ++r.dirty_stamp;
       for (std::uint64_t off = 0; off < r.profile.extra_mem_bytes; off += 4096) {
         (void)r.node->process().mem().write(r.extra_buf + off, {&stamp, 1});
@@ -97,6 +110,7 @@ void ClusterModel::start_generator(GuestRecord& rec) {
     if (it == guests_.end()) return;
     GuestRecord& r = it->second;
     if (r.peers.empty() || r.node->process().frozen()) return;
+    if (throttled_tick(r.throttle, r.traffic_acc)) return;
     const GuestId peer = r.peers[r.rr_cursor++ % r.peers.size()];
     common::Bytes payload(r.profile.msg_bytes, 0xA5);
     // Window-full / suspension failures are dropped; the generator offers
@@ -165,6 +179,22 @@ std::vector<net::HostId> ClusterModel::placeable_hosts(net::HostId exclude) cons
     out.push_back(h);
   }
   return out;
+}
+
+void ClusterModel::set_throttle(GuestId id, double factor) {
+  auto it = guests_.find(id);
+  if (it == guests_.end()) return;
+  GuestRecord& r = it->second;
+  r.throttle = std::clamp(factor, 0.0, 0.95);
+  if (r.throttle == 0) {
+    r.traffic_acc = 0;
+    r.dirty_acc = 0;
+  }
+}
+
+double ClusterModel::throttle_of(GuestId id) const {
+  auto it = guests_.find(id);
+  return it == guests_.end() ? 0.0 : it->second.throttle;
 }
 
 void ClusterModel::enable_sli(obs::SliHub& hub) {

@@ -47,6 +47,16 @@ struct TrafficProfile {
     if (send_interval <= 0) return 0.0;
     return static_cast<double>(msg_bytes) * 1e9 / static_cast<double>(send_interval);
   }
+
+  /// Steady-state page-dirtying rate in bytes/sec (0 for clean guests). The
+  /// dirtier stamps one byte per page but dirties the whole page, so the
+  /// rate is page-granular — this is what migration-mode policies compare
+  /// against link bandwidth.
+  double dirty_bytes_per_sec() const {
+    if (dirty_interval <= 0 || extra_mem_bytes == 0) return 0.0;
+    const std::uint64_t pages = (extra_mem_bytes + 4095) / 4096;
+    return static_cast<double>(pages * 4096) * 1e9 / static_cast<double>(dirty_interval);
+  }
 };
 
 class ClusterModel {
@@ -95,6 +105,13 @@ class ClusterModel {
   /// partitioned, and != exclude. Sorted by host id.
   std::vector<net::HostId> placeable_hosts(net::HostId exclude = 0) const;
 
+  /// Auto-converge throttle: skip `factor` of the guest's traffic and dirty
+  /// generator ticks (0 = full speed, clamped to 0.95). Wired into
+  /// MigrationOptions::throttle by the scheduler so a diverging pre-copy can
+  /// slow the guest until the dirty rate fits the link.
+  void set_throttle(GuestId id, double factor);
+  double throttle_of(GuestId id) const;
+
   /// Arm the SLI taps (RTT, goodput, retransmits) on every placed guest and
   /// on guests added afterwards. No-op per guest when the hub is disabled.
   void enable_sli(obs::SliHub& hub);
@@ -113,6 +130,9 @@ class ClusterModel {
     std::uint64_t extra_buf = 0;      // base address of the extra MR
     std::size_t rr_cursor = 0;        // round-robin over peers
     std::uint8_t dirty_stamp = 0;     // rolling byte written by the dirtier
+    double throttle = 0;              // fraction of generator ticks skipped
+    double traffic_acc = 0;           // token buckets for fractional skips,
+    double dirty_acc = 0;             //   one per generator task
     bool generating = false;
     sim::EventHandle traffic_task;
     sim::EventHandle dirty_task;

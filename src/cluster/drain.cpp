@@ -211,4 +211,83 @@ std::string format_drain_report(const DrainReport& r) {
   return out;
 }
 
+std::string drain_report_json(const DrainReport& r, const std::string& mode,
+                              const std::string& scenario) {
+  std::string out;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"kind\":\"drain_report\",\"version\":1,\"scenario\":\"%s\","
+                "\"mode\":\"%s\",\"host\":%u,\"ok\":%s,\"migrations\":%" PRIu64
+                ",\"completed\":%" PRIu64 ",\"failed\":%" PRIu64
+                ",\"retries\":%" PRIu64 ",\"aborts\":%" PRIu64
+                ",\"makespan_ns\":%lld",
+                scenario.c_str(), mode.c_str(), r.host, r.ok ? "true" : "false",
+                r.migrations, r.completed, r.failed, r.retries, r.aborts,
+                static_cast<long long>(r.makespan()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                ",\"blackout_ns\":{\"p50\":%lld,\"p99\":%lld,\"max\":%lld}",
+                static_cast<long long>(r.blackout_p50),
+                static_cast<long long>(r.blackout_p99),
+                static_cast<long long>(r.blackout_max));
+  out += buf;
+
+  out += ",\"phases\":[";
+  for (std::size_t i = 0; i < r.phase_rollup.size(); i++) {
+    const PhaseAttribution& a = r.phase_rollup[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"phase\":\"%s\",\"worst_of\":%" PRIu64
+                  ",\"total_ns\":%lld,\"max_ns\":%lld}",
+                  i == 0 ? "" : ",", a.phase.c_str(), a.worst_count,
+                  static_cast<long long>(a.total), static_cast<long long>(a.max));
+    out += buf;
+  }
+  out += "]";
+
+  // Fleet post-copy rollup: always present so the schema is mode-stable
+  // (all-zero on a pure pre-copy leg).
+  std::uint64_t pc_migr = 0, pc_missing = 0, pc_faults = 0, pc_prefetched = 0,
+                pc_bytes = 0;
+  long long pc_drain_max = 0, pc_p99_max = 0;
+  for (const MigrationOutcome& o : r.outcomes) {
+    const migrlib::PostcopyStats& pc = o.report.postcopy;
+    if (!pc.enabled) continue;
+    pc_migr++;
+    pc_missing += pc.missing_pages;
+    pc_faults += pc.demand_faults;
+    pc_prefetched += pc.prefetched_pages;
+    pc_bytes += pc.fetch_bytes;
+    pc_drain_max = std::max(pc_drain_max, static_cast<long long>(pc.drain_ns));
+    pc_p99_max = std::max(pc_p99_max, static_cast<long long>(pc.fault_p99_ns));
+  }
+  std::snprintf(buf, sizeof(buf),
+                ",\"postcopy\":{\"migrations\":%" PRIu64 ",\"missing_pages\":%" PRIu64
+                ",\"demand_faults\":%" PRIu64 ",\"prefetched_pages\":%" PRIu64
+                ",\"fetch_bytes\":%" PRIu64
+                ",\"drain_ns_max\":%lld,\"fault_p99_ns_max\":%lld}",
+                pc_migr, pc_missing, pc_faults, pc_prefetched, pc_bytes, pc_drain_max,
+                pc_p99_max);
+  out += buf;
+
+  out += ",\"guests\":[";
+  for (std::size_t i = 0; i < r.outcomes.size(); i++) {
+    const MigrationOutcome& o = r.outcomes[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"guest\":%u,\"src\":%u,\"dest\":%u,\"attempts\":%d,"
+                  "\"ok\":%s,\"blackout_ns\":%lld,\"waterfall\":",
+                  i == 0 ? "" : ",", o.guest, o.source, o.dest, o.attempts,
+                  o.completed ? "true" : "false",
+                  static_cast<long long>(o.completed ? o.report.service_blackout() : 0));
+    out += buf;
+    out += o.report.waterfall_json();
+    if (o.report.postcopy.enabled) {
+      out += ",\"postcopy\":";
+      out += o.report.postcopy.json();
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace migr::cluster

@@ -80,6 +80,14 @@ struct DrainReport {
 /// across runs with the same seed — the reproducibility tests diff it.
 std::string format_drain_report(const DrainReport& report);
 
+/// Machine-readable artifact (kind "drain_report", version 1): fleet rollup,
+/// per-phase attribution, post-copy accounting (zeros on a pure pre-copy
+/// leg), and per-guest blackout waterfalls. `mode` and `scenario` label the
+/// leg so a pre-copy and a post-copy run of the same workload are directly
+/// comparable; validated by tools/validate_artifacts.py --drain.
+std::string drain_report_json(const DrainReport& report, const std::string& mode,
+                              const std::string& scenario);
+
 class DrainWorkflow {
  public:
   using DoneCb = std::function<void(const DrainReport&)>;

@@ -226,9 +226,19 @@ void MigrationScheduler::start_attempt(Pending p, net::HostId src, net::HostId d
   r.dest = dest;
   r.attempt = p.attempt + 1;
   r.partners = model_.partners_of(p.req.guest);
+  migrlib::MigrationOptions opts = config_.migration;
+  if (p.req.mode.has_value()) {
+    opts.mode = *p.req.mode;
+  } else if (config_.postcopy_dirty_bps > 0) {
+    const TrafficProfile* prof = model_.profile_of(p.req.guest);
+    if (prof != nullptr && prof->dirty_bytes_per_sec() >= config_.postcopy_dirty_bps) {
+      opts.mode = migrlib::MigrationMode::postcopy;
+    }
+  }
+  // Auto-converge lands on the fleet model's generators; clears on finish.
+  opts.throttle = [m = &model_, g = p.req.guest](double f) { m->set_throttle(g, f); };
   r.ctl = std::make_unique<migrlib::MigrationController>(model_.loop(), model_.fabric(),
-                                                         model_.directory(),
-                                                         config_.migration);
+                                                         model_.directory(), opts);
   auto& dest_proc = model_.world().add_process(
       "migr-dest-" + std::to_string(p.req.guest) + "-a" + std::to_string(r.attempt));
   const RequestId id = p.id;

@@ -29,6 +29,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,11 @@ struct SchedulerConfig {
   sim::DurationNs retry_backoff = sim::msec(10);  // doubles per retry
   std::string policy = "least-loaded";            // see placement.hpp
 
+  // Mode policy: a guest whose profile dirties at least this many bytes/sec
+  // is migrated post-copy (pre-copy would chase the dirty set). 0 disables;
+  // an explicit MigrationRequest::mode always wins.
+  double postcopy_dirty_bps = 0.0;
+
   // SLO-aware admission (DESIGN.md §12): when true and an SloEngine is
   // attached to the global SliHub, a request whose guest is currently
   // burning its error budget (active SLO alert) is deferred and re-examined
@@ -73,6 +79,9 @@ struct MigrationRequest {
   GuestId guest = 0;
   net::HostId dest = 0;  // 0 = pick via the placement policy (per attempt)
   int priority = 0;      // higher runs first; ties in submission order
+  // Pre/post-copy override for this request; unset = SchedulerConfig default
+  // (postcopy_dirty_bps policy, else config_.migration.mode).
+  std::optional<migrlib::MigrationMode> mode;
 };
 
 /// Lifecycle record of one request, kept from submit to terminal state.

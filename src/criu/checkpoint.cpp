@@ -64,6 +64,32 @@ Result<Checkpointer::Dump> Checkpointer::final_dump() {
   return dump;
 }
 
+Result<Checkpointer::LazyDump> Checkpointer::final_dump_lazy() {
+  if (!src_.frozen()) {
+    return common::err(Errc::failed_precondition, "final dump requires a frozen process");
+  }
+  LazyDump dump;
+  auto& mem = src_.mem();
+  for (const auto& vma : mem.vmas()) {
+    dump.image.vmas.push_back(VmaImage{vma.start, vma.length, vma.tag});
+  }
+  dump.image.mmap_cursor = mem.mmap_cursor();
+  if (!first_done_) {
+    // No pre-copy pass ran: every mapped page is missing on the destination.
+    for (const auto& vma : mem.vmas()) {
+      for (proc::VirtAddr p = vma.start; p < vma.end(); p += proc::kPageSize) {
+        dump.missing.push_back(p);
+      }
+    }
+    mem.collect_dirty(/*clear=*/true);
+  } else {
+    dump.missing = mem.collect_dirty(/*clear=*/true);
+  }
+  first_done_ = true;
+  dump.cost = costs_.dump_cost(dump.image.vmas.size(), 0) + costs_.freeze;
+  return dump;
+}
+
 // ---------------------------------------------------------------------------
 // Restorer
 // ---------------------------------------------------------------------------

@@ -75,6 +75,17 @@ class Checkpointer {
   /// Final dump during stop-and-copy; requires the process to be frozen.
   common::Result<Dump> final_dump();
 
+  /// Post-copy variant of the final dump: captures the VMA table and the
+  /// *addresses* of pages not yet transferred, but no page contents — those
+  /// stay on the source and are fetched after resume. Cost therefore skips
+  /// the per-page term, which is exactly where post-copy wins blackout.
+  struct LazyDump {
+    MemoryImage image;
+    std::vector<proc::VirtAddr> missing;  // sorted page addresses
+    sim::DurationNs cost = 0;
+  };
+  common::Result<LazyDump> final_dump_lazy();
+
   /// Pages currently dirty (peek — does not clear), for the pre-copy
   /// convergence decision.
   std::size_t pending_dirty() const { return src_.mem().dirty_count(); }

@@ -1,5 +1,7 @@
 #include "migr/migration.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
@@ -38,8 +40,17 @@ void trace_blackout_span(sim::TimeNs start, sim::DurationNs dur, std::string_vie
 }
 }  // namespace
 
+const char* migration_mode_name(MigrationMode m) noexcept {
+  switch (m) {
+    case MigrationMode::precopy: return "precopy";
+    case MigrationMode::postcopy: return "postcopy";
+  }
+  return "?";
+}
+
 std::string MigrationReport::waterfall_json() const {
-  std::string out = "{\"freeze_at_ns\":" + std::to_string(freeze_at) +
+  std::string out = std::string{"{\"mode\":\""} + migration_mode_name(mode) +
+                    "\",\"freeze_at_ns\":" + std::to_string(freeze_at) +
                     ",\"resume_at_ns\":" + std::to_string(resume_at) +
                     ",\"blackout_ns\":" + std::to_string(service_blackout()) +
                     ",\"aborted\":" + (aborted ? "true" : "false") + ",\"slices\":[";
@@ -105,6 +116,12 @@ Status MigrationController::start(GuestId id, net::HostId dest_host,
 
   report_ = MigrationReport{};
   report_.start = loop_.now();
+  report_.mode = options_.mode;
+  if (options_.adaptive_precopy && options_.mode == MigrationMode::precopy) {
+    criu::DirtyRateConfig cfg = options_.dirty_rate;
+    cfg.seed += guest_id_;  // distinct sample sets per guest, still seeded
+    estimator_ = std::make_unique<criu::DirtyRateEstimator>(*src_proc_, cfg);
+  }
   // Brownout attribution: iteration 0 covers the initial full copy +
   // partial restore; phase_precopy_round advances it per dirty round.
   obs::SliHub::global().on_migration_start(guest_id_, report_.start);
@@ -122,6 +139,7 @@ void MigrationController::fail(const Status& st) {
   // completed, failed, or rolled-back migration.
   wbs_timeout_handle_.cancel();
   xfer_timeout_handle_.cancel();
+  reset_throttle();
   report_.ok = false;
   report_.error = st.to_string();
   report_.end = loop_.now();
@@ -141,6 +159,7 @@ void MigrationController::abort(const Status& st) {
               << ": " << st.to_string();
   wbs_timeout_handle_.cancel();
   xfer_timeout_handle_.cancel();
+  reset_throttle();
   fabric_.unregister_service(dest_rt_->host(), xfer_service_);
   xfer_cb_ = nullptr;
   xfer_payload_.clear();
@@ -215,6 +234,63 @@ GuestContext* MigrationController::partner_guest(GuestId id) const {
   return rt == nullptr ? nullptr : rt->find_guest(id);
 }
 
+std::uint64_t MigrationController::effective_bytes_threshold() const {
+  if (options_.dirty_bytes_threshold != 0) return options_.dirty_bytes_threshold;
+  return static_cast<std::uint64_t>(options_.dirty_page_threshold) * proc::kPageSize;
+}
+
+void MigrationController::reset_throttle() {
+  if (throttle_factor_ > 0 && options_.throttle) options_.throttle(0);
+  throttle_factor_ = 0;
+}
+
+bool MigrationController::precopy_should_continue(std::uint64_t pending_bytes) {
+  if (!estimator_->primed()) return true;
+  if (rounds_done_ < options_.min_precopy_rounds) return true;
+
+  // Predicted wall clock of the next round: dump walk, serialization at line
+  // rate, restore on the destination. While it runs, the (possibly
+  // throttled) guest re-dirties at the EWMA rate; the round converges only
+  // if it drains more than the guest refills.
+  const double link_bytes_per_sec = fabric_.config().link_gbps * 1e9 / 8.0;
+  const double pages =
+      static_cast<double>(pending_bytes) / static_cast<double>(proc::kPageSize);
+  const double round_sec =
+      static_cast<double>(pending_bytes) / link_bytes_per_sec +
+      pages *
+          static_cast<double>(options_.criu_costs.per_page_dump +
+                              options_.criu_costs.per_page_restore) *
+          1e-9 +
+      static_cast<double>(options_.criu_costs.dump_base) * 1e-9;
+  // The EWMA already measures the *throttled* guest (each ladder step shows
+  // up in the next interval), so the rate is used as-is. Iterating is only
+  // worth the brownout if the round shrinks the pending set by a real
+  // margin — marginal shrinkage loses to the model's per-round overheads.
+  const double next_pending = estimator_->bytes_per_sec() * round_sec;
+  if (next_pending < static_cast<double>(pending_bytes) * options_.precopy_gain) {
+    return true;
+  }
+
+  // Diverging. Step the auto-converge throttle if there is still headroom
+  // (QEMU's auto-converge ladder); otherwise stop iterating — more rounds
+  // only burn brownout without shrinking the stop-and-copy set.
+  if (options_.throttle && throttle_factor_ < options_.autoconverge_max) {
+    throttle_factor_ = std::min(options_.autoconverge_max,
+                                throttle_factor_ + options_.autoconverge_step);
+    report_.autoconverge_steps++;
+    report_.throttle_factor = std::max(report_.throttle_factor, throttle_factor_);
+    options_.throttle(throttle_factor_);
+    obs::Registry::global().counter("migr.autoconverge_steps").inc();
+    trace_instant(loop_.now(), "autoconverge",
+                  "\"guest\":" + std::to_string(guest_id_) +
+                      ",\"throttle\":" + std::to_string(throttle_factor_));
+    MIGR_WARN() << "pre-copy diverging for guest " << guest_id_
+                << "; auto-converge throttle -> " << throttle_factor_;
+    return true;
+  }
+  return false;
+}
+
 // ---------------------------------------------------------------------------
 // Pre-copy
 // ---------------------------------------------------------------------------
@@ -236,9 +312,11 @@ void MigrationController::phase_initial_dump() {
   w.bytes(dump.pages.serialize());
   w.bytes(predump_rdma_bytes_);
   Bytes payload = std::move(w).take();
-  report_.precopy_bytes += payload.size();
   trace_span(loop_.now(), cost, "pre_dump",
              "\"bytes\":" + std::to_string(payload.size()));
+  // Rate interval covers the dump + transfer + partial restore: exactly the
+  // stretch the guest spends re-dirtying what the full copy just captured.
+  if (estimator_) estimator_->begin_interval(loop_.now());
 
   loop_.schedule_in(cost, [this, payload = std::move(payload)]() mutable {
     transfer_to_dest(std::move(payload),
@@ -256,6 +334,7 @@ void MigrationController::transfer_to_dest(Bytes payload, std::function<void(Byt
   xfer_cb_ = std::move(cb);
   fabric_.register_service(dest_rt_->host(), xfer_service_, [this](net::HostId, Bytes&& p) {
     xfer_timeout_handle_.cancel();
+    report_.xfer_bytes_delivered += p.size();
     // Unregistering destroys this very lambda; keep the continuation alive
     // on the stack first.
     auto continuation = xfer_cb_;
@@ -268,7 +347,10 @@ void MigrationController::transfer_to_dest(Bytes payload, std::function<void(Byt
 }
 
 void MigrationController::send_xfer_attempt() {
-  // Re-sends pay serialization again, exactly like a real re-transfer would.
+  // Re-sends pay serialization again, exactly like a real re-transfer would
+  // — and they count again: attempted bytes track what hit the wire, not
+  // what the image was worth.
+  report_.xfer_bytes_attempted += xfer_payload_.size();
   auto sent = fabric_.send_ctrl(src_rt_->host(), dest_rt_->host(), xfer_service_, xfer_payload_);
   if (!sent.is_ok()) {
     MIGR_WARN() << "image transfer send failed: " << sent.status().to_string();
@@ -330,6 +412,9 @@ void MigrationController::phase_partial_restore(Bytes payload) {
   auto pages_rep = restorer_->apply_pages(pages.value());
   if (!pages_rep.is_ok()) return abort(pages_rep.status());
   cost += pages_rep->cost;
+  // Counted here — after the image applied — not at serialize time, so
+  // aborted transfers never inflate the pre-copy byte accounting.
+  report_.precopy_bytes += payload.size();
 
   if (options_.pre_setup) {
     // Step 2' part 2: full RDMA pre-setup + partner QP pre-establishment.
@@ -387,22 +472,38 @@ Status MigrationController::presetup_partners() {
 
 void MigrationController::phase_precopy_round() {
   phase_ = "precopy";
-  if (rounds_done_ >= options_.max_precopy_rounds ||
-      ckpt_->pending_dirty() <= options_.dirty_page_threshold) {
+  if (options_.mode == MigrationMode::postcopy) {
+    // Single pre-copy pass: whatever is still dirty stays behind and is
+    // fetched after the destination resumes.
+    report_.stop_reason = "postcopy";
     return phase_stop_and_copy();
   }
-  rounds_done_++;
-  report_.precopy_rounds++;
-  obs::SliHub::global().on_precopy_iteration(guest_id_, loop_.now(), rounds_done_);
+  if (estimator_ && estimator_->open()) {
+    (void)estimator_->end_interval(loop_.now());
+  }
+  const std::uint64_t pending_bytes =
+      static_cast<std::uint64_t>(ckpt_->pending_dirty()) * proc::kPageSize;
+  if (rounds_done_ >= options_.max_precopy_rounds) {
+    report_.stop_reason = "max_rounds";
+    return phase_stop_and_copy();
+  }
+  if (pending_bytes <= effective_bytes_threshold()) {
+    report_.stop_reason = "bytes_threshold";
+    return phase_stop_and_copy();
+  }
+  if (estimator_ && !precopy_should_continue(pending_bytes)) {
+    report_.stop_reason = "diverging";
+    return phase_stop_and_copy();
+  }
   auto dump = ckpt_->pre_dump();
   src_rt_->device().add_ctrl_pressure(dump.cost);
+  if (estimator_) estimator_->begin_interval(loop_.now());
   ByteWriter w;
   w.bytes(dump.image.serialize());
   w.bytes(dump.pages.serialize());
   Bytes payload = std::move(w).take();
-  report_.precopy_bytes += payload.size();
   trace_span(loop_.now(), dump.cost, "precopy_round",
-             "\"round\":" + std::to_string(rounds_done_) +
+             "\"round\":" + std::to_string(rounds_done_ + 1) +
                  ",\"bytes\":" + std::to_string(payload.size()));
 
   loop_.schedule_in(dump.cost, [this, payload = std::move(payload)]() mutable {
@@ -425,6 +526,14 @@ void MigrationController::phase_precopy_round() {
       auto ap = restorer_->apply_pages(pages.value());
       if (!ap.is_ok()) return abort(ap.status());
       cost += ap->cost;
+      // The round exists only once its image is applied on the destination:
+      // counting (and the SLI iteration tag) moves past every abort-able
+      // step, so an abort mid-transfer cannot inflate precopy_rounds or
+      // leave an SLI window tagged for a round that never landed.
+      rounds_done_++;
+      report_.precopy_rounds++;
+      report_.precopy_bytes += p.size();
+      obs::SliHub::global().on_precopy_iteration(guest_id_, loop_.now(), rounds_done_);
       loop_.schedule_in(cost, [this] { phase_precopy_round(); });
     });
   });
@@ -436,6 +545,13 @@ void MigrationController::phase_precopy_round() {
 
 void MigrationController::phase_stop_and_copy() {
   phase_ = "wait_before_stop";
+  if (estimator_) {
+    if (estimator_->open()) (void)estimator_->end_interval(loop_.now());
+    report_.dirty_pages_per_sec = estimator_->pages_per_sec();
+    obs::Registry::global()
+        .gauge("migr.dirty_pages_per_sec", {{"guest", std::to_string(guest_id_)}})
+        .set(report_.dirty_pages_per_sec);
+  }
   report_.suspend_at = loop_.now();
   trace_instant(report_.suspend_at, "suspend",
                 "\"partners\":" + std::to_string(partners_.size()));
@@ -505,9 +621,28 @@ void MigrationController::phase_final_transfer() {
   trace_instant(report_.freeze_at, "freeze");
   src_proc_->freeze();
 
-  auto dmem = ckpt_->final_dump();
-  if (!dmem.is_ok()) return abort(dmem.status());
-  report_.dump_others = dmem->cost;
+  ByteWriter w;
+  if (options_.mode == MigrationMode::postcopy) {
+    // Lazy final dump: the VMA table plus the *addresses* of the pages left
+    // behind — no page contents, so the in-blackout dump and transfer cost
+    // none of the per-page time. The second payload field carries the
+    // missing list where pre-copy puts the final PageSet.
+    auto dmem = ckpt_->final_dump_lazy();
+    if (!dmem.is_ok()) return abort(dmem.status());
+    report_.dump_others = dmem->cost;
+    postcopy_missing_ = std::move(dmem->missing);
+    w.bytes(dmem->image.serialize());
+    ByteWriter mw;
+    mw.u64(postcopy_missing_.size());
+    for (proc::VirtAddr a : postcopy_missing_) mw.u64(a);
+    w.bytes(std::move(mw).take());
+  } else {
+    auto dmem = ckpt_->final_dump();
+    if (!dmem.is_ok()) return abort(dmem.status());
+    report_.dump_others = dmem->cost;
+    w.bytes(dmem->image.serialize());
+    w.bytes(dmem->pages.serialize());
+  }
 
   sim::DurationNs rdma_dump_cost = 0;
   if (!options_.pre_setup) {
@@ -520,9 +655,6 @@ void MigrationController::phase_final_transfer() {
   rdma_dump_cost += plugin_.take_cost();
   report_.dump_rdma = rdma_dump_cost;
 
-  ByteWriter w;
-  w.bytes(dmem->image.serialize());
-  w.bytes(dmem->pages.serialize());
   w.bytes(predump_rdma_bytes_);
   w.bytes(final_rdma_bytes_);
   Bytes payload = std::move(w).take();
@@ -563,18 +695,41 @@ void MigrationController::phase_final_restore(Bytes payload) {
     return abort(common::err(Errc::invalid_argument, "corrupt final payload"));
   }
   auto mem_image = criu::MemoryImage::parse(mem_bytes.value());
-  auto pages = criu::PageSet::parse(page_bytes.value());
-  if (!mem_image.is_ok() || !pages.is_ok()) {
+  if (!mem_image.is_ok()) {
     return abort(common::err(Errc::invalid_argument, "corrupt final memory image"));
+  }
+  const bool postcopy = options_.mode == MigrationMode::postcopy;
+  criu::PageSet pages;
+  if (postcopy) {
+    // The wire copy of the missing list is authoritative — the destination
+    // must be able to mark its pages without trusting controller state.
+    ByteReader mr{page_bytes.value()};
+    auto n = mr.u64();
+    if (!n.is_ok()) return abort(n.status());
+    postcopy_missing_.clear();
+    postcopy_missing_.reserve(n.value());
+    for (std::uint64_t i = 0; i < n.value(); i++) {
+      auto a = mr.u64();
+      if (!a.is_ok()) return abort(a.status());
+      postcopy_missing_.push_back(a.value());
+    }
+  } else {
+    auto parsed = criu::PageSet::parse(page_bytes.value());
+    if (!parsed.is_ok()) {
+      return abort(common::err(Errc::invalid_argument, "corrupt final memory image"));
+    }
+    pages = std::move(parsed.value());
   }
 
   sim::DurationNs criu_cost = 0;
   auto up = restorer_->update(mem_image.value(), pinned_);
   if (!up.is_ok()) return abort(up.status());
   criu_cost += up->cost;
-  auto ap = restorer_->apply_pages(pages.value());
-  if (!ap.is_ok()) return abort(ap.status());
-  criu_cost += ap->cost;
+  if (!postcopy) {
+    auto ap = restorer_->apply_pages(pages);
+    if (!ap.is_ok()) return abort(ap.status());
+    criu_cost += ap->cost;
+  }
   auto fin = restorer_->finish();
   if (!fin.is_ok()) return abort(fin.status());
   criu_cost += fin->cost;
@@ -632,17 +787,36 @@ void MigrationController::phase_final_restore(Bytes payload) {
   push_waterfall("full_restore", report_.full_restore);
   push_waterfall("restore_rdma", report_.restore_rdma);
 
+  if (postcopy) {
+    // Stage the fault path before the service resumes: the moment partners
+    // switch QPs, their NIC DMA can touch pages that are still on the
+    // source. The source process stays alive (frozen) as the pager until
+    // the pump drains.
+    pump_ = std::make_unique<PostcopyPump>(loop_, fabric_, guest_id_, src_rt_->host(),
+                                           dest_rt_->host(), *src_proc_, *dest_proc_,
+                                           src_rt_->device(), options_.postcopy);
+    pump_->arm(std::move(postcopy_missing_));
+    postcopy_missing_.clear();
+  }
+
   loop_.schedule_in(criu_cost + rdma_cost, [this] { phase_resume(); });
 }
 
 void MigrationController::phase_resume() {
   phase_ = "resume";
   report_.resume_at = loop_.now();
-  obs::SliHub::global().on_resume(guest_id_, report_.resume_at);
-  // Source reclaims everything it still holds.
-  src_proc_->kill();
-  src_rt_->device().close(src_ctx_);
-  src_ctx_ = nullptr;
+  const bool postcopy = options_.mode == MigrationMode::postcopy;
+  if (postcopy) {
+    obs::SliHub::global().on_postcopy_resume(guest_id_, report_.resume_at);
+  } else {
+    obs::SliHub::global().on_resume(guest_id_, report_.resume_at);
+    // Source reclaims everything it still holds. (Post-copy defers this to
+    // the drain: the frozen source process is the pager until then.)
+    src_proc_->kill();
+    src_rt_->device().close(src_ctx_);
+    src_ctx_ = nullptr;
+  }
+  reset_throttle();
 
   if (app_ != nullptr) app_->on_migrated(*dest_proc_);
 
@@ -697,6 +871,46 @@ void MigrationController::phase_resume() {
   // boundary); recovery_ns stays -1 until the service settles post-report.
   report_.brownout = obs::SliHub::global().attribution(guest_id_);
 
+  if (postcopy) {
+    // The report (and done_) waits for the drain: the migration is not over
+    // while the source still owns pages. Faults recorded from here on are
+    // the post-copy brownout the blackout savings paid for.
+    phase_ = "postcopy";
+    pump_->start([this](const common::Status& st) { on_postcopy_drained(st); });
+    return;
+  }
+
+  if (done_) done_(report_);
+}
+
+void MigrationController::on_postcopy_drained(const common::Status& st) {
+  if (!st.is_ok()) {
+    // Past the commit point with pages stranded on the source: there is no
+    // rollback, only failure (the post-copy durability hazard).
+    return fail(st);
+  }
+  const sim::TimeNs now = loop_.now();
+  obs::SliHub::global().on_postcopy_drained(guest_id_, now);
+
+  // Now the source really is done being the pager.
+  src_proc_->kill();
+  src_rt_->device().close(src_ctx_);
+  src_ctx_ = nullptr;
+
+  report_.postcopy = pump_->stats();
+  report_.end = now;
+  trace_span(report_.resume_at, now - report_.resume_at, "postcopy_drain",
+             "\"guest\":" + std::to_string(guest_id_) +
+                 ",\"faults\":" + std::to_string(report_.postcopy.demand_faults) +
+                 ",\"prefetched\":" + std::to_string(report_.postcopy.prefetched_pages));
+
+  auto& reg = obs::Registry::global();
+  reg.gauge("migr.report.postcopy_drain_ns")
+      .set(static_cast<double>(report_.postcopy.drain_ns));
+  reg.gauge("migr.report.postcopy_missing_pages")
+      .set(static_cast<double>(report_.postcopy.missing_pages));
+
+  report_.brownout = obs::SliHub::global().attribution(guest_id_);
   if (done_) done_(report_);
 }
 

@@ -23,16 +23,50 @@
 #include <string>
 
 #include "criu/checkpoint.hpp"
+#include "criu/dirtyrate.hpp"
 #include "migr/plugin.hpp"
+#include "migr/postcopy.hpp"
 #include "migr/runtime.hpp"
 #include "obs/sli.hpp"
 
 namespace migr::migrlib {
 
+/// precopy: iterate dirty rounds, then stop-and-copy everything (§2.2).
+/// postcopy: one pre-copy pass, then commit and resume on the destination
+/// with the remaining pages marked missing; they fault back on demand via
+/// simulated RDMA READs plus a background prefetch stream.
+enum class MigrationMode : std::uint8_t { precopy, postcopy };
+
+const char* migration_mode_name(MigrationMode m) noexcept;
+
 struct MigrationOptions {
+  MigrationMode mode = MigrationMode::precopy;
   bool pre_setup = true;            // RDMA pre-setup during partial restore (§3.2)
   int max_precopy_rounds = 3;       // dirty-page iterations after the full copy
   std::size_t dirty_page_threshold = 64;  // stop iterating below this many pages
+  // Stop criterion in bytes: iterate until the pending dirty set (pages ×
+  // page size) fits under this — round cost and link time are byte-driven,
+  // so the page count alone under-stops guests with big dirty footprints.
+  // 0 derives dirty_page_threshold × page size, preserving existing configs.
+  std::uint64_t dirty_bytes_threshold = 0;
+  // Adaptive pre-copy (default off; default runs stay byte-identical): a
+  // sampled dirty-page-rate estimator drives a convergence predictor — keep
+  // iterating only while a round drains the dirty set faster than the guest
+  // refills it, stepping the auto-converge throttle when it diverges.
+  bool adaptive_precopy = false;
+  criu::DirtyRateConfig dirty_rate;
+  int min_precopy_rounds = 1;      // rounds before the predictor may stop
+  // A round counts as converging only if it is predicted to shrink the
+  // pending dirty set below gain × current — asking for a real margin, not
+  // any shrink, keeps marginal rounds from burning brownout for nothing.
+  double precopy_gain = 0.7;
+  double autoconverge_step = 0.3;  // throttle increment per diverging round
+  double autoconverge_max = 0.9;   // hard cap on guest slowdown
+  // Auto-converge actuator: called with the current throttle factor
+  // (0 = full speed). The cluster layer points this at the guest's traffic
+  // and dirty generators; unset means the predictor can only stop early.
+  std::function<void(double)> throttle;
+  PostcopyConfig postcopy;
   sim::DurationNs wbs_timeout = sim::sec(5);  // §3.4 buggy-network upper bound
   // Adversarial-network handling. Every ctrl-plane image transfer (pre-copy
   // rounds and the final one) gets a per-attempt deadline and bounded
@@ -73,6 +107,8 @@ struct MigrationReport {
   bool source_resumed = false;     // source service running again after abort
   std::uint64_t transfer_retries = 0;  // ctrl-plane transfer re-sends
 
+  MigrationMode mode = MigrationMode::precopy;
+
   // Simulated timestamps of the phase boundaries. `start` and `end` bracket
   // the whole run and are set on every outcome (success, failure, abort), so
   // schedulers and benches read wall-up/wall-down from the report instead of
@@ -97,9 +133,26 @@ struct MigrationReport {
   sim::DurationNs wbs_elapsed = 0;  // Fig. 4
   bool wbs_timed_out = false;
 
+  // A pre-copy round (and its bytes) counts only once its image has been
+  // applied on the destination; an abort mid-transfer leaves the interrupted
+  // round out of both. The attempted/delivered pair accounts what actually
+  // crossed the fabric: `attempted` includes every re-send, `delivered`
+  // only what arrived, so the two diverge by lost/aborted attempts.
   std::uint64_t precopy_rounds = 0;
-  std::uint64_t precopy_bytes = 0;
+  std::uint64_t precopy_bytes = 0;  // delivered-and-applied pre-copy image bytes
   std::uint64_t final_bytes = 0;
+  std::uint64_t xfer_bytes_attempted = 0;
+  std::uint64_t xfer_bytes_delivered = 0;
+
+  // Why pre-copy stopped iterating: "max_rounds", "bytes_threshold",
+  // "diverging" (predictor gave up), or "postcopy" (single-pass mode).
+  std::string stop_reason;
+  double dirty_pages_per_sec = 0;  // estimator EWMA at stop (0 = disabled)
+  int autoconverge_steps = 0;      // throttle escalations applied
+  double throttle_factor = 0;      // strongest throttle reached
+
+  // Post-copy drain accounting; enabled=false on pre-copy migrations.
+  PostcopyStats postcopy;
 
   // Brownout attribution from the SLI pipeline: what the migration cost the
   // *running* service (goodput loss, per-iteration p99 inflation, recovery
@@ -178,6 +231,15 @@ class MigrationController {
   void phase_final_transfer();
   void phase_final_restore(common::Bytes payload);
   void phase_resume();
+  void on_postcopy_drained(const common::Status& st);
+
+  /// Bytes-based stop threshold (derived from the page threshold when the
+  /// byte threshold is unset).
+  std::uint64_t effective_bytes_threshold() const;
+  /// Convergence predictor: true while the next round is predicted to
+  /// shrink the dirty set (possibly after stepping the throttle).
+  bool precopy_should_continue(std::uint64_t pending_bytes);
+  void reset_throttle();
 
   rnic::Psn next_psn() { return psn_cursor_ += 4096; }
   GuestContext* partner_guest(GuestId id) const;
@@ -205,6 +267,10 @@ class MigrationController {
 
   std::unique_ptr<criu::Checkpointer> ckpt_;
   std::unique_ptr<criu::Restorer> restorer_;
+  std::unique_ptr<criu::DirtyRateEstimator> estimator_;
+  std::unique_ptr<PostcopyPump> pump_;
+  std::vector<proc::VirtAddr> postcopy_missing_;
+  double throttle_factor_ = 0;
   Plugin plugin_;
   std::set<proc::VirtAddr> pinned_;
   std::vector<GuestId> partners_;

@@ -16,6 +16,7 @@ const char* service_phase_name(ServicePhase p) noexcept {
     case ServicePhase::precopy: return "precopy";
     case ServicePhase::frozen: return "frozen";
     case ServicePhase::recovery: return "recovery";
+    case ServicePhase::postcopy: return "postcopy";
   }
   return "?";
 }
@@ -228,6 +229,21 @@ void SliHub::on_resume(std::uint32_t id, sim::TimeNs now) {
   g->resume_at_ = now;
 }
 
+void SliHub::on_postcopy_resume(std::uint32_t id, sim::TimeNs now) {
+  GuestSli* g = enabled() ? find(id) : nullptr;
+  if (!g) return;
+  g->set_phase(now, ServicePhase::postcopy, -1);
+  g->resume_at_ = now;
+}
+
+void SliHub::on_postcopy_drained(std::uint32_t id, sim::TimeNs now) {
+  GuestSli* g = enabled() ? find(id) : nullptr;
+  if (!g) return;
+  if (g->phase_ == ServicePhase::postcopy) {
+    g->set_phase(now, ServicePhase::recovery, -1);
+  }
+}
+
 void SliHub::on_migration_end(std::uint32_t id, sim::TimeNs now) {
   GuestSli* g = enabled() ? find(id) : nullptr;
   if (!g) return;
@@ -264,7 +280,7 @@ BrownoutAttribution SliHub::attribution(std::uint32_t id) const {
   for (const SliWindow& w : g.closed_) {
     if (w.start < g.mig_start_) continue;
     if (w.phase == ServicePhase::precopy || w.phase == ServicePhase::frozen ||
-        w.phase == ServicePhase::recovery) {
+        w.phase == ServicePhase::postcopy || w.phase == ServicePhase::recovery) {
       const double loss_bps = a.baseline_goodput_bps - w.goodput_bps();
       if (loss_bps > 0) {
         a.goodput_loss_bytes +=

@@ -44,7 +44,10 @@ namespace migr::obs {
 class SloEngine;
 
 /// What the guest's service was doing while a window accumulated.
-enum class ServicePhase : std::uint8_t { idle, precopy, frozen, recovery };
+/// `postcopy` is the degraded-but-alive stretch after a post-copy resume,
+/// while missing pages still demand-fault back from the source; it sits
+/// between frozen and recovery in the episode timeline.
+enum class ServicePhase : std::uint8_t { idle, precopy, frozen, recovery, postcopy };
 
 const char* service_phase_name(ServicePhase p) noexcept;
 
@@ -207,6 +210,11 @@ class SliHub {
   void on_precopy_iteration(std::uint32_t id, sim::TimeNs now, std::int32_t iter);
   void on_freeze(std::uint32_t id, sim::TimeNs now);
   void on_resume(std::uint32_t id, sim::TimeNs now);
+  /// Post-copy resume: service is live but pages still fault from the
+  /// source; windows tag `postcopy` until on_postcopy_drained flips them
+  /// into the normal recovery detection.
+  void on_postcopy_resume(std::uint32_t id, sim::TimeNs now);
+  void on_postcopy_drained(std::uint32_t id, sim::TimeNs now);
   /// Abort/failure: back to idle attribution-wise (rolled-back service).
   void on_migration_end(std::uint32_t id, sim::TimeNs now);
 

@@ -47,6 +47,7 @@ Status AddressSpace::munmap(VirtAddr addr) {
   for (VirtAddr p = addr; p < it->second.end(); p += kPageSize) {
     pages_.erase(p);
     dirty_.erase(p);
+    missing_.erase(p);
   }
   mapped_bytes_ -= it->second.length;
   vmas_.erase(it);
@@ -128,6 +129,7 @@ Status AddressSpace::read(VirtAddr addr, std::span<std::uint8_t> out) const {
     const VirtAddr page = page_floor(addr + done);
     const std::uint64_t off = (addr + done) - page;
     const std::size_t n = std::min<std::size_t>(out.size() - done, kPageSize - off);
+    if (!missing_.empty()) fault_in(page);
     auto it = pages_.find(page);
     std::memcpy(out.data() + done, it->second->data.data() + off, n);
     done += n;
@@ -142,12 +144,21 @@ Status AddressSpace::write(VirtAddr addr, std::span<const std::uint8_t> in) {
     const VirtAddr page = page_floor(addr + done);
     const std::uint64_t off = (addr + done) - page;
     const std::size_t n = std::min<std::size_t>(in.size() - done, kPageSize - off);
+    if (!missing_.empty()) fault_in(page);
     auto it = pages_.find(page);
     std::memcpy(it->second->data.data() + off, in.data() + done, n);
     dirty_.emplace(page, 1);
     done += n;
   }
   return Status::ok();
+}
+
+void AddressSpace::fault_in(VirtAddr page) const {
+  if (missing_.erase(page) == 0) return;
+  if (fault_hook_) {
+    auto hook = fault_hook_;  // the hook may replace/uninstall itself
+    hook(page);
+  }
 }
 
 PhysPagePtr AddressSpace::page_at(VirtAddr page_addr) const {

@@ -16,11 +16,13 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.hpp"
@@ -94,6 +96,24 @@ class AddressSpace {
   void mark_all_dirty();
   std::size_t dirty_count() const noexcept { return dirty_.size(); }
 
+  /// Post-copy missing pages: a page marked missing has a phys page (zeroed
+  /// or stale) but its authoritative contents still live on the migration
+  /// source. Any read/write touching it first invokes the fault hook — the
+  /// userfaultfd analogue — which is expected to fill the page (page_at /
+  /// install_page, so the fill itself does not dirty or re-fault). The mark
+  /// is cleared *before* the hook runs, so a hook that triggers nested
+  /// access to the same page cannot recurse.
+  using FaultHook = std::function<void(VirtAddr page)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  void mark_missing(VirtAddr page_addr) { missing_.insert(page_floor(page_addr)); }
+  bool clear_missing(VirtAddr page_addr) {
+    return missing_.erase(page_floor(page_addr)) > 0;
+  }
+  bool missing(VirtAddr page_addr) const {
+    return missing_.contains(page_floor(page_addr));
+  }
+  std::size_t missing_count() const noexcept { return missing_.size(); }
+
   std::uint64_t mapped_bytes() const noexcept { return mapped_bytes_; }
 
   /// Bump-allocation cursor of mmap(). Checkpointed/restored by CRIU so a
@@ -103,10 +123,15 @@ class AddressSpace {
 
  private:
   common::Status check_range_mapped(VirtAddr addr, std::uint64_t len) const;
+  void fault_in(VirtAddr page) const;
 
   std::map<VirtAddr, Vma> vmas_;  // keyed by start
   std::unordered_map<VirtAddr, PhysPagePtr> pages_;  // keyed by page addr
   std::unordered_map<VirtAddr, char> dirty_;  // page addr -> present (set)
+  // mutable: a read() of a missing page is logically const for the process
+  // but must fill the page (demand paging), like a real MMU fault.
+  mutable std::unordered_set<VirtAddr> missing_;
+  FaultHook fault_hook_;
   VirtAddr mmap_base_ = 0x7f00'0000'0000ULL;
   std::uint64_t mapped_bytes_ = 0;
 };

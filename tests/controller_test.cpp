@@ -105,6 +105,79 @@ TEST_F(ControllerTest, PrecopyRoundsRespectConfiguredMaximum) {
   EXPECT_GT(rep.final_bytes, 1u << 19);
 }
 
+TEST_F(ControllerTest, AbortMidPrecopyCountsOnlyAppliedRounds) {
+  auto* g = runtimes_[1]->create_guest(world_.add_process("a"), 10).value();
+  auto pd = g->alloc_pd().value();
+  // Hot 1 MiB buffer: every round re-dirties everything, so pre-copy keeps
+  // iterating (~12 ms dump per round) until the partition kills it.
+  auto addr = g->process().mem().mmap(1 << 20, "hot").value();
+  (void)g->reg_mr(pd, addr, 1 << 20, rnic::kAccessLocalWrite).value();
+  auto dirtier = world_.loop().schedule_every(sim::usec(50), [&] {
+    for (std::uint64_t off = 0; off < (1 << 20); off += 4096) {
+      std::uint8_t b = 1;
+      (void)g->process().mem().write(addr + off, {&b, 1});
+    }
+  });
+
+  // Arm the SLI hub with a record for the guest so the abort's window
+  // handling is observable (no traffic taps needed for phase tracking).
+  auto& hub = obs::SliHub::global();
+  hub.clear();
+  hub.set_enabled(true);
+  hub.set_retransmit_source(10, world_.loop().now(), [] { return std::uint64_t{0}; });
+
+  MigrationOptions opts;
+  opts.max_precopy_rounds = 10;
+  opts.dirty_page_threshold = 1;
+  opts.transfer_timeout = sim::msec(5);
+  opts.max_transfer_retries = 1;
+  opts.transfer_retry_backoff = sim::msec(1);
+  MigrationController ctl(world_.loop(), world_.fabric(), directory_, opts);
+  auto& dest = world_.add_process("d");
+  MigrationReport rep;
+  bool done = false;
+  ASSERT_TRUE(ctl.start(10, 2, dest, nullptr, [&](const MigrationReport& r) {
+                   rep = r;
+                   done = true;
+                 })
+                  .is_ok());
+  // Let the initial dump and at least one round land, then cut the
+  // destination off mid-iteration: the in-flight round transfer times out
+  // and the controller rolls back.
+  world_.loop().schedule_in(sim::msec(30), [&] {
+    world_.fabric().set_partitioned(2, true);
+  });
+  while (!done) world_.loop().run_until(world_.loop().now() + sim::msec(1));
+  dirtier.cancel();
+
+  EXPECT_FALSE(rep.ok);
+  EXPECT_TRUE(rep.aborted);
+  EXPECT_EQ(rep.abort_phase, "precopy");
+  EXPECT_TRUE(rep.source_resumed);
+
+  // Accounting: the interrupted round counts in neither rounds nor bytes.
+  // Everything credited as a pre-copy round was delivered AND applied, while
+  // the attempted byte counter has also seen the doomed (re)sends.
+  EXPECT_GE(rep.precopy_rounds, 1u);
+  EXPECT_LT(rep.precopy_rounds, 10u);
+  EXPECT_LE(rep.precopy_bytes, rep.xfer_bytes_delivered);
+  EXPECT_GT(rep.xfer_bytes_attempted, rep.xfer_bytes_delivered);
+
+  // Never froze: no blackout window, so the waterfall must be empty (a
+  // non-empty one would claim slices for a window that never opened).
+  EXPECT_EQ(rep.freeze_at, 0);
+  EXPECT_TRUE(rep.waterfall.empty());
+
+  // The SLI pipeline saw precopy windows open; the abort must close them
+  // back to idle (rolled-back service, no recovery phase).
+  const obs::GuestSli* sli = hub.find(10);
+  ASSERT_NE(sli, nullptr);
+  EXPECT_EQ(sli->phase(), obs::ServicePhase::idle);
+  hub.clear();
+  hub.set_enabled(false);
+  world_.fabric().set_partitioned(2, false);
+}
+
 TEST_F(ControllerTest, BackToBackMigrationsOfSameGuest) {
   auto* g = runtimes_[1]->create_guest(world_.add_process("a"), 10).value();
   auto pd = g->alloc_pd().value();

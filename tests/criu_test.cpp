@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "criu/checkpoint.hpp"
+#include "criu/dirtyrate.hpp"
 #include "criu/image.hpp"
 #include "sim/event_loop.hpp"
 
@@ -234,6 +235,66 @@ TEST_F(CriuTest, DumpCostGrowsSuperlinearlyInVmaCount) {
   const auto c100 = costs.dump_cost(100, 0) - base;
   const auto c1000 = costs.dump_cost(1000, 0) - base;
   EXPECT_GT(c1000, 10 * c100);  // superlinear in the VMA count
+}
+
+TEST_F(CriuTest, DirtyRateEstimatorEstimatesChurnFraction) {
+  const VirtAddr va = alloc_filled(src_, 256 * kPageSize, 0x11);
+  DirtyRateEstimator est(src_, DirtyRateConfig{});
+  EXPECT_FALSE(est.open());
+  EXPECT_FALSE(est.primed());
+  est.begin_interval(0);
+  EXPECT_TRUE(est.open());
+  // Rewrite a quarter of the pages with new content; untouched pages hash
+  // identically and must not count.
+  for (int p = 0; p < 64; ++p) {
+    std::uint8_t b = 0x22;
+    ASSERT_TRUE(src_.mem().write(va + static_cast<VirtAddr>(p) * kPageSize, {&b, 1}).is_ok());
+  }
+  const std::uint64_t pages = est.end_interval(sim::sec(1));
+  EXPECT_TRUE(est.primed());
+  EXPECT_FALSE(est.open());
+  // Sampling with replacement: the estimate is statistical, not exact.
+  EXPECT_GE(pages, 32u);
+  EXPECT_LE(pages, 96u);
+  EXPECT_NEAR(est.pages_per_sec(), static_cast<double>(pages), 1e-6);
+  EXPECT_NEAR(est.bytes_per_sec(), static_cast<double>(pages) * kPageSize, 1e-3);
+
+  // A quiet second interval folds into the EWMA (alpha 0.5): rate halves.
+  est.begin_interval(sim::sec(1));
+  const std::uint64_t quiet = est.end_interval(sim::sec(2));
+  EXPECT_EQ(quiet, 0u);
+  EXPECT_NEAR(est.pages_per_sec(), static_cast<double>(pages) / 2, 1.0);
+}
+
+TEST_F(CriuTest, FinalDumpLazyListsDirtyPagesInsteadOfCopying) {
+  const VirtAddr va = alloc_filled(src_, 8 * kPageSize, 0x33);
+  Checkpointer ckpt(src_);
+  auto d0 = ckpt.pre_dump();
+  EXPECT_EQ(d0.pages.pages.size(), 8u);
+  // Dirty two pages after the first pass, then freeze for the lazy dump.
+  std::uint8_t b = 0x44;
+  ASSERT_TRUE(src_.mem().write(va + 2 * kPageSize, {&b, 1}).is_ok());
+  ASSERT_TRUE(src_.mem().write(va + 5 * kPageSize, {&b, 1}).is_ok());
+  src_.freeze();
+  auto lazy = ckpt.final_dump_lazy();
+  ASSERT_TRUE(lazy.is_ok());
+  ASSERT_EQ(lazy->missing.size(), 2u);
+  EXPECT_EQ(lazy->missing[0], va + 2 * kPageSize);
+  EXPECT_EQ(lazy->missing[1], va + 5 * kPageSize);
+  EXPECT_EQ(lazy->image.vmas.size(), 1u);
+  // The whole point: the lazy dump's blackout cost carries no per-page
+  // term, only the VMA walk plus the freeze overhead.
+  CriuCosts costs;
+  EXPECT_EQ(lazy->cost, costs.dump_cost(1, 0) + costs.freeze);
+}
+
+TEST_F(CriuTest, FinalDumpLazyWithoutPreDumpLeavesAllPagesMissing) {
+  (void)alloc_filled(src_, 4 * kPageSize, 0x55);
+  Checkpointer ckpt(src_);
+  src_.freeze();
+  auto lazy = ckpt.final_dump_lazy();
+  ASSERT_TRUE(lazy.is_ok());
+  EXPECT_EQ(lazy->missing.size(), 4u);
 }
 
 TEST_F(CriuTest, RestoreLifecycleGuards) {

@@ -13,6 +13,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -99,6 +100,33 @@ TEST(DeterminismTest, LossyDrainReportIsByteIdenticalAcrossRuns) {
   const std::string second = run_drain_once(/*lossy=*/true);
   EXPECT_EQ(first, second);
   maybe_dump(first, "lossy");
+}
+
+// ---------------------------------------------------------------------------
+// Pre-change baseline guard
+// ---------------------------------------------------------------------------
+
+// tests/data/drain_report_{clean,lossy}.txt were captured (via
+// MIGR_DUMP_DRAIN_REPORT) from the build preceding the adaptive pre-copy /
+// post-copy work. With the dirty-rate estimator disabled — the default — the
+// reworked controller must render the same drains byte-identically: the
+// accounting fixes move *when* counters increment, never which events run.
+std::string read_baseline(const char* name) {
+  const std::string path =
+      std::string(MIGR_TEST_DATA_DIR) + "/drain_report_" + name + ".txt";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing baseline " << path;
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return body;
+}
+
+TEST(DeterminismTest, CleanDrainReportMatchesPreChangeBaseline) {
+  EXPECT_EQ(run_drain_once(/*lossy=*/false), read_baseline("clean"));
+}
+
+TEST(DeterminismTest, LossyDrainReportMatchesPreChangeBaseline) {
+  EXPECT_EQ(run_drain_once(/*lossy=*/true), read_baseline("lossy"));
 }
 
 // ---------------------------------------------------------------------------

@@ -3,8 +3,9 @@
 # their own (fast signal on transport/migration robustness regressions),
 # a perf smoke (simulator event-rate bench vs the checked-in baseline),
 # a blackout-anatomy artifact stage (instrumented lossy drain + schema
-# validation of the trace/timeseries/flight-recorder outputs), then the
-# sanitizer pass.
+# validation of the trace/timeseries/flight-recorder outputs), a pre-copy
+# vs post-copy drain comparison gated on post-copy's shorter blackout, then
+# the sanitizer pass.
 #
 #   tools/ci.sh              # everything
 #   tools/ci.sh --fast       # skip the sanitizer pass
@@ -16,12 +17,12 @@ cd "$REPO_ROOT"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "==> [1/5] plain build + full test suite"
+echo "==> [1/6] plain build + full test suite"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [2/5] lossy-seed suites (fault injection, adversarial migrations, lossy drain)"
+echo "==> [2/6] lossy-seed suites (fault injection, adversarial migrations, lossy drain)"
 # Deterministic seeded runs: the fault scenario suite, every property test
 # that drives traffic through injected loss/reordering/partitions, and the
 # cluster suite (scheduler admission/retry plus the seeded lossy drain with
@@ -29,7 +30,7 @@ echo "==> [2/5] lossy-seed suites (fault injection, adversarial migrations, loss
 ctest --test-dir build --output-on-failure -j "$(nproc)" \
   -R '(ScenarioRunner|MigrationAbort|AdversarialMigrationProperty|TransportProperty|ClusterScheduler|ClusterDrain)'
 
-echo "==> [3/5] perf smoke (bench_simrate vs BENCH_simrate.json baseline)"
+echo "==> [3/6] perf smoke (bench_simrate vs BENCH_simrate.json baseline)"
 # Advisory, not a gate: wall time on shared CI machines is noisy, so a
 # regression prints a loud warning instead of failing the pipeline. The
 # fresh numbers land in build/BENCH_simrate.json for inspection; refresh
@@ -61,7 +62,7 @@ else
   echo "    no checked-in BENCH_simrate.json baseline; skipping comparison"
 fi
 
-echo "==> [4/5] blackout-anatomy artifacts (instrumented lossy drain + schema validation)"
+echo "==> [4/6] blackout-anatomy artifacts (instrumented lossy drain + schema validation)"
 # One seeded lossy drain with the full observability stack armed: Chrome
 # trace, metric time series, and the wire flight recorder. The python
 # validator pins the artifact schemas so downstream tooling (trace viewers,
@@ -87,10 +88,25 @@ build/bench/bench_cluster_drain --loss 0.2 --seed 11 --conc 4 \
   --sli-csv "$ART_DIR/drain.sli.csv"
 python3 tools/validate_artifacts.py --slo "$ART_DIR/drain.slo.json" --expect-alert
 
+echo "==> [5/6] pre-copy vs post-copy drain comparison (write-heavy fleet)"
+# The same write-heavy drain (8 MiB dirty MR per guest, clean fabric) run
+# once per migration mode. The validator pins the drain_report schema on
+# both legs — including gap-free waterfall tiling and the post-copy fault
+# accounting balance — and gates on the paper's headline trade: post-copy's
+# service blackout must beat pre-copy's on a write-heavy workload.
+build/bench/bench_cluster_drain --seed 11 --conc 4 --mem-mb 8 \
+  --mode precopy --drain-out "$ART_DIR/drain.precopy.json"
+build/bench/bench_cluster_drain --seed 11 --conc 4 --mem-mb 8 \
+  --mode postcopy --drain-out "$ART_DIR/drain.postcopy.json"
+python3 tools/validate_artifacts.py \
+  --drain "$ART_DIR/drain.precopy.json" \
+  --drain "$ART_DIR/drain.postcopy.json" \
+  --expect-postcopy-faster "$ART_DIR/drain.precopy.json" "$ART_DIR/drain.postcopy.json"
+
 if [[ "$FAST" == "1" ]]; then
-  echo "==> [5/5] sanitizer pass skipped (--fast)"
+  echo "==> [6/6] sanitizer pass skipped (--fast)"
   exit 0
 fi
 
-echo "==> [5/5] sanitizer pass (address)"
+echo "==> [6/6] sanitizer pass (address)"
 tools/run_sanitized.sh address

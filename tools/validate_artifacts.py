@@ -25,7 +25,7 @@ VALID_PHASES = {"B", "E", "i", "X", "M"}
 PACKET_FIELDS = {"ts_ns", "src", "dst", "op", "qpn", "psn", "bytes", "verdict"}
 PACKET_VERDICTS = {"delivered", "dropped", "reordered", "partitioned"}
 RECORD_KINDS = {"flight_recorder_capture", "flight_recorder_dump"}
-SERVICE_PHASES = {"idle", "precopy", "frozen", "recovery"}
+SERVICE_PHASES = {"idle", "precopy", "frozen", "recovery", "postcopy"}
 WINDOW_FIELDS = {
     "start_ns", "end_ns", "phase", "precopy_iter", "msgs", "bytes",
     "retransmits", "p50_ns", "p99_ns", "p999_ns", "max_ns", "goodput_bps",
@@ -175,6 +175,104 @@ def check_slo(path, expect_alert=False):
     return True
 
 
+DRAIN_TOP_FIELDS = {
+    "kind", "version", "scenario", "mode", "host", "ok", "migrations",
+    "completed", "failed", "retries", "aborts", "makespan_ns", "blackout_ns",
+    "phases", "postcopy", "guests",
+}
+DRAIN_POSTCOPY_FIELDS = {
+    "migrations", "missing_pages", "demand_faults", "prefetched_pages",
+    "fetch_bytes", "drain_ns_max", "fault_p99_ns_max",
+}
+GUEST_POSTCOPY_FIELDS = {
+    "missing_pages", "demand_faults", "prefetched_pages", "fetch_requests",
+    "fetch_bytes", "retries", "drain_ns", "fault_ns",
+}
+
+
+def check_drain(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("kind") != "drain_report":
+        return fail(path, f"unexpected kind {doc.get('kind')!r}")
+    if doc.get("version") != 1:
+        return fail(path, f"unexpected version {doc.get('version')!r}")
+    missing = DRAIN_TOP_FIELDS - doc.keys()
+    if missing:
+        return fail(path, f"missing top-level fields {sorted(missing)}")
+    if doc["mode"] not in ("precopy", "postcopy"):
+        return fail(path, f"unexpected mode {doc['mode']!r}")
+    bk = doc["blackout_ns"]
+    if not all(k in bk for k in ("p50", "p99", "max")):
+        return fail(path, "blackout_ns lacks p50/p99/max")
+    if not (bk["p50"] <= bk["p99"] <= bk["max"]):
+        return fail(path, "blackout percentiles are not monotone")
+    missing = DRAIN_POSTCOPY_FIELDS - doc["postcopy"].keys()
+    if missing:
+        return fail(path, f"postcopy rollup missing {sorted(missing)}")
+    if doc["mode"] == "precopy" and doc["postcopy"]["migrations"] != 0:
+        return fail(path, "precopy leg claims postcopy migrations")
+    n_faults = 0
+    for g in doc["guests"]:
+        gid = g.get("guest")
+        wf = g.get("waterfall")
+        if not isinstance(wf, dict):
+            return fail(path, f"guest {gid}: waterfall is not an object")
+        if wf.get("mode") != doc["mode"]:
+            return fail(path, f"guest {gid}: waterfall mode {wf.get('mode')!r} "
+                              f"!= report mode {doc['mode']!r}")
+        # Slices must tile [freeze_at, resume_at] gap-free.
+        cursor = wf["freeze_at_ns"]
+        for i, s in enumerate(wf.get("slices", [])):
+            if s["start_ns"] != cursor:
+                return fail(path, f"guest {gid} slice {i}: gap in waterfall "
+                                  f"({s['start_ns']} != {cursor})")
+            cursor += s["dur_ns"]
+        if wf.get("slices") and cursor != wf["resume_at_ns"]:
+            return fail(path, f"guest {gid}: waterfall ends at {cursor}, "
+                              f"not resume_at {wf['resume_at_ns']}")
+        pc = g.get("postcopy")
+        if doc["mode"] == "postcopy":
+            if not isinstance(pc, dict):
+                return fail(path, f"guest {gid}: postcopy leg without fault stats")
+            missing = GUEST_POSTCOPY_FIELDS - pc.keys()
+            if missing:
+                return fail(path, f"guest {gid}: postcopy missing {sorted(missing)}")
+            if pc["demand_faults"] + pc["prefetched_pages"] != pc["missing_pages"]:
+                return fail(path, f"guest {gid}: fault accounting does not balance")
+            fns = pc["fault_ns"]
+            if not all(k in fns for k in ("p50", "p99", "max")):
+                return fail(path, f"guest {gid}: fault_ns lacks p50/p99/max")
+            n_faults += pc["demand_faults"]
+        elif pc is not None:
+            return fail(path, f"guest {gid}: precopy migration carries postcopy stats")
+    print(f"OK   {path}: drain_report mode={doc['mode']} "
+          f"{len(doc['guests'])} guests, {n_faults} demand faults")
+    return True
+
+
+def check_postcopy_faster(pre_path, post_path):
+    with open(pre_path) as f:
+        pre = json.load(f)
+    with open(post_path) as f:
+        post = json.load(f)
+    if pre.get("mode") != "precopy":
+        return fail(pre_path, "expected a precopy leg")
+    if post.get("mode") != "postcopy":
+        return fail(post_path, "expected a postcopy leg")
+    pre_p50 = pre["blackout_ns"]["p50"]
+    post_p50 = post["blackout_ns"]["p50"]
+    if post_p50 >= pre_p50:
+        return fail(post_path, f"postcopy blackout p50 {post_p50} is not below "
+                               f"precopy p50 {pre_p50}")
+    if post["postcopy"]["missing_pages"] == 0:
+        return fail(post_path, "postcopy leg left no pages behind — nothing was deferred")
+    print(f"OK   postcopy p50 {post_p50} < precopy p50 {pre_p50} "
+          f"({pre_p50 - post_p50} ns saved, "
+          f"{post['postcopy']['demand_faults']} demand faults)")
+    return True
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--trace")
@@ -185,6 +283,18 @@ def main():
         "--expect-alert",
         action="store_true",
         help="fail unless the --slo report contains at least one alert",
+    )
+    ap.add_argument(
+        "--drain",
+        action="append",
+        default=[],
+        help="drain_report JSON to schema-check (repeatable)",
+    )
+    ap.add_argument(
+        "--expect-postcopy-faster",
+        nargs=2,
+        metavar=("PRE", "POST"),
+        help="fail unless POST's blackout p50 beats PRE's",
     )
     args = ap.parse_args()
 
@@ -197,8 +307,14 @@ def main():
         ok = check_record(args.record) and ok
     if args.slo:
         ok = check_slo(args.slo, expect_alert=args.expect_alert) and ok
-    if not (args.trace or args.timeseries or args.record or args.slo):
-        ap.error("nothing to validate: pass --trace/--timeseries/--record/--slo")
+    for path in args.drain:
+        ok = check_drain(path) and ok
+    if args.expect_postcopy_faster:
+        ok = check_postcopy_faster(*args.expect_postcopy_faster) and ok
+    if not (args.trace or args.timeseries or args.record or args.slo
+            or args.drain or args.expect_postcopy_faster):
+        ap.error("nothing to validate: pass --trace/--timeseries/--record/"
+                 "--slo/--drain/--expect-postcopy-faster")
     return 0 if ok else 1
 
 
