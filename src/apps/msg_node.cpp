@@ -89,6 +89,23 @@ common::Result<VQpn> MsgNode::qp_to(GuestId peer) const {
 }
 
 Status MsgNode::send(GuestId peer_id, const common::Bytes& payload) {
+  if (gate_armed_) {
+    if (!peers_.contains(peer_id)) return common::err(Errc::not_found, "peer not connected");
+    if (payload.size() + 4 > config_.max_msg) {
+      return common::err(Errc::invalid_argument, "message exceeds slot size");
+    }
+    GatedMsg m;
+    m.peer = peer_id;
+    m.payload = payload;
+    m.epoch = gate_epoch_;
+    m.enqueued = proc_->loop().now();
+    gate_q_.push_back(std::move(m));
+    return Status::ok();
+  }
+  return send_now(peer_id, payload);
+}
+
+Status MsgNode::send_now(GuestId peer_id, const common::Bytes& payload) {
   auto it = peers_.find(peer_id);
   if (it == peers_.end()) return common::err(Errc::not_found, "peer not connected");
   Peer& peer = it->second;
@@ -122,6 +139,67 @@ Status MsgNode::send(GuestId peer_id, const common::Bytes& payload) {
   peer.send_credits--;
   sent_++;
   return Status::ok();
+}
+
+void MsgNode::arm_output_commit(std::uint64_t epoch) {
+  gate_armed_ = true;
+  gate_epoch_ = epoch;
+  gate_release_mark_ = -1;
+}
+
+void MsgNode::disarm_output_commit() {
+  // Everything still held becomes releasable; leftover entries (window
+  // pressure) keep draining from ticks until the queue is empty.
+  gate_release_mark_ = static_cast<std::int64_t>(gate_epoch_);
+  drain_gate();
+  gate_armed_ = false;
+}
+
+void MsgNode::release_through(std::uint64_t epoch) {
+  if (static_cast<std::int64_t>(epoch) > gate_release_mark_) {
+    gate_release_mark_ = static_cast<std::int64_t>(epoch);
+  }
+  drain_gate();
+}
+
+void MsgNode::resync_window() {
+  for (auto& [pid, peer] : peers_) {
+    peer.send_credits = config_.depth;
+    if (!peer.send_ts.empty()) {
+      peer.send_ts.assign(config_.depth, 0);
+      peer.send_bytes.assign(config_.depth, 0);
+    }
+  }
+}
+
+std::size_t MsgNode::drop_uncommitted(std::uint64_t committed_epoch) {
+  std::size_t dropped = 0;
+  while (!gate_q_.empty() && gate_q_.back().epoch > committed_epoch) {
+    gate_q_.pop_back();
+    dropped++;
+  }
+  gate_dropped_ += dropped;
+  return dropped;
+}
+
+void MsgNode::drain_gate() {
+  while (!gate_q_.empty() &&
+         static_cast<std::int64_t>(gate_q_.front().epoch) <= gate_release_mark_) {
+    GatedMsg& m = gate_q_.front();
+    const Status st = send_now(m.peer, m.payload);
+    if (!st.is_ok()) {
+      // Window full (or peer gone mid-failover): retry from the next tick.
+      if (st.code() != Errc::resource_exhausted) {
+        errors_++;
+        gate_q_.pop_front();
+        continue;
+      }
+      return;
+    }
+    release_delay_.record(proc_->loop().now() - m.enqueued);
+    gate_released_++;
+    gate_q_.pop_front();
+  }
 }
 
 void MsgNode::start() {
@@ -159,6 +237,7 @@ void MsgNode::repost_recv(Peer& peer, std::uint64_t wr_id) {
 }
 
 void MsgNode::tick() {
+  if (!gate_q_.empty()) drain_gate();
   Cqe batch[32];
   for (;;) {
     const int n = guest_->poll_cq(cq_, batch);
@@ -205,7 +284,9 @@ void MsgNode::tick() {
           sli_->rtt(now, now - peer->send_ts[slot]);
           sli_->delivered(now, peer->send_bytes[slot]);
         }
-        peer->send_credits++;
+        // Clamped: a completion of a pre-failover WR replayed on a restored
+        // QP must not push the window past its depth.
+        peer->send_credits = std::min(peer->send_credits + 1, config_.depth);
       }
     }
     if (n < 32) break;

@@ -44,7 +44,42 @@ class MsgNode : public migrlib::MigratableApp {
 
   /// Queue a message to a connected peer. Fails with resource_exhausted
   /// when the send window is full (caller retries on its next tick).
+  /// While the output-commit gate is armed, the message is buffered in the
+  /// release queue instead of hitting the wire and always succeeds.
   common::Status send(GuestId peer, const common::Bytes& payload);
+
+  // -- Output-commit gate (continuous FT, Remus/COLO semantics) ------------
+  // The FT controller arms the gate on a protected primary: every send()
+  // buffers tagged with the current checkpoint epoch, and only flushes once
+  // the backup ACKs that epoch — so a mid-epoch primary kill is externally
+  // invisible. Messages of uncommitted epochs are dropped at failover; the
+  // backup resumes from the committed state that never generated them.
+  /// Arm the gate; messages buffered from now on belong to `epoch`.
+  void arm_output_commit(std::uint64_t epoch);
+  /// Disarm and flush everything still held (protection dropped cleanly).
+  void disarm_output_commit();
+  /// A new checkpoint interval opened: subsequent sends belong to `epoch`.
+  void set_output_epoch(std::uint64_t epoch) noexcept { gate_epoch_ = epoch; }
+  /// The backup ACKed `epoch`: release every held message it covers. Wire
+  /// posting respects send-window credits; leftovers drain on later ticks.
+  void release_through(std::uint64_t epoch);
+  /// Failover promotion: drop held messages of epochs newer than
+  /// `committed_epoch` (never externally visible). Returns the drop count.
+  std::size_t drop_uncommitted(std::uint64_t committed_epoch);
+  /// Failover promotion: sends in flight at the kill point completed
+  /// nowhere — the promoted QP state (captured at the committed epoch) has
+  /// no record of them, so their CQEs never arrive and the credits they
+  /// hold would leak. Reset every peer window to full and drop the stale
+  /// RTT bookkeeping.
+  void resync_window();
+
+  bool output_commit_armed() const noexcept { return gate_armed_; }
+  std::size_t gated_pending() const noexcept { return gate_q_.size(); }
+  std::uint64_t gate_released() const noexcept { return gate_released_; }
+  std::uint64_t gate_dropped() const noexcept { return gate_dropped_; }
+  /// Hold time (enqueue -> wire post) of released messages: the
+  /// output-commit latency tax.
+  const obs::Histogram& release_delay() const noexcept { return release_delay_; }
 
   void set_handler(Handler handler) { handler_ = std::move(handler); }
   /// Completions that are not message traffic (e.g. one-sided data WRs an
@@ -91,9 +126,19 @@ class MsgNode : public migrlib::MigratableApp {
     std::vector<std::uint32_t> send_bytes;
   };
 
+  struct GatedMsg {
+    GuestId peer = 0;
+    common::Bytes payload;
+    std::uint64_t epoch = 0;
+    sim::TimeNs enqueued = 0;
+  };
+
   void tick();
   void repost_recv(Peer& peer, std::uint64_t wr_id);
   Peer* peer_by_vqpn(VQpn vqpn);
+  common::Status send_now(GuestId peer_id, const common::Bytes& payload);
+  /// Post released-but-unflushed gate entries while credits allow.
+  void drain_gate();
 
   MigrRdmaRuntime* runtime_;
   proc::SimProcess* proc_;
@@ -111,6 +156,16 @@ class MsgNode : public migrlib::MigratableApp {
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t errors_ = 0;
+
+  // Output-commit gate state. The queue is epoch-ordered by construction
+  // (epochs only move forward); entries up to the release mark drain FIFO.
+  std::deque<GatedMsg> gate_q_;
+  bool gate_armed_ = false;
+  std::uint64_t gate_epoch_ = 0;
+  std::int64_t gate_release_mark_ = -1;  // highest ACKed epoch; -1 = none
+  std::uint64_t gate_released_ = 0;
+  std::uint64_t gate_dropped_ = 0;
+  obs::Histogram release_delay_{obs::Histogram::kDefaultExactCapacity};
 };
 
 }  // namespace migr::apps

@@ -1,0 +1,82 @@
+#include "cluster/ft_plan.hpp"
+
+#include <algorithm>
+
+namespace migr::cluster {
+
+using common::Errc;
+
+FtPlanner::FtPlanner(ClusterModel& model, FtPlanOptions options)
+    : model_(model), options_(std::move(options)), policy_(make_policy(options_.policy)) {}
+
+sim::DurationNs FtPlanner::epoch_interval_for(const TrafficProfile& profile) const {
+  const double rate = profile.dirty_bytes_per_sec();
+  if (rate <= 0) return options_.default_epoch_interval;
+  const double sec = static_cast<double>(options_.epoch_byte_budget) / rate;
+  const auto iv = static_cast<sim::DurationNs>(sec * sim::kSecond);
+  return std::clamp(iv, options_.min_epoch_interval, options_.max_epoch_interval);
+}
+
+common::Result<FtPlanEntry> FtPlanner::plan(GuestId guest) {
+  const net::HostId primary = model_.host_of(guest);
+  if (primary == 0) return common::err(Errc::not_found, "guest not placed");
+
+  // Standby candidates: migration-placeable hosts minus every host holding
+  // a messaging partner (a shared failure domain would make one host loss
+  // take out guest and partner together).
+  std::vector<net::HostId> eligible = model_.placeable_hosts(primary);
+  for (GuestId pid : model_.partners_of(guest)) {
+    const net::HostId ph = model_.host_of(pid);
+    eligible.erase(std::remove(eligible.begin(), eligible.end(), ph), eligible.end());
+  }
+  if (eligible.empty()) {
+    return common::err(Errc::not_found, "no eligible standby host");
+  }
+
+  // Let the configured policy choose; when its pick is a partner host (the
+  // policy does not know about the exclusion), fall back to the
+  // least-loaded rule over the filtered set — same tie-breaks, still
+  // deterministic.
+  net::HostId backup = 0;
+  if (auto picked = policy_->pick(model_, guest, primary);
+      picked.is_ok() &&
+      std::find(eligible.begin(), eligible.end(), picked.value()) != eligible.end()) {
+    backup = picked.value();
+  } else {
+    backup = eligible.front();
+    for (net::HostId h : eligible) {
+      const auto lhs = std::make_tuple(model_.guest_count(h), model_.traffic_weight(h), h);
+      const auto rhs = std::make_tuple(model_.guest_count(backup),
+                                       model_.traffic_weight(backup), backup);
+      if (lhs < rhs) backup = h;
+    }
+  }
+
+  FtPlanEntry entry;
+  entry.guest = guest;
+  entry.primary = primary;
+  entry.backup = backup;
+  const TrafficProfile* profile = model_.profile_of(guest);
+  entry.epoch_interval =
+      profile != nullptr ? epoch_interval_for(*profile) : options_.default_epoch_interval;
+  return entry;
+}
+
+std::vector<FtPlanEntry> FtPlanner::plan_all() {
+  std::vector<FtPlanEntry> out;
+  for (GuestId id : model_.all_guests()) {
+    auto entry = plan(id);
+    if (entry.is_ok()) out.push_back(entry.value());
+  }
+  return out;
+}
+
+ft::FtOptions FtPlanner::options_for(const FtPlanEntry& entry, ft::FtOptions base) const {
+  base.epoch_interval = entry.epoch_interval;
+  base.epoch_byte_budget = options_.epoch_byte_budget;
+  base.min_epoch_interval = options_.min_epoch_interval;
+  base.max_epoch_interval = options_.max_epoch_interval;
+  return base;
+}
+
+}  // namespace migr::cluster

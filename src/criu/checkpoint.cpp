@@ -64,6 +64,21 @@ Result<Checkpointer::Dump> Checkpointer::final_dump() {
   return dump;
 }
 
+Result<Checkpointer::EpochDump> Checkpointer::epoch_dump() {
+  if (!src_.frozen()) {
+    return common::err(Errc::failed_precondition, "epoch dump requires a frozen process");
+  }
+  const bool full = !first_done_;
+  first_done_ = true;
+  Dump d = dump_common(full);
+  EpochDump out;
+  out.epoch = epoch_++;
+  out.image = std::move(d.image);
+  out.pages = std::move(d.pages);
+  out.cost = d.cost + costs_.freeze;
+  return out;
+}
+
 Result<Checkpointer::LazyDump> Checkpointer::final_dump_lazy() {
   if (!src_.frozen()) {
     return common::err(Errc::failed_precondition, "final dump requires a frozen process");

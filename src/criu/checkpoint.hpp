@@ -90,6 +90,22 @@ class Checkpointer {
   /// convergence decision.
   std::size_t pending_dirty() const { return src_.mem().dirty_count(); }
 
+  /// Epoch-scoped incremental dump for continuous fault tolerance
+  /// (COLO/Remus micro-checkpointing). Epoch 0 is a full dump; every later
+  /// epoch ships only pages dirtied since the previous epoch was captured —
+  /// a quiet guest's steady-state epochs are near-empty. Requires a frozen
+  /// process (the FT controller brief-freezes per epoch), and charges the
+  /// freeze cost like final_dump(); unlike final_dump() it does not mark
+  /// the dump terminal, so epochs keep flowing for the guest's lifetime.
+  struct EpochDump {
+    std::uint64_t epoch = 0;  // 0 = full image, N>0 = incremental
+    MemoryImage image;        // current VMA table (full, every epoch)
+    PageSet pages;            // full on epoch 0, dirty-only afterwards
+    sim::DurationNs cost = 0;
+  };
+  common::Result<EpochDump> epoch_dump();
+  std::uint64_t epochs_dumped() const noexcept { return epoch_; }
+
   const CriuCosts& costs() const { return costs_; }
 
  private:
@@ -98,6 +114,7 @@ class Checkpointer {
   proc::SimProcess& src_;
   CriuCosts costs_;
   bool first_done_ = false;
+  std::uint64_t epoch_ = 0;
 };
 
 /// Destination-side restorer.

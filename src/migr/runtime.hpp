@@ -45,8 +45,34 @@ class GuestDirectory {
   void register_runtime(net::HostId host, MigrRdmaRuntime* runtime) {
     runtimes_[host] = runtime;
   }
+  /// Cooperative placement: initial registration (create_guest) and the
+  /// migration commit point (adopt_guest), where the old owner has already
+  /// released the guest. Failover promotion must NOT use this — the dead
+  /// primary never releases anything; use takeover() instead.
   void place(GuestId guest, net::HostId host) { placement_[guest] = host; }
   void remove(GuestId guest) { placement_.erase(guest); }
+
+  /// Exactly-once failover takeover: compare-and-swap the guest's placement
+  /// from the (presumed-dead) `from` host to `to`. The first backup to claim
+  /// the guest wins; any later attempt — the same backup retrying, or a
+  /// second backup racing — sees the stale `from` and fails loudly instead
+  /// of silently overwriting the winner's claim.
+  common::Status takeover(GuestId guest, net::HostId from, net::HostId to) {
+    auto it = placement_.find(guest);
+    if (it == placement_.end()) {
+      return common::err(common::Errc::not_found, "takeover: guest has no placement");
+    }
+    if (it->second == to) {
+      return common::err(common::Errc::failed_precondition,
+                         "takeover: guest already taken over by this host (double takeover)");
+    }
+    if (it->second != from) {
+      return common::err(common::Errc::failed_precondition,
+                         "takeover: guest is not owned by the claimed-dead host");
+    }
+    it->second = to;
+    return common::Status::ok();
+  }
 
   /// Current host of a guest; 0 if unknown.
   net::HostId locate(GuestId guest) const {

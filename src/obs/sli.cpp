@@ -17,6 +17,7 @@ const char* service_phase_name(ServicePhase p) noexcept {
     case ServicePhase::frozen: return "frozen";
     case ServicePhase::recovery: return "recovery";
     case ServicePhase::postcopy: return "postcopy";
+    case ServicePhase::ft_buffered: return "ft_buffered";
   }
   return "?";
 }
@@ -250,6 +251,20 @@ void SliHub::on_migration_end(std::uint32_t id, sim::TimeNs now) {
   if (g->phase_ != ServicePhase::recovery) {
     // Abort / failure before resume: the service kept running (or was
     // rolled back) on the source; attribution-wise it is idle again.
+    g->set_phase(now, ServicePhase::idle, -1);
+  }
+}
+
+void SliHub::on_ft_protected(std::uint32_t id, sim::TimeNs now) {
+  GuestSli* g = enabled() ? find(id) : nullptr;
+  if (!g) return;
+  g->set_phase(now, ServicePhase::ft_buffered, -1);
+}
+
+void SliHub::on_ft_released(std::uint32_t id, sim::TimeNs now) {
+  GuestSli* g = enabled() ? find(id) : nullptr;
+  if (!g) return;
+  if (g->phase_ == ServicePhase::ft_buffered) {
     g->set_phase(now, ServicePhase::idle, -1);
   }
 }

@@ -46,8 +46,11 @@ class SloEngine;
 /// What the guest's service was doing while a window accumulated.
 /// `postcopy` is the degraded-but-alive stretch after a post-copy resume,
 /// while missing pages still demand-fault back from the source; it sits
-/// between frozen and recovery in the episode timeline.
-enum class ServicePhase : std::uint8_t { idle, precopy, frozen, recovery, postcopy };
+/// between frozen and recovery in the episode timeline. `ft_buffered` is
+/// the continuous-FT steady state: the service runs, but egress is held in
+/// the output-commit queue until the covering checkpoint epoch is ACKed —
+/// brownout attribution shows the output-commit tax as this phase.
+enum class ServicePhase : std::uint8_t { idle, precopy, frozen, recovery, postcopy, ft_buffered };
 
 const char* service_phase_name(ServicePhase p) noexcept;
 
@@ -217,6 +220,13 @@ class SliHub {
   void on_postcopy_drained(std::uint32_t id, sim::TimeNs now);
   /// Abort/failure: back to idle attribution-wise (rolled-back service).
   void on_migration_end(std::uint32_t id, sim::TimeNs now);
+
+  // -- Continuous-FT hooks -------------------------------------------------
+  /// FT protection armed: egress buffers until epochs commit; windows tag
+  /// `ft_buffered` so the output-commit latency tax is attributable.
+  void on_ft_protected(std::uint32_t id, sim::TimeNs now);
+  /// FT protection dropped (unprotect or post-failover recovery done).
+  void on_ft_released(std::uint32_t id, sim::TimeNs now);
 
   /// Close every guest's live window at `now` (call before reading/export).
   void flush(sim::TimeNs now);

@@ -309,5 +309,46 @@ TEST_F(CriuTest, RestoreLifecycleGuards) {
   EXPECT_EQ(restorer.finish().code(), Errc::failed_precondition);
 }
 
+TEST_F(CriuTest, EpochDumpsShrinkToDirtySetForQuietGuest) {
+  // Continuous-FT micro-checkpointing: epoch 0 carries the full image; a
+  // later epoch carries only what was dirtied since the previous one, so a
+  // quiet guest's steady-state epochs are near-empty.
+  const VirtAddr va = alloc_filled(src_, 64 * kPageSize, 0xAB);
+  Checkpointer ckpt(src_);
+
+  // Requires a frozen process, like final_dump.
+  EXPECT_EQ(ckpt.epoch_dump().code(), Errc::failed_precondition);
+
+  src_.freeze();
+  auto e0 = ckpt.epoch_dump();
+  ASSERT_TRUE(e0.is_ok());
+  EXPECT_EQ(e0->epoch, 0u);
+  EXPECT_EQ(e0->pages.pages.size(), 64u);
+  src_.thaw();
+
+  // Touch two pages between epochs.
+  const std::uint8_t b = 0xCD;
+  ASSERT_TRUE(src_.mem().write(va + 3 * kPageSize, {&b, 1}).is_ok());
+  ASSERT_TRUE(src_.mem().write(va + 40 * kPageSize, {&b, 1}).is_ok());
+
+  src_.freeze();
+  auto e1 = ckpt.epoch_dump();
+  ASSERT_TRUE(e1.is_ok());
+  EXPECT_EQ(e1->epoch, 1u);
+  EXPECT_EQ(e1->pages.pages.size(), 2u);
+  // The incremental epoch is a small fraction of the full image.
+  EXPECT_LT(e1->pages.byte_size() * 8, e0->pages.byte_size());
+  src_.thaw();
+
+  // A fully quiet interval dumps zero pages; epochs are not terminal, so
+  // they keep flowing.
+  src_.freeze();
+  auto e2 = ckpt.epoch_dump();
+  ASSERT_TRUE(e2.is_ok());
+  EXPECT_EQ(e2->epoch, 2u);
+  EXPECT_TRUE(e2->pages.pages.empty());
+  EXPECT_EQ(ckpt.epochs_dumped(), 3u);
+}
+
 }  // namespace
 }  // namespace migr::criu

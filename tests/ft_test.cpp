@@ -1,0 +1,420 @@
+// Continuous fault tolerance: micro-checkpoint epochs, output commit, and
+// failover promotion.
+//
+//  * happy path: protect -> epochs commit -> clean unprotect; the release
+//    queue flushed everything, the receiver saw a gapless stream, and the
+//    ft_report validates (epoch accounting, monotone commits);
+//  * output-commit invariant: kill the primary mid-traffic; no client-
+//    visible message from an uncommitted epoch (a leak would surface as a
+//    duplicate sequence number after the promoted guest regenerates it);
+//  * exactly-once takeover: the GuestDirectory CAS fails loudly on double
+//    takeover and wrong-owner claims;
+//  * failover waterfall: detect/promote/restore/re_arm/recovery slices tile
+//    [killed_at, resume_at] with no gaps (same invariant as migration);
+//  * determinism guard: two seeded kill-primary runs produce byte-identical
+//    ft_report JSON;
+//  * kill-time sweep: kills across epoch boundaries never release
+//    uncommitted output.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/ft_plan.hpp"
+#include "ft/ft.hpp"
+#include "rnic/world.hpp"
+
+namespace migr {
+namespace {
+
+using common::Status;
+using migrlib::GuestDirectory;
+using migrlib::GuestId;
+using migrlib::MigrRdmaRuntime;
+
+constexpr GuestId kPrimaryGuest = 10;
+constexpr GuestId kPartnerGuest = 20;
+
+// A sequence-numbered traffic source whose counter lives in *guest memory*:
+// it checkpoints with the epochs and rolls back on promotion, so after a
+// failover the app regenerates exactly the sends the committed state never
+// produced. Any uncommitted message that leaked to the wire before the kill
+// therefore shows up at the receiver as a duplicate sequence number.
+class SeqTraffic : public migrlib::MigratableApp {
+ public:
+  SeqTraffic(apps::MsgNode& node, GuestId peer, sim::DurationNs interval)
+      : node_(&node), peer_(peer), interval_(interval) {}
+
+  void start(proc::SimProcess& p) {
+    proc_ = &p;
+    seq_addr_ = p.mem().mmap(proc::kPageSize, "seq_counter").value();
+    write_seq(0);
+    spawn();
+  }
+
+  void on_migrated(proc::SimProcess& new_proc) override {
+    node_->on_migrated(new_proc);
+    proc_ = &new_proc;
+    task_.cancel();
+    spawn();
+  }
+
+ private:
+  void spawn() {
+    task_ = proc_->spawn_poller(interval_, [this] { tick(); });
+  }
+
+  void tick() {
+    std::vector<std::uint8_t> raw(8);
+    if (!proc_->mem().read(seq_addr_, raw).is_ok()) return;
+    common::ByteReader r{raw};
+    const std::uint64_t seq = r.u64().value();
+    common::ByteWriter w;
+    w.u64(seq);
+    if (node_->send(peer_, w.data()).is_ok()) write_seq(seq + 1);
+  }
+
+  void write_seq(std::uint64_t v) {
+    common::ByteWriter w;
+    w.u64(v);
+    ASSERT_TRUE(proc_->mem().write(seq_addr_, w.data()).is_ok());
+  }
+
+  apps::MsgNode* node_;
+  GuestId peer_;
+  sim::DurationNs interval_;
+  proc::SimProcess* proc_ = nullptr;
+  proc::VirtAddr seq_addr_ = 0;
+  sim::EventHandle task_;
+};
+
+// Three hosts: primary (1), standby (2), partner (3). One protected guest
+// streaming sequence numbers to a partner on the third host.
+class FtScenario {
+ public:
+  static ft::FtOptions fast_options() {
+    ft::FtOptions o;
+    o.criu_costs.freeze = sim::usec(50);
+    o.criu_costs.dump_base = sim::usec(300);
+    o.criu_costs.final_restore_base = sim::msec(2);
+    o.epoch_interval = sim::msec(1);
+    o.heartbeat_interval = sim::msec(1);
+    return o;
+  }
+
+  explicit FtScenario(std::uint64_t seed, ft::FtOptions options = fast_options())
+      : world_({}, seed) {
+    for (net::HostId h : {1, 2, 3}) {
+      devices_[h - 1] = &world_.add_device(h);
+      runtimes_[h - 1] =
+          std::make_unique<MigrRdmaRuntime>(directory_, *devices_[h - 1], world_.fabric());
+    }
+    primary_proc_ = &world_.add_process("primary");
+    partner_proc_ = &world_.add_process("partner");
+    backup_proc_ = &world_.add_process("backup");
+    a_ = std::make_unique<apps::MsgNode>(*runtimes_[0], *primary_proc_, kPrimaryGuest);
+    b_ = std::make_unique<apps::MsgNode>(*runtimes_[2], *partner_proc_, kPartnerGuest);
+    EXPECT_TRUE(apps::MsgNode::connect(*a_, *b_).is_ok());
+    a_->start();
+    b_->start();
+    b_->set_handler([this](GuestId, const common::Bytes& payload) {
+      common::ByteReader r{payload};
+      auto s = r.u64();
+      if (s.is_ok()) received_.push_back(s.value());
+    });
+    traffic_ = std::make_unique<SeqTraffic>(*a_, kPartnerGuest, sim::usec(200));
+    traffic_->start(*primary_proc_);
+    ctrl_ = std::make_unique<ft::FtController>(world_.loop(), world_.fabric(), directory_,
+                                               options);
+  }
+
+  Status protect() {
+    return ctrl_->protect(
+        kPrimaryGuest, /*backup_host=*/2, *backup_proc_, traffic_.get(), a_.get(),
+        [this](const Status& st) {
+          ready_ = true;
+          ready_status_ = st;
+        },
+        [this](const ft::FtReport& r) {
+          done_ = true;
+          report_ = r;
+        });
+  }
+
+  void run_for(sim::DurationNs d) { world_.loop().run_until(world_.loop().now() + d); }
+
+  /// Run until protection is live (full sync committed) or `deadline`.
+  bool run_until_protected(sim::DurationNs deadline = sim::msec(100)) {
+    const sim::TimeNs end = world_.loop().now() + deadline;
+    while (!ready_ && world_.loop().now() < end) run_for(sim::usec(100));
+    return ready_ && ready_status_.is_ok();
+  }
+
+  bool run_until_done(sim::DurationNs deadline = sim::msec(200)) {
+    const sim::TimeNs end = world_.loop().now() + deadline;
+    while (!done_ && world_.loop().now() < end) run_for(sim::usec(100));
+    return done_;
+  }
+
+  rnic::World world_;
+  GuestDirectory directory_;
+  rnic::Device* devices_[3] = {};
+  std::unique_ptr<MigrRdmaRuntime> runtimes_[3];
+  proc::SimProcess* primary_proc_ = nullptr;
+  proc::SimProcess* partner_proc_ = nullptr;
+  proc::SimProcess* backup_proc_ = nullptr;
+  std::unique_ptr<apps::MsgNode> a_;
+  std::unique_ptr<apps::MsgNode> b_;
+  std::unique_ptr<SeqTraffic> traffic_;
+  std::unique_ptr<ft::FtController> ctrl_;
+  std::vector<std::uint64_t> received_;
+  bool ready_ = false;
+  Status ready_status_ = Status::ok();
+  bool done_ = false;
+  ft::FtReport report_;
+};
+
+void expect_strictly_increasing(const std::vector<std::uint64_t>& seqs) {
+  for (std::size_t i = 1; i < seqs.size(); ++i) {
+    ASSERT_LT(seqs[i - 1], seqs[i])
+        << "duplicate or reordered seq at index " << i << ": " << seqs[i - 1] << " then "
+        << seqs[i] << " (uncommitted output leaked?)";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Happy path
+// ---------------------------------------------------------------------------
+
+TEST(FtController, ProtectCommitsEpochsAndUnprotectsCleanly) {
+  FtScenario s(/*seed=*/42);
+  ASSERT_TRUE(s.protect().is_ok());
+  ASSERT_TRUE(s.run_until_protected());
+  s.run_for(sim::msec(50));
+  EXPECT_TRUE(s.ctrl_->is_protected());
+  EXPECT_GE(s.ctrl_->committed_epoch(), 3u);
+
+  s.ctrl_->unprotect();
+  s.run_for(sim::msec(5));  // leftover gate entries drain from ticks
+  ASSERT_TRUE(s.done_);
+  const ft::FtReport& r = s.report_;
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.failed_over);
+  EXPECT_GE(r.epochs_committed, 3u);
+  EXPECT_GT(r.full_sync_bytes, 0u);
+  EXPECT_GT(r.msgs_released, 0u);
+  EXPECT_EQ(r.msgs_dropped, 0u);
+  // Output commit delays egress by up to a commit latency: the tax is real
+  // and measured.
+  EXPECT_GT(r.release_delay_p99, 0);
+
+  // Nothing lost, nothing duplicated, nothing reordered on a clean run.
+  s.run_for(sim::msec(5));
+  ASSERT_FALSE(s.received_.empty());
+  expect_strictly_increasing(s.received_);
+  for (std::size_t i = 0; i < s.received_.size(); ++i) {
+    ASSERT_EQ(s.received_[i], i) << "gap in clean-run delivery";
+  }
+}
+
+TEST(FtController, EpochAccountingBalancesAndCommitsAreMonotone) {
+  FtScenario s(/*seed=*/42);
+  ASSERT_TRUE(s.protect().is_ok());
+  ASSERT_TRUE(s.run_until_protected());
+  s.run_for(sim::msec(30));
+  s.ctrl_->unprotect();
+  ASSERT_TRUE(s.done_);
+  const ft::FtReport& r = s.report_;
+
+  std::uint64_t incr_wire = 0;
+  sim::TimeNs last_commit = 0;
+  std::uint64_t last_epoch = 0;
+  bool first = true;
+  for (const auto& e : r.epochs) {
+    if (!first) {
+      EXPECT_GT(e.epoch, last_epoch) << "epoch numbers must increase";
+    }
+    if (e.epoch >= 1) incr_wire += e.wire_bytes;
+    if (e.committed_at != 0) {
+      EXPECT_GE(e.committed_at, last_commit) << "commit times must be monotone";
+      EXPECT_GE(e.committed_at, e.captured_at);
+      last_commit = e.committed_at;
+    }
+    last_epoch = e.epoch;
+    first = false;
+  }
+  EXPECT_EQ(r.epoch_bytes_total, incr_wire);
+  EXPECT_GE(r.xfer_bytes_attempted, r.full_sync_bytes + r.epoch_bytes_total);
+  // Quiet-ish guest: a steady-state epoch is far smaller than the full sync.
+  ASSERT_GE(r.epochs.size(), 3u);
+  EXPECT_LT(r.epochs[2].wire_bytes, r.full_sync_bytes / 4);
+}
+
+// ---------------------------------------------------------------------------
+// Failover
+// ---------------------------------------------------------------------------
+
+TEST(FtController, KillPrimaryPromotesBackupWithoutUncommittedOutput) {
+  FtScenario s(/*seed=*/42);
+  ASSERT_TRUE(s.protect().is_ok());
+  ASSERT_TRUE(s.run_until_protected());
+  s.run_for(sim::msec(20));
+  const std::size_t received_before_kill = s.received_.size();
+  ASSERT_GT(received_before_kill, 0u);
+
+  s.ctrl_->kill_primary();
+  ASSERT_TRUE(s.run_until_done());
+  const ft::FtReport& r = s.report_;
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.failed_over);
+  EXPECT_EQ(s.directory_.locate(kPrimaryGuest), 2u) << "guest must live on the standby";
+  EXPECT_GT(r.promoted_epoch, 0u);
+  EXPECT_GT(r.resume_at, r.killed_at);
+  EXPECT_GT(r.detected_at, r.killed_at);
+
+  // The service must actually resume: new messages arrive after promotion.
+  s.run_for(sim::msec(30));
+  ASSERT_GT(s.received_.size(), received_before_kill)
+      << "no messages delivered after failover";
+
+  // The output-commit invariant: a message released from an uncommitted
+  // epoch would be regenerated by the promoted guest and appear twice.
+  expect_strictly_increasing(s.received_);
+
+  // Wire-level in-flight loss at the kill is bounded by the send window;
+  // everything else is gapless.
+  std::uint64_t gap = 0;
+  for (std::size_t i = 1; i < s.received_.size(); ++i) {
+    gap += s.received_[i] - s.received_[i - 1] - 1;
+  }
+  gap += s.received_.front();
+  EXPECT_LE(gap, 32u) << "more messages lost than the in-flight window";
+}
+
+TEST(FtController, FailoverWaterfallTilesKilledToResume) {
+  FtScenario s(/*seed=*/42);
+  ASSERT_TRUE(s.protect().is_ok());
+  ASSERT_TRUE(s.run_until_protected());
+  s.run_for(sim::msec(10));
+  s.ctrl_->kill_primary();
+  ASSERT_TRUE(s.run_until_done());
+  const ft::FtReport& r = s.report_;
+  ASSERT_TRUE(r.failed_over);
+
+  ASSERT_GE(r.waterfall.size(), 5u);
+  EXPECT_EQ(r.waterfall.front().name, "detect");
+  EXPECT_EQ(r.waterfall.back().name, "recovery");
+  sim::TimeNs cursor = r.killed_at;
+  for (const auto& slice : r.waterfall) {
+    EXPECT_EQ(slice.start, cursor) << "gap before slice " << slice.name;
+    cursor += slice.dur;
+  }
+  EXPECT_EQ(cursor, r.resume_at) << "waterfall must end exactly at resume";
+  EXPECT_EQ(r.waterfall_total(), r.failover_blackout());
+}
+
+TEST(GuestDirectory, TakeoverSucceedsExactlyOnceAndFailsLoudly) {
+  GuestDirectory d;
+  d.place(kPrimaryGuest, 1);
+
+  EXPECT_TRUE(d.takeover(kPrimaryGuest, 1, 2).is_ok());
+  EXPECT_EQ(d.locate(kPrimaryGuest), 2u);
+
+  // Double takeover by the same claimant: loud, not silent.
+  auto again = d.takeover(kPrimaryGuest, 1, 2);
+  ASSERT_FALSE(again.is_ok());
+  EXPECT_EQ(again.code(), common::Errc::failed_precondition);
+
+  // Wrong-owner claim (e.g. a stale watchdog naming the old primary).
+  auto stale = d.takeover(kPrimaryGuest, 1, 3);
+  ASSERT_FALSE(stale.is_ok());
+  EXPECT_EQ(stale.code(), common::Errc::failed_precondition);
+  EXPECT_EQ(d.locate(kPrimaryGuest), 2u) << "failed takeover must not move the guest";
+
+  auto missing = d.takeover(999, 1, 2);
+  ASSERT_FALSE(missing.is_ok());
+  EXPECT_EQ(missing.code(), common::Errc::not_found);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism + kill-time sweep
+// ---------------------------------------------------------------------------
+
+std::string run_kill_scenario(std::uint64_t seed, sim::DurationNs kill_after) {
+  FtScenario s(seed);
+  EXPECT_TRUE(s.protect().is_ok());
+  EXPECT_TRUE(s.run_until_protected());
+  s.run_for(kill_after);
+  s.ctrl_->kill_primary();
+  EXPECT_TRUE(s.run_until_done());
+  s.run_for(sim::msec(20));
+  expect_strictly_increasing(s.received_);
+  EXPECT_TRUE(s.report_.ok) << s.report_.error;
+  EXPECT_TRUE(s.report_.failed_over);
+  return s.report_.json();
+}
+
+TEST(FtDeterminism, SeededKillRunsProduceByteIdenticalReports) {
+  const std::string first = run_kill_scenario(7, sim::msec(13));
+  const std::string second = run_kill_scenario(7, sim::msec(13));
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << "ft_report must be byte-identical across seeded runs";
+}
+
+TEST(FtProperty, KillsAcrossEpochBoundariesNeverLeakUncommittedOutput) {
+  // Offsets stride ~0.4 ms over several ~1.5 ms epoch cycles, landing kills
+  // mid-freeze, mid-transfer, right after ACKs, and between epochs. The
+  // strictly-increasing assertion inside run_kill_scenario is the property.
+  for (int i = 0; i < 8; ++i) {
+    const sim::DurationNs kill_after = sim::msec(5) + i * sim::usec(397);
+    SCOPED_TRACE("kill_after_ns=" + std::to_string(kill_after));
+    (void)run_kill_scenario(/*seed=*/100 + i, kill_after);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster planning
+// ---------------------------------------------------------------------------
+
+TEST(FtPlanner, StandbyAvoidsPrimaryAndPartnerHosts) {
+  cluster::ClusterConfig cfg;
+  cfg.hosts = 4;
+  cluster::ClusterModel model(cfg);
+  cluster::TrafficProfile busy;
+  busy.send_interval = sim::usec(100);
+  busy.extra_mem_bytes = 1ull << 20;
+  busy.dirty_interval = sim::msec(1);
+  ASSERT_TRUE(model.add_guest(1, 10, busy).is_ok());
+  ASSERT_TRUE(model.add_guest(2, 20, {}).is_ok());
+  ASSERT_TRUE(model.connect_guests(10, 20).is_ok());
+
+  cluster::FtPlanner planner(model);
+  auto plan = planner.plan(10);
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_EQ(plan->primary, 1u);
+  EXPECT_NE(plan->backup, 1u) << "standby on the primary is useless";
+  EXPECT_NE(plan->backup, 2u) << "standby must not share a host with a partner";
+
+  // Dirty-rate-driven cadence: 1 MiB/ms dirty rate against a 256 KiB budget
+  // clamps to the minimum interval.
+  EXPECT_EQ(plan->epoch_interval, cluster::FtPlanOptions{}.min_epoch_interval);
+
+  // A clean guest gets the default cadence.
+  auto idle_plan = planner.plan(20);
+  ASSERT_TRUE(idle_plan.is_ok());
+  EXPECT_EQ(idle_plan->epoch_interval, cluster::FtPlanOptions{}.default_epoch_interval);
+
+  // plan_all covers both and is deterministic.
+  auto all = planner.plan_all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].guest, 10u);
+  EXPECT_EQ(all[1].guest, 20u);
+
+  // options_for forwards the cadence and adaptive budget.
+  ft::FtOptions fo = planner.options_for(plan.value());
+  EXPECT_EQ(fo.epoch_interval, plan->epoch_interval);
+  EXPECT_EQ(fo.epoch_byte_budget, cluster::FtPlanOptions{}.epoch_byte_budget);
+}
+
+}  // namespace
+}  // namespace migr

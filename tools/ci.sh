@@ -4,8 +4,9 @@
 # a perf smoke (simulator event-rate bench vs the checked-in baseline),
 # a blackout-anatomy artifact stage (instrumented lossy drain + schema
 # validation of the trace/timeseries/flight-recorder outputs), a pre-copy
-# vs post-copy drain comparison gated on post-copy's shorter blackout, then
-# the sanitizer pass.
+# vs post-copy drain comparison gated on post-copy's shorter blackout, an
+# FT failover stage (kill-primary under a lossy seed, gated on the output-
+# commit invariant and the validated ft_report), then the sanitizer pass.
 #
 #   tools/ci.sh              # everything
 #   tools/ci.sh --fast       # skip the sanitizer pass
@@ -17,12 +18,12 @@ cd "$REPO_ROOT"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "==> [1/6] plain build + full test suite"
+echo "==> [1/7] plain build + full test suite"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [2/6] lossy-seed suites (fault injection, adversarial migrations, lossy drain)"
+echo "==> [2/7] lossy-seed suites (fault injection, adversarial migrations, lossy drain)"
 # Deterministic seeded runs: the fault scenario suite, every property test
 # that drives traffic through injected loss/reordering/partitions, and the
 # cluster suite (scheduler admission/retry plus the seeded lossy drain with
@@ -30,7 +31,7 @@ echo "==> [2/6] lossy-seed suites (fault injection, adversarial migrations, loss
 ctest --test-dir build --output-on-failure -j "$(nproc)" \
   -R '(ScenarioRunner|MigrationAbort|AdversarialMigrationProperty|TransportProperty|ClusterScheduler|ClusterDrain)'
 
-echo "==> [3/6] perf smoke (bench_simrate vs BENCH_simrate.json baseline)"
+echo "==> [3/7] perf smoke (bench_simrate vs BENCH_simrate.json baseline)"
 # Advisory, not a gate: wall time on shared CI machines is noisy, so a
 # regression prints a loud warning instead of failing the pipeline. The
 # fresh numbers land in build/BENCH_simrate.json for inspection; refresh
@@ -62,7 +63,7 @@ else
   echo "    no checked-in BENCH_simrate.json baseline; skipping comparison"
 fi
 
-echo "==> [4/6] blackout-anatomy artifacts (instrumented lossy drain + schema validation)"
+echo "==> [4/7] blackout-anatomy artifacts (instrumented lossy drain + schema validation)"
 # One seeded lossy drain with the full observability stack armed: Chrome
 # trace, metric time series, and the wire flight recorder. The python
 # validator pins the artifact schemas so downstream tooling (trace viewers,
@@ -88,7 +89,7 @@ build/bench/bench_cluster_drain --loss 0.2 --seed 11 --conc 4 \
   --sli-csv "$ART_DIR/drain.sli.csv"
 python3 tools/validate_artifacts.py --slo "$ART_DIR/drain.slo.json" --expect-alert
 
-echo "==> [5/6] pre-copy vs post-copy drain comparison (write-heavy fleet)"
+echo "==> [5/7] pre-copy vs post-copy drain comparison (write-heavy fleet)"
 # The same write-heavy drain (8 MiB dirty MR per guest, clean fabric) run
 # once per migration mode. The validator pins the drain_report schema on
 # both legs — including gap-free waterfall tiling and the post-copy fault
@@ -103,10 +104,22 @@ python3 tools/validate_artifacts.py \
   --drain "$ART_DIR/drain.postcopy.json" \
   --expect-postcopy-faster "$ART_DIR/drain.precopy.json" "$ART_DIR/drain.postcopy.json"
 
+echo "==> [6/7] FT failover comparison (kill-primary under a lossy seed)"
+# Continuous-protection stage: the seeded 8-host scenario with data-plane
+# loss, primary killed mid-traffic. The bench itself gates on the output-
+# commit invariant (zero duplicate client-visible messages) and on the FT
+# blackout beating the modeled log-replay baseline; the validator pins the
+# ft_report schema (epoch accounting balance, committed-epoch monotonicity,
+# gap-free failover waterfall tiling).
+build/bench/bench_ft_failover --loss 0.01 --seed 11 \
+  --ft-out "$ART_DIR/ft_report.json" \
+  --bench-out build/BENCH_ft.json
+python3 tools/validate_artifacts.py --ft "$ART_DIR/ft_report.json"
+
 if [[ "$FAST" == "1" ]]; then
-  echo "==> [6/6] sanitizer pass skipped (--fast)"
+  echo "==> [7/7] sanitizer pass skipped (--fast)"
   exit 0
 fi
 
-echo "==> [6/6] sanitizer pass (address)"
+echo "==> [7/7] sanitizer pass (address)"
 tools/run_sanitized.sh address

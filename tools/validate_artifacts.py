@@ -12,6 +12,11 @@ guest's windows must tile its timeline gap-free, frozen windows must bracket
 [freeze_at, resume_at] exactly, and --expect-alert additionally requires at
 least one burn-rate alert in the log.
 
+--ft validates a continuous-FT ft_report ("kind":"ft_report"): epoch wire
+accounting must balance against the rollup, committed epochs must be
+monotone, and a failover's blackout waterfall must tile [killed_at,
+resume_at] gap-free.
+
 Each artifact is optional; whatever is named must parse and conform. Exits
 non-zero with a per-file report on the first violation class found.
 """
@@ -25,7 +30,7 @@ VALID_PHASES = {"B", "E", "i", "X", "M"}
 PACKET_FIELDS = {"ts_ns", "src", "dst", "op", "qpn", "psn", "bytes", "verdict"}
 PACKET_VERDICTS = {"delivered", "dropped", "reordered", "partitioned"}
 RECORD_KINDS = {"flight_recorder_capture", "flight_recorder_dump"}
-SERVICE_PHASES = {"idle", "precopy", "frozen", "recovery", "postcopy"}
+SERVICE_PHASES = {"idle", "precopy", "frozen", "recovery", "postcopy", "ft_buffered"}
 WINDOW_FIELDS = {
     "start_ns", "end_ns", "phase", "precopy_iter", "msgs", "bytes",
     "retransmits", "p50_ns", "p99_ns", "p999_ns", "max_ns", "goodput_bps",
@@ -251,6 +256,107 @@ def check_drain(path):
     return True
 
 
+FT_TOP_FIELDS = {
+    "kind", "version", "guest", "primary_host", "backup_host", "ok", "error",
+    "protect_start_ns", "protected_at_ns", "end_ns", "epochs", "output_commit",
+    "failover",
+}
+FT_EPOCH_FIELDS = {
+    "captured", "committed", "full_sync_bytes", "epoch_bytes_total",
+    "xfer_bytes_attempted", "xfer_bytes_delivered", "transfer_retries", "records",
+}
+FT_RECORD_FIELDS = {
+    "epoch", "captured_at_ns", "committed_at_ns", "commit_latency_ns", "freeze_ns",
+    "mem_bytes", "rdma_bytes", "wire_bytes", "released_msgs", "retries",
+}
+FT_OUTPUT_FIELDS = {
+    "buffered", "released", "dropped", "release_delay_p50_ns",
+    "release_delay_p99_ns", "release_delay_max_ns",
+}
+
+
+def check_ft(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("kind") != "ft_report":
+        return fail(path, f"unexpected kind {doc.get('kind')!r}")
+    if doc.get("version") != 1:
+        return fail(path, f"unexpected version {doc.get('version')!r}")
+    missing = FT_TOP_FIELDS - doc.keys()
+    if missing:
+        return fail(path, f"missing top-level fields {sorted(missing)}")
+    ep = doc["epochs"]
+    missing = FT_EPOCH_FIELDS - ep.keys()
+    if missing:
+        return fail(path, f"epochs block missing {sorted(missing)}")
+
+    # Epoch records: numbers strictly increase, commits are monotone and
+    # never precede their capture, and the incremental wire accounting
+    # balances against the rollup.
+    incr_wire = 0
+    prev_epoch = None
+    prev_commit = 0
+    committed = 0
+    for i, r in enumerate(ep["records"]):
+        missing = FT_RECORD_FIELDS - r.keys()
+        if missing:
+            return fail(path, f"epoch record {i}: missing {sorted(missing)}")
+        if prev_epoch is not None and r["epoch"] <= prev_epoch:
+            return fail(path, f"epoch record {i}: epoch {r['epoch']} "
+                              f"does not increase past {prev_epoch}")
+        prev_epoch = r["epoch"]
+        if r["epoch"] >= 1:
+            incr_wire += r["wire_bytes"]
+        if r["committed_at_ns"] != 0:
+            committed += 1
+            if r["committed_at_ns"] < r["captured_at_ns"]:
+                return fail(path, f"epoch record {i}: committed before captured")
+            if r["committed_at_ns"] < prev_commit:
+                return fail(path, f"epoch record {i}: commit times not monotone")
+            prev_commit = r["committed_at_ns"]
+    if incr_wire != ep["epoch_bytes_total"]:
+        return fail(path, f"epoch accounting does not balance: "
+                          f"records sum to {incr_wire}, rollup says "
+                          f"{ep['epoch_bytes_total']}")
+    if committed != ep["committed"]:
+        return fail(path, f"{committed} committed records vs rollup {ep['committed']}")
+    if ep["xfer_bytes_attempted"] < ep["full_sync_bytes"] + ep["epoch_bytes_total"]:
+        return fail(path, "attempted transfer bytes below the first-attempt sum")
+
+    oc = doc["output_commit"]
+    missing = FT_OUTPUT_FIELDS - oc.keys()
+    if missing:
+        return fail(path, f"output_commit missing {sorted(missing)}")
+    if not (oc["release_delay_p50_ns"] <= oc["release_delay_p99_ns"]
+            <= oc["release_delay_max_ns"]):
+        return fail(path, "release-delay percentiles are not monotone")
+
+    fo = doc["failover"]
+    if fo.get("occurred"):
+        if fo["detected_at_ns"] < fo["killed_at_ns"]:
+            return fail(path, "failover detected before the kill")
+        if fo["blackout_ns"] != fo["resume_at_ns"] - fo["killed_at_ns"]:
+            return fail(path, "failover blackout_ns != resume - killed")
+        wf = fo.get("waterfall")
+        if not isinstance(wf, dict) or not wf.get("slices"):
+            return fail(path, "failover without a waterfall")
+        if wf["freeze_at_ns"] != fo["killed_at_ns"]:
+            return fail(path, "waterfall must anchor at the kill time")
+        cursor = wf["freeze_at_ns"]
+        for i, s in enumerate(wf["slices"]):
+            if s["start_ns"] != cursor:
+                return fail(path, f"waterfall slice {i}: gap "
+                                  f"({s['start_ns']} != {cursor})")
+            cursor += s["dur_ns"]
+        if cursor != wf["resume_at_ns"]:
+            return fail(path, f"waterfall ends at {cursor}, "
+                              f"not resume_at {wf['resume_at_ns']}")
+    print(f"OK   {path}: ft_report guest={doc['guest']} "
+          f"{ep['committed']}/{ep['captured']} epochs committed, "
+          f"failover={'yes' if fo.get('occurred') else 'no'}")
+    return True
+
+
 def check_postcopy_faster(pre_path, post_path):
     with open(pre_path) as f:
         pre = json.load(f)
@@ -291,6 +397,12 @@ def main():
         help="drain_report JSON to schema-check (repeatable)",
     )
     ap.add_argument(
+        "--ft",
+        action="append",
+        default=[],
+        help="ft_report JSON to schema-check (repeatable)",
+    )
+    ap.add_argument(
         "--expect-postcopy-faster",
         nargs=2,
         metavar=("PRE", "POST"),
@@ -309,12 +421,14 @@ def main():
         ok = check_slo(args.slo, expect_alert=args.expect_alert) and ok
     for path in args.drain:
         ok = check_drain(path) and ok
+    for path in args.ft:
+        ok = check_ft(path) and ok
     if args.expect_postcopy_faster:
         ok = check_postcopy_faster(*args.expect_postcopy_faster) and ok
     if not (args.trace or args.timeseries or args.record or args.slo
-            or args.drain or args.expect_postcopy_faster):
+            or args.drain or args.ft or args.expect_postcopy_faster):
         ap.error("nothing to validate: pass --trace/--timeseries/--record/"
-                 "--slo/--drain/--expect-postcopy-faster")
+                 "--slo/--drain/--ft/--expect-postcopy-faster")
     return 0 if ok else 1
 
 
