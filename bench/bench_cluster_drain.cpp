@@ -44,7 +44,8 @@ SweepRow run_drain(std::uint32_t concurrency, std::uint64_t seed = 42, double lo
                    sim::DurationNs sample_interval = sim::usec(250),
                    bool slo_defer = false,
                    migrlib::MigrationMode mode = migrlib::MigrationMode::precopy,
-                   std::uint32_t mem_mb = 2) {
+                   std::uint32_t mem_mb = 2, std::uint32_t streams = 1,
+                   double stream_gbps = 0.0, bool suppress = false) {
   ClusterConfig cfg;
   cfg.hosts = 8;
   cfg.seed = seed;
@@ -84,6 +85,9 @@ SweepRow run_drain(std::uint32_t concurrency, std::uint64_t seed = 42, double lo
   scfg.limits.max_concurrent_per_dest = concurrency;
   scfg.slo_defer = slo_defer;
   scfg.migration.mode = mode;
+  scfg.migration.xfer_streams = streams;
+  scfg.migration.xfer_stream_gbps = stream_gbps;
+  scfg.migration.suppress_pages = suppress;
   MigrationScheduler sched(model, scfg);
   DrainWorkflow drain(model, sched);
 
@@ -162,6 +166,18 @@ struct Options {
   migrlib::MigrationMode mode = migrlib::MigrationMode::precopy;
   std::string drain_out;       // drain_report_json artifact path
   std::uint32_t mem_mb = 2;    // per-guest dirty MR size (write-heavy knob)
+  // Parallel transfer streams. --streams engages per-stream pacing (25 Gbps
+  // default unless --stream-gbps overrides) even at N=1, so single- vs
+  // multi-stream legs compare pipelines, not pacing on/off.
+  std::uint32_t streams = 1;
+  double stream_gbps = -1.0;   // <0 = unset
+  bool streams_given = false;
+  bool suppress = false;       // zero/delta page suppression in pre-copy
+
+  double effective_gbps() const {
+    if (stream_gbps >= 0) return stream_gbps;
+    return streams_given ? 25.0 : 0.0;
+  }
 };
 
 Options parse(int argc, char** argv) {
@@ -208,12 +224,21 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--mem-mb") {
       o.mem_mb = static_cast<std::uint32_t>(std::strtoul(need_value("--mem-mb"), nullptr, 10));
       if (o.mem_mb == 0) o.mem_mb = 1;
+    } else if (arg == "--streams") {
+      o.streams = static_cast<std::uint32_t>(std::strtoul(need_value("--streams"), nullptr, 10));
+      if (o.streams == 0) o.streams = 1;
+      o.streams_given = true;
+    } else if (arg == "--stream-gbps") {
+      o.stream_gbps = std::strtod(need_value("--stream-gbps"), nullptr);
+    } else if (arg == "--suppress") {
+      o.suppress = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace OUT.json] [--timeseries OUT.csv|OUT.json]\n"
                    "          [--record OUT.json] [--loss P] [--seed S] [--conc N]\n"
                    "          [--slo SPEC] [--slo-out OUT.json] [--sli-csv OUT.csv]\n"
-                   "          [--mode precopy|postcopy] [--drain-out OUT.json] [--mem-mb N]\n",
+                   "          [--mode precopy|postcopy] [--drain-out OUT.json] [--mem-mb N]\n"
+                   "          [--streams N] [--stream-gbps G] [--suppress]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -256,7 +281,8 @@ int run_artifact_mode(const Options& opt) {
     engine = std::make_unique<obs::SloEngine>(slo_rules);
     hub.set_slo_engine(engine.get());
     const SweepRow b = run_drain(opt.conc, opt.seed, opt.loss, false, nullptr,
-                                 sim::usec(250), false, opt.mode, opt.mem_mb);
+                                 sim::usec(250), false, opt.mode, opt.mem_mb,
+                                 opt.streams, opt.effective_gbps(), opt.suppress);
     base = collect_policy_stats(b.report);
     hub.set_slo_engine(nullptr);
   }
@@ -277,7 +303,8 @@ int run_artifact_mode(const Options& opt) {
     hub.set_slo_engine(engine.get());
   }
   const SweepRow row = run_drain(opt.conc, opt.seed, opt.loss, traced, sp, sim::usec(250),
-                                 /*slo_defer=*/!slo_rules.empty(), opt.mode, opt.mem_mb);
+                                 /*slo_defer=*/!slo_rules.empty(), opt.mode, opt.mem_mb,
+                                 opt.streams, opt.effective_gbps(), opt.suppress);
   std::fputs(format_drain_report(row.report).c_str(), stdout);
   if (!opt.drain_out.empty()) {
     char scen[160];

@@ -265,6 +265,18 @@ int main(int argc, char** argv) {
   print_measurement("stream", stream);
   std::printf("%12s goodput: %.1f Gbps\n", "", stream_gbps);
 
+  // Steady-state allocation pin: after the 5 ms warm-up (payload pool, slot
+  // table, train pool, dirty sets all at their high-water marks) the stream
+  // workload's measured window must allocate NOTHING. Inline SGE lists,
+  // pooled payloads/closures, try_emplace dirty tracking, and the GrowRing
+  // pump rotation each exist to hold this; a regression in any of them
+  // shows up here as a hard failure, like the SLI pin below.
+  const bool stream_alloc_pin_ok = stream.allocs == 0;
+  if (!stream_alloc_pin_ok) {
+    std::printf("%12s !! STREAM ALLOC PIN FAILED: %llu allocs in steady state\n", "",
+                static_cast<unsigned long long>(stream.allocs));
+  }
+
   // drain8 is the perf-smoke reference number and must be a recorder-off
   // measurement, or the advisory band below compares unlike with like.
   if (migr::obs::FlightRecorder::global().enabled()) {
@@ -328,10 +340,11 @@ int main(int argc, char** argv) {
   json_measurement(f, "drain8_sli0", drain_sli, true);
   std::fprintf(f,
                "  },\n  \"stream_gbps\": %.2f,\n  \"drain8_ok\": %s,\n"
-               "  \"sli_extra_allocs\": %lld,\n  \"sli_pin_ok\": %s\n}\n",
+               "  \"sli_extra_allocs\": %lld,\n  \"sli_pin_ok\": %s,\n"
+               "  \"stream_alloc_pin_ok\": %s\n}\n",
                stream_gbps, drain_ok ? "true" : "false", sli_extra_allocs,
-               sli_pin_ok ? "true" : "false");
+               sli_pin_ok ? "true" : "false", stream_alloc_pin_ok ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
-  return drain_ok && sli_pin_ok ? 0 : 1;
+  return drain_ok && sli_pin_ok && stream_alloc_pin_ok ? 0 : 1;
 }

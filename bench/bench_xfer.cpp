@@ -1,0 +1,203 @@
+// Transfer-mux microbench: paced stream scale-out and page-suppression
+// ratios, written as the BENCH_xfer.json baseline that tools/ci.sh gates on.
+//
+//   build/bench/bench_xfer [--out BENCH_xfer.json]
+//
+// Two sections:
+//  * streams: one 16 MiB payload through the TransferMux at 25 Gbps per
+//    stream for N = 1/2/4/8; the mux must scale transfer time ~1/N (the
+//    multifd claim). The CI gate requires >= 1.5x at N = 4.
+//  * suppression: the PageDelta codec over a zero-page workload (>= 5x
+//    fewer bytes attempted) and a sparse-dirty workload, with the
+//    raw == shipped + suppressed balance pinned.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "criu/pagedelta.hpp"
+#include "migr/xfer.hpp"
+#include "net/fabric.hpp"
+#include "sim/event_loop.hpp"
+
+using namespace migr;
+using migr::migrlib::TransferMux;
+using migr::migrlib::XferOptions;
+
+namespace {
+
+constexpr std::uint64_t kPayloadBytes = 16ull << 20;
+constexpr double kStreamGbps = 25.0;
+
+sim::DurationNs timed_transfer(std::uint32_t streams) {
+  sim::EventLoop loop;
+  net::Fabric fabric{loop, net::FabricConfig{}, 42};
+  (void)fabric.attach_host(1);
+  (void)fabric.attach_host(2);
+  XferOptions xo;
+  xo.streams = streams;
+  xo.stream_gbps = kStreamGbps;
+  TransferMux mux(loop, fabric, "bench.xfer", 1, 2, xo);
+  bool done = false;
+  sim::TimeNs done_at = 0;
+  // Capture the delivery instant in the callback; run_for() advances now()
+  // to the end of its polling window, which would quantize the timing.
+  mux.open([&](common::Bytes&&) { done = true; done_at = loop.now(); },
+           [](const common::Status&) {});
+  common::Bytes payload(kPayloadBytes);
+  for (std::size_t i = 0; i < payload.size(); i += 4096) {
+    payload[i] = static_cast<std::uint8_t>(i >> 12);
+  }
+  const sim::TimeNs t0 = loop.now();
+  mux.send(std::move(payload));
+  while (!done && loop.run_for(sim::msec(100)) > 0) {
+  }
+  if (!done) {
+    std::fprintf(stderr, "transfer did not complete at %u streams\n", streams);
+    std::exit(1);
+  }
+  return done_at - t0;
+}
+
+criu::PageSet::Page page_of(proc::VirtAddr addr, std::uint8_t fill) {
+  criu::PageSet::Page p;
+  p.addr = addr;
+  p.data.assign(proc::kPageSize, fill);
+  return p;
+}
+
+struct SuppressionLeg {
+  std::uint64_t raw = 0;
+  std::uint64_t encoded = 0;
+  bool balance_ok = false;
+
+  double ratio() const {
+    return encoded == 0 ? 0.0 : static_cast<double>(raw) / static_cast<double>(encoded);
+  }
+};
+
+// 1024 zero pages: the kZero marker path.
+SuppressionLeg zero_leg() {
+  criu::PageDeltaEncoder enc;
+  criu::PageSet set;
+  for (int i = 0; i < 1024; i++) set.pages.push_back(page_of(0x1000ull * (i + 1), 0));
+  const common::Bytes wire = enc.encode(set);
+  SuppressionLeg leg;
+  leg.raw = set.byte_size();
+  leg.encoded = wire.size();
+  const criu::PageDeltaStats& st = enc.stats();
+  leg.balance_ok = st.bytes_raw == st.bytes_shipped + st.bytes_suppressed &&
+                   st.pages_zero == 1024;
+  return leg;
+}
+
+// Two rounds over the same 256 pages; the second round redirties 16 bytes
+// per page — the kDelta XOR-run path against the previous round's content.
+SuppressionLeg sparse_leg() {
+  criu::PageDeltaEncoder enc;
+  criu::PageSet r1;
+  for (int i = 0; i < 256; i++) {
+    r1.pages.push_back(page_of(0x1000ull * (i + 1), static_cast<std::uint8_t>(i + 1)));
+  }
+  (void)enc.encode(r1);
+  criu::PageSet r2 = r1;
+  // Dirty 16 bytes per page with the complement of the fill so every page
+  // genuinely changes (a 0x5A fill overwritten with 0x5A would encode kSame).
+  for (auto& p : r2.pages) {
+    std::memset(p.data.data() + 128, static_cast<int>(p.data[0] ^ 0xFF), 16);
+  }
+  criu::PageDeltaStats batch;
+  const common::Bytes wire = enc.encode(r2, &batch);
+  SuppressionLeg leg;
+  leg.raw = batch.bytes_raw;
+  leg.encoded = wire.size();
+  leg.balance_ok = batch.bytes_raw == batch.bytes_shipped + batch.bytes_suppressed &&
+                   batch.pages_delta == 256;
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_xfer.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out BENCH_xfer.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("Transfer mux scale-out: %llu MiB payload, %.0f Gbps/stream\n",
+              static_cast<unsigned long long>(kPayloadBytes >> 20), kStreamGbps);
+  std::string streams_json;
+  sim::DurationNs base_ns = 0;
+  double speedup4 = 0;
+  for (std::uint32_t n : {1u, 2u, 4u, 8u}) {
+    const sim::DurationNs t = timed_transfer(n);
+    if (n == 1) base_ns = t;
+    const double speedup = static_cast<double>(base_ns) / static_cast<double>(t);
+    if (n == 4) speedup4 = speedup;
+    std::printf("  streams=%u transfer=%9.3f ms speedup=%.2fx\n", n, sim::to_msec(t),
+                speedup);
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s{\"n\":%u,\"transfer_ns\":%lld,\"speedup\":%.3f}",
+                  streams_json.empty() ? "" : ",", n, static_cast<long long>(t), speedup);
+    streams_json += buf;
+  }
+
+  const SuppressionLeg zero = zero_leg();
+  const SuppressionLeg sparse = sparse_leg();
+  std::printf("Suppression: zero %.1fx (%llu -> %llu bytes, balance %s), "
+              "sparse %.1fx (%llu -> %llu bytes, balance %s)\n",
+              zero.ratio(), static_cast<unsigned long long>(zero.raw),
+              static_cast<unsigned long long>(zero.encoded),
+              zero.balance_ok ? "ok" : "BROKEN", sparse.ratio(),
+              static_cast<unsigned long long>(sparse.raw),
+              static_cast<unsigned long long>(sparse.encoded),
+              sparse.balance_ok ? "ok" : "BROKEN");
+
+  char buf[512];
+  std::string json = "{\"kind\":\"bench_xfer\",\"version\":1";
+  std::snprintf(buf, sizeof buf,
+                ",\"payload_bytes\":%llu,\"stream_gbps\":%.1f,\"streams\":[%s]",
+                static_cast<unsigned long long>(kPayloadBytes), kStreamGbps,
+                streams_json.c_str());
+  json += buf;
+  std::snprintf(buf, sizeof buf,
+                ",\"suppression\":{\"zero\":{\"raw_bytes\":%llu,\"encoded_bytes\":%llu"
+                ",\"ratio\":%.2f,\"balance_ok\":%s},\"sparse\":{\"raw_bytes\":%llu"
+                ",\"encoded_bytes\":%llu,\"ratio\":%.2f,\"balance_ok\":%s}}}",
+                static_cast<unsigned long long>(zero.raw),
+                static_cast<unsigned long long>(zero.encoded), zero.ratio(),
+                zero.balance_ok ? "true" : "false",
+                static_cast<unsigned long long>(sparse.raw),
+                static_cast<unsigned long long>(sparse.encoded), sparse.ratio(),
+                sparse.balance_ok ? "true" : "false");
+  json += buf;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("written to %s\n", out_path.c_str());
+
+  int rc = 0;
+  if (speedup4 < 1.5) {
+    std::fprintf(stderr, "!! 4-stream speedup %.2fx below the 1.5x gate\n", speedup4);
+    rc = 1;
+  }
+  if (zero.ratio() < 5.0) {
+    std::fprintf(stderr, "!! zero-page suppression %.2fx below the 5x gate\n",
+                 zero.ratio());
+    rc = 1;
+  }
+  if (!zero.balance_ok || !sparse.balance_ok) {
+    std::fprintf(stderr, "!! suppression accounting out of balance\n");
+    rc = 1;
+  }
+  return rc;
+}

@@ -190,6 +190,24 @@ std::string format_drain_report(const DrainReport& r) {
                 static_cast<long long>(r.blackout_p99),
                 static_cast<long long>(r.blackout_max), r.egress_gbps.size());
   out += line;
+  // Mux rollup line only when some migration ran with stream fan-out: the
+  // legacy rendering stays byte-identical to the committed baselines.
+  std::uint32_t xf_streams = 0;
+  std::uint64_t xf_attempted = 0, xf_delivered = 0, xf_lost = 0, xf_suppressed = 0;
+  for (const MigrationOutcome& o : r.outcomes) {
+    xf_streams = std::max(xf_streams, o.report.xfer_streams);
+    xf_attempted += o.report.xfer_bytes_attempted;
+    xf_delivered += o.report.xfer_bytes_delivered;
+    xf_lost += o.report.xfer_bytes_lost;
+    xf_suppressed += o.report.xfer_bytes_suppressed;
+  }
+  if (xf_streams > 0) {
+    std::snprintf(line, sizeof(line),
+                  "xfer streams=%u attempted=%" PRIu64 " delivered=%" PRIu64
+                  " lost=%" PRIu64 " suppressed=%" PRIu64 "\n",
+                  xf_streams, xf_attempted, xf_delivered, xf_lost, xf_suppressed);
+    out += line;
+  }
   for (const PhaseAttribution& a : r.phase_rollup) {
     std::snprintf(line, sizeof(line),
                   "phase=%s worst_of=%" PRIu64 " total_ns=%lld max_ns=%lld\n",
@@ -269,6 +287,69 @@ std::string drain_report_json(const DrainReport& r, const std::string& mode,
                 pc_p99_max);
   out += buf;
 
+  // Parallel-stream mux + suppression rollup: always present so the schema
+  // is config-stable (all-zero when the mux and suppression are off). The
+  // per-stream array is summed across migrations by stream index; balance
+  // (attempted == delivered + lost, raw == shipped + suppressed) holds per
+  // stream and in total.
+  std::uint32_t xf_streams = 0;
+  std::uint64_t xf_migr = 0, xf_attempted = 0, xf_delivered = 0, xf_lost = 0,
+                xf_chunks = 0, xf_retries = 0;
+  std::uint64_t sp_zero = 0, sp_same = 0, sp_delta = 0, sp_full = 0, sp_raw = 0,
+                sp_shipped = 0, sp_suppressed = 0;
+  std::vector<migrlib::XferStreamStats> per_stream;
+  for (const MigrationOutcome& o : r.outcomes) {
+    const MigrationReport& m = o.report;
+    if (m.xfer_streams > 0) xf_migr++;
+    xf_streams = std::max(xf_streams, m.xfer_streams);
+    xf_attempted += m.xfer_bytes_attempted;
+    xf_delivered += m.xfer_bytes_delivered;
+    xf_lost += m.xfer_bytes_lost;
+    xf_chunks += m.xfer_chunks;
+    xf_retries += m.transfer_retries;
+    if (per_stream.size() < m.xfer_stream_stats.size()) {
+      per_stream.resize(m.xfer_stream_stats.size());
+    }
+    for (std::size_t k = 0; k < m.xfer_stream_stats.size(); k++) {
+      per_stream[k].chunks += m.xfer_stream_stats[k].chunks;
+      per_stream[k].bytes_attempted += m.xfer_stream_stats[k].bytes_attempted;
+      per_stream[k].bytes_delivered += m.xfer_stream_stats[k].bytes_delivered;
+      per_stream[k].retries += m.xfer_stream_stats[k].retries;
+    }
+    sp_zero += m.xfer_pages_zero;
+    sp_same += m.xfer_pages_same;
+    sp_delta += m.xfer_pages_delta;
+    sp_full += m.xfer_pages_full;
+    sp_raw += m.xfer_bytes_raw;
+    sp_shipped += m.xfer_bytes_shipped;
+    sp_suppressed += m.xfer_bytes_suppressed;
+  }
+  std::snprintf(buf, sizeof(buf),
+                ",\"xfer\":{\"streams\":%u,\"migrations\":%" PRIu64
+                ",\"bytes_attempted\":%" PRIu64 ",\"bytes_delivered\":%" PRIu64
+                ",\"bytes_lost\":%" PRIu64 ",\"chunks\":%" PRIu64
+                ",\"retries\":%" PRIu64 ",\"per_stream\":[",
+                xf_streams, xf_migr, xf_attempted, xf_delivered, xf_lost, xf_chunks,
+                xf_retries);
+  out += buf;
+  for (std::size_t k = 0; k < per_stream.size(); k++) {
+    const migrlib::XferStreamStats& s = per_stream[k];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"chunks\":%" PRIu64 ",\"attempted\":%" PRIu64
+                  ",\"delivered\":%" PRIu64 ",\"lost\":%" PRIu64
+                  ",\"retries\":%" PRIu64 "}",
+                  k == 0 ? "" : ",", s.chunks, s.bytes_attempted, s.bytes_delivered,
+                  s.bytes_lost(), s.retries);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "],\"suppression\":{\"pages_zero\":%" PRIu64 ",\"pages_same\":%" PRIu64
+                ",\"pages_delta\":%" PRIu64 ",\"pages_full\":%" PRIu64
+                ",\"bytes_raw\":%" PRIu64 ",\"bytes_shipped\":%" PRIu64
+                ",\"bytes_suppressed\":%" PRIu64 "}}",
+                sp_zero, sp_same, sp_delta, sp_full, sp_raw, sp_shipped, sp_suppressed);
+  out += buf;
+
   out += ",\"guests\":[";
   for (std::size_t i = 0; i < r.outcomes.size(); i++) {
     const MigrationOutcome& o = r.outcomes[i];
@@ -283,6 +364,16 @@ std::string drain_report_json(const DrainReport& r, const std::string& mode,
     if (o.report.postcopy.enabled) {
       out += ",\"postcopy\":";
       out += o.report.postcopy.json();
+    }
+    if (o.report.xfer_streams > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\"xfer\":{\"streams\":%u,\"bytes_attempted\":%" PRIu64
+                    ",\"bytes_delivered\":%" PRIu64 ",\"bytes_lost\":%" PRIu64
+                    ",\"chunks\":%" PRIu64 ",\"bytes_suppressed\":%" PRIu64 "}",
+                    o.report.xfer_streams, o.report.xfer_bytes_attempted,
+                    o.report.xfer_bytes_delivered, o.report.xfer_bytes_lost,
+                    o.report.xfer_chunks, o.report.xfer_bytes_suppressed);
+      out += buf;
     }
     out += "}";
   }

@@ -108,15 +108,25 @@ bool MigrationScheduler::admission_ok(net::HostId src, net::HostId dest) const {
   };
   if (count_of(running_per_source_, src) >= lim.max_concurrent_per_source) return false;
   if (count_of(running_per_dest_, dest) >= lim.max_concurrent_per_dest) return false;
-  if (lim.link_budget_gbps > 0 && lim.per_migration_gbps > 0) {
+  const double demand = migration_demand_gbps();
+  if (lim.link_budget_gbps > 0 && demand > 0) {
     auto reserved = [this](net::HostId h) {
       auto it = reserved_gbps_.find(h);
       return it == reserved_gbps_.end() ? 0.0 : it->second;
     };
-    if (reserved(src) + lim.per_migration_gbps > lim.link_budget_gbps) return false;
-    if (reserved(dest) + lim.per_migration_gbps > lim.link_budget_gbps) return false;
+    if (reserved(src) + demand > lim.link_budget_gbps) return false;
+    if (reserved(dest) + demand > lim.link_budget_gbps) return false;
   }
   return true;
+}
+
+double MigrationScheduler::migration_demand_gbps() const {
+  const std::uint32_t streams =
+      std::max<std::uint32_t>(1u, config_.migration.xfer_streams);
+  if (config_.migration.xfer_stream_gbps > 0) {
+    return config_.migration.xfer_stream_gbps * streams;
+  }
+  return config_.limits.per_migration_gbps * streams;
 }
 
 void MigrationScheduler::pump() {
@@ -258,9 +268,9 @@ void MigrationScheduler::start_attempt(Pending p, net::HostId src, net::HostId d
   started_->inc();
   running_per_source_[src]++;
   running_per_dest_[dest]++;
-  if (config_.limits.per_migration_gbps > 0) {
-    reserved_gbps_[src] += config_.limits.per_migration_gbps;
-    reserved_gbps_[dest] += config_.limits.per_migration_gbps;
+  if (const double demand = migration_demand_gbps(); demand > 0) {
+    reserved_gbps_[src] += demand;
+    reserved_gbps_[dest] += demand;
   }
   trace_instant(model_.loop(), "sched_start",
                 "\"guest\":" + std::to_string(p.req.guest) + ",\"src\":" +
@@ -284,9 +294,9 @@ void MigrationScheduler::on_done(RequestId id, const MigrationReport& rep) {
   };
   dec(running_per_source_, r.source);
   dec(running_per_dest_, r.dest);
-  if (config_.limits.per_migration_gbps > 0) {
-    reserved_gbps_[r.source] -= config_.limits.per_migration_gbps;
-    reserved_gbps_[r.dest] -= config_.limits.per_migration_gbps;
+  if (const double demand = migration_demand_gbps(); demand > 0) {
+    reserved_gbps_[r.source] -= demand;
+    reserved_gbps_[r.dest] -= demand;
   }
 
   MigrationOutcome& out = outcomes_[id];

@@ -166,6 +166,10 @@ class MigrationScheduler {
   void schedule_pump();
   bool conflicts_with_running(GuestId guest) const;
   bool admission_ok(net::HostId src, net::HostId dest) const;
+  /// Port bandwidth one migration reserves: the per-migration estimate
+  /// scaled by the transfer-stream fan-out (a 4-stream mux claims 4 shares
+  /// of its ports), or streams x the explicit per-stream pacing rate.
+  double migration_demand_gbps() const;
   void start_attempt(Pending p, net::HostId src, net::HostId dest);
   void on_done(RequestId id, const MigrationReport& rep);
   void finish(RequestId id);  // outcome already marked terminal

@@ -73,4 +73,47 @@ class Ring {
   std::uint64_t tail_ = 0;
 };
 
+/// Unbounded FIFO ring: doubles its storage instead of rejecting when full.
+/// For software rotations (e.g. the device's transmit scheduler) where a
+/// std::deque's steady-state pop_front/push_back cycling crosses a chunk
+/// boundary every few dozen rotations and allocates each time; this only
+/// allocates on high-water-mark growth.
+template <typename T>
+class GrowRing {
+ public:
+  bool empty() const noexcept { return tail_ == head_; }
+  std::size_t size() const noexcept { return static_cast<std::size_t>(tail_ - head_); }
+
+  void push_back(T v) {
+    if (size() == slots_.size()) grow();
+    slots_[tail_ % slots_.size()] = std::move(v);
+    ++tail_;
+  }
+  T& front() {
+    assert(!empty());
+    return slots_[head_ % slots_.size()];
+  }
+  void pop_front() {
+    assert(!empty());
+    ++head_;
+  }
+  void clear() noexcept { head_ = tail_ = 0; }
+
+ private:
+  void grow() {
+    std::vector<T> bigger(slots_.empty() ? 16 : slots_.size() * 2);
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      bigger[i] = std::move(slots_[(head_ + i) % slots_.size()]);
+    }
+    slots_ = std::move(bigger);
+    head_ = 0;
+    tail_ = n;
+  }
+
+  std::vector<T> slots_;
+  std::uint64_t head_ = 0;
+  std::uint64_t tail_ = 0;
+};
+
 }  // namespace migr::common

@@ -73,7 +73,23 @@ std::string FtReport::json() const {
                   r.retries);
     out += buf;
   }
-  out += "]}";
+  out += "]";
+  // Stream-level rollups; count is 0 on the legacy single-stream path.
+  std::snprintf(buf, sizeof buf,
+                ",\"streams\":{\"count\":%u,\"chunks\":%" PRIu64
+                ",\"bytes_lost\":%" PRIu64 ",\"per_stream\":[",
+                xfer_streams, xfer_chunks, xfer_bytes_lost);
+  out += buf;
+  for (std::size_t i = 0; i < xfer_stream_stats.size(); ++i) {
+    const migrlib::XferStreamStats& s = xfer_stream_stats[i];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"chunks\":%" PRIu64 ",\"attempted\":%" PRIu64
+                  ",\"delivered\":%" PRIu64 ",\"lost\":%" PRIu64 ",\"retries\":%" PRIu64 "}",
+                  i ? "," : "", s.chunks, s.bytes_attempted, s.bytes_delivered,
+                  s.bytes_lost(), s.retries);
+    out += buf;
+  }
+  out += "]}}";
 
   std::snprintf(buf, sizeof buf,
                 ",\"output_commit\":{\"buffered\":%" PRIu64 ",\"released\":%" PRIu64
@@ -186,6 +202,24 @@ Status FtController::protect(GuestId id, net::HostId backup_host,
                            [this](net::HostId, Bytes&&) { last_hb_ = loop_.now(); });
   services_registered_ = true;
 
+  if (use_mux()) {
+    // Per-protection instance counter in the service base: a re-protected
+    // guest gets fresh `ft.xfer.<id>.<instance>.<k>` names, so a lingering
+    // old controller's teardown can never unregister the live streams.
+    static std::uint64_t ft_mux_instance = 0;
+    migrlib::XferOptions xo;
+    xo.streams = options_.xfer_streams;
+    xo.stream_gbps = options_.xfer_stream_gbps;
+    xo.chunk_bytes = options_.chunk_bytes;
+    xo.max_backoff = std::min(xo.max_backoff, options_.max_transfer_backoff);
+    mux_ = std::make_unique<migrlib::TransferMux>(
+        loop_, fabric_,
+        "ft.xfer." + std::to_string(id) + "." + std::to_string(ft_mux_instance++),
+        src_rt_->host(), dest_rt_->host(), xo);
+    mux_->open([this](Bytes&& p) { on_mux_epoch(std::move(p)); },
+               [this](const Status& st) { fail(st); });
+  }
+
   report_ = FtReport{};
   report_.guest = id;
   report_.primary_host = src_rt_->host();
@@ -211,6 +245,7 @@ void FtController::fail(const Status& st) {
   finished_ = true;
   MIGR_ERROR() << "ft protection of guest " << guest_id_ << " failed: " << st.to_string();
   stop_timers();
+  if (mux_) mux_->cancel();  // chunk timers must not outlive protection
   protected_ = false;
   // Never strand buffered egress: a protection failure falls back to
   // unprotected operation, not to withholding the service's output.
@@ -239,12 +274,22 @@ void FtController::finish_report() {
   for (const EpochRecord& r : report_.epochs) {
     if (r.epoch >= 1) report_.epoch_bytes_total += r.wire_bytes;
   }
+  if (mux_) {
+    const migrlib::XferStats& xs = mux_->stats();
+    report_.xfer_streams = mux_->options().streams;
+    report_.xfer_bytes_attempted = xs.attempted();
+    report_.xfer_bytes_delivered = xs.delivered();
+    report_.xfer_bytes_lost = xs.lost();
+    report_.xfer_chunks = xs.chunks();
+    report_.xfer_stream_stats = xs.streams;
+  }
 }
 
 void FtController::unprotect() {
   if (finished_) return;
   finished_ = true;
   stop_timers();
+  if (mux_) mux_->cancel();
   protected_ = false;
   if (node_ != nullptr && node_->output_commit_armed()) node_->disarm_output_commit();
   obs::SliHub::global().on_ft_released(guest_id_, loop_.now());
@@ -393,23 +438,39 @@ void FtController::send_epoch_chunks(std::uint64_t epoch, bool retry) {
   // chunks, short tail. Each chunk is one ctrl-plane message; the backup
   // reassembles and applies the epoch atomically on completion.
   const Bytes& p = inflight_payload_;
-  const std::uint64_t chunk = std::max<std::uint64_t>(1, options_.chunk_bytes);
-  const auto nchunks = static_cast<std::uint32_t>(std::max<std::uint64_t>(
-      1, (p.size() + chunk - 1) / chunk));
   std::uint64_t wire = 0;
-  for (std::uint32_t i = 0; i < nchunks; ++i) {
-    const std::uint64_t off = std::uint64_t{i} * chunk;
-    const std::uint64_t len = std::min<std::uint64_t>(chunk, p.size() - off);
+  if (mux_) {
+    // Whole epoch over the mux: the mux owns page-granular chunking,
+    // per-stream pacing, and chunk-level ack/retry; FT keeps only the
+    // epoch-level ACK (which drives output commit) and its coarse deadline.
+    // A deadline retry abandons the stale in-flight transfer and re-sends.
     ByteWriter h;
     h.u64(epoch);
-    h.u32(i);
-    h.u32(nchunks);
-    h.bytes({p.data() + off, static_cast<std::size_t>(len)});
+    h.bytes(p);
     Bytes frame = std::move(h).take();
-    wire += frame.size();
-    (void)fabric_.send_ctrl(src_rt_->host(), dest_rt_->host(), sync_service_, frame);
+    wire = migrlib::TransferMux::wire_size(frame.size(), mux_->options().chunk_bytes);
+    if (retry) mux_->cancel();
+    mux_->send(std::move(frame));
+    // attempted/delivered on this path are synced from mux stream stats at
+    // finish_report(), re-sends included.
+  } else {
+    const std::uint64_t chunk = std::max<std::uint64_t>(1, options_.chunk_bytes);
+    const auto nchunks = static_cast<std::uint32_t>(std::max<std::uint64_t>(
+        1, (p.size() + chunk - 1) / chunk));
+    for (std::uint32_t i = 0; i < nchunks; ++i) {
+      const std::uint64_t off = std::uint64_t{i} * chunk;
+      const std::uint64_t len = std::min<std::uint64_t>(chunk, p.size() - off);
+      ByteWriter h;
+      h.u64(epoch);
+      h.u32(i);
+      h.u32(nchunks);
+      h.bytes({p.data() + off, static_cast<std::size_t>(len)});
+      Bytes frame = std::move(h).take();
+      wire += frame.size();
+      (void)fabric_.send_ctrl(src_rt_->host(), dest_rt_->host(), sync_service_, frame);
+    }
+    report_.xfer_bytes_attempted += wire;
   }
-  report_.xfer_bytes_attempted += wire;
   if (!retry) {
     for (auto it = report_.epochs.rbegin(); it != report_.epochs.rend(); ++it) {
       if (it->epoch == epoch) {
@@ -442,7 +503,8 @@ void FtController::on_ack_timeout(std::uint64_t epoch) {
     }
   }
   obs::Registry::global().counter("ft.transfer_retries").inc();
-  const sim::DurationNs backoff = options_.transfer_retry_backoff << (xfer_attempt_ - 1);
+  const sim::DurationNs backoff = std::min<sim::DurationNs>(
+      options_.transfer_retry_backoff << (xfer_attempt_ - 1), options_.max_transfer_backoff);
   MIGR_WARN() << "ft epoch " << epoch << " unacked; retry " << xfer_attempt_ << "/"
               << options_.max_transfer_retries << " after " << backoff << " ns";
   loop_.schedule_in(backoff, [this, epoch] {
@@ -552,6 +614,25 @@ void FtController::on_sync_chunk(Bytes&& payload) {
   const std::uint64_t e = pending_.epoch;
   pending_ = PendingEpoch{};
   handle_epoch_payload(e, std::move(assembled));
+}
+
+void FtController::on_mux_epoch(Bytes&& payload) {
+  if (finished_ || failed_over_) return;
+  ByteReader r{payload};
+  auto epoch = r.u64();
+  auto inner = r.bytes();
+  if (!epoch.is_ok() || !inner.is_ok()) {
+    return fail(common::err(Errc::invalid_argument, "corrupt ft mux epoch frame"));
+  }
+  if (any_applied_ && epoch.value() <= applied_epoch_) {
+    // Duplicate of an epoch already applied (the epoch-level ACK was lost):
+    // re-ACK so the primary stops re-sending; never re-apply.
+    ByteWriter w;
+    w.u64(epoch.value());
+    (void)fabric_.send_ctrl(dest_rt_->host(), src_rt_->host(), ack_service_, w.data());
+    return;
+  }
+  handle_epoch_payload(epoch.value(), std::move(inner.value()));
 }
 
 void FtController::handle_epoch_payload(std::uint64_t epoch, Bytes payload) {
@@ -674,6 +755,7 @@ void FtController::trigger_failover(const std::string& reason) {
   failed_over_ = true;
   protected_ = false;
   stop_timers();
+  if (mux_) mux_->cancel();  // no chunk retransmits from the dead primary
   report_.failed_over = true;
   report_.failover_reason = reason;
   report_.detected_at = loop_.now();

@@ -45,6 +45,7 @@
 #include "migr/migration.hpp"
 #include "migr/plugin.hpp"
 #include "migr/runtime.hpp"
+#include "migr/xfer.hpp"
 #include "obs/histogram.hpp"
 
 namespace migr::ft {
@@ -72,6 +73,17 @@ struct FtOptions {
   sim::DurationNs transfer_timeout = sim::sec(1);
   int max_transfer_retries = 3;
   sim::DurationNs transfer_retry_backoff = sim::msec(50);  // doubles per retry
+  // Ceiling for the doubling backoff; the default preserves the legacy
+  // 50/100/200ms schedule at the stock 3-retry budget.
+  sim::DurationNs max_transfer_backoff = sim::msec(500);
+
+  // Parallel epoch streams: when xfer_streams > 1 (or a per-stream pacing
+  // rate is set) the epoch sync rides a TransferMux (`ft.xfer.<id>.<k>`)
+  // instead of the single chunked ctrl stream — same chunk geometry, but
+  // with per-chunk ack/retry *beneath* the epoch-level ACK that drives
+  // output commit. Defaults keep the legacy path byte-identical.
+  std::uint32_t xfer_streams = 1;
+  double xfer_stream_gbps = 0.0;  // 0 = line rate (no per-stream pacing)
 
   // Failure detection: primary-side agent heartbeats, backup-side watchdog.
   sim::DurationNs heartbeat_interval = sim::msec(5);
@@ -122,7 +134,14 @@ struct FtReport {
   std::uint64_t epoch_bytes_total = 0;  // sum of records[i].wire_bytes, i >= 1
   std::uint64_t xfer_bytes_attempted = 0;
   std::uint64_t xfer_bytes_delivered = 0;
-  std::uint64_t transfer_retries = 0;
+  std::uint64_t transfer_retries = 0;  // epoch-level (ACK-deadline) re-sends
+  // Stream-level rollups when the mux carries the epoch sync. xfer_streams
+  // is 0 on the legacy single-stream ctrl path. attempted == delivered +
+  // lost holds per stream and in total once the fabric quiesces.
+  std::uint32_t xfer_streams = 0;
+  std::uint64_t xfer_bytes_lost = 0;
+  std::uint64_t xfer_chunks = 0;
+  std::vector<migrlib::XferStreamStats> xfer_stream_stats;
   std::vector<EpochRecord> epochs;
 
   // Output-commit accounting (mirrors the MsgNode gate counters at end).
@@ -217,8 +236,13 @@ class FtController {
   void send_heartbeat();
   sim::DurationNs next_epoch_interval();
 
+  bool use_mux() const noexcept {
+    return options_.xfer_streams > 1 || options_.xfer_stream_gbps > 0;
+  }
+
   // Backup side.
   void on_sync_chunk(common::Bytes&& payload);
+  void on_mux_epoch(common::Bytes&& payload);
   void handle_epoch_payload(std::uint64_t epoch, common::Bytes payload);
   common::Status apply_full_sync(const common::Bytes& payload, sim::DurationNs& cost);
   common::Status apply_epoch(const common::Bytes& payload, sim::DurationNs& cost);
@@ -262,6 +286,9 @@ class FtController {
   std::string ack_service_;
   std::string hb_service_;
   bool services_registered_ = false;
+  // Parallel epoch streams (see FtOptions::xfer_streams); null on the
+  // legacy single-stream path.
+  std::unique_ptr<migrlib::TransferMux> mux_;
 
   bool protected_ = false;
   bool failed_over_ = false;

@@ -291,7 +291,7 @@ const GuestContext::QpVirt* GuestContext::find_qp(VQpn vqpn) const {
   return it == qps_.end() ? nullptr : &it->second;
 }
 
-Status GuestContext::translate_sges(std::vector<rnic::Sge>& sge) {
+Status GuestContext::translate_sges(std::span<rnic::Sge> sge) {
   for (auto& s : sge) {
     // THE fast path: dense virtual lkey -> array-indexed physical lkey.
     if (s.lkey >= lkey_table_.size() || lkey_table_[s.lkey] == 0) {

@@ -295,7 +295,7 @@ class GuestContext {
   QpVirt* find_qp(VQpn vqpn);
   const QpVirt* find_qp(VQpn vqpn) const;
   common::Status translate_send_wr(QpVirt& qp, rnic::SendWr& wr);
-  common::Status translate_sges(std::vector<rnic::Sge>& sge);
+  common::Status translate_sges(std::span<rnic::Sge> sge);
   void wbs_tick();
   void drain_real_cqs();
   void check_wbs_termination();

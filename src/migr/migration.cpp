@@ -113,6 +113,25 @@ Status MigrationController::start(GuestId id, net::HostId dest_host,
   restorer_ = std::make_unique<criu::Restorer>(*dest_proc_, options_.criu_costs);
 
   xfer_service_ = "migr.xfer." + std::to_string(id);
+  if (use_mux()) {
+    // One mux per controller *instance*: a retried migration gets fresh
+    // stream services instead of colliding with (and later tearing down)
+    // a newer controller's registrations for the same guest.
+    static std::uint64_t mux_instance = 0;
+    XferOptions xo;
+    xo.streams = options_.xfer_streams;
+    xo.stream_gbps = options_.xfer_stream_gbps;
+    xo.chunk_bytes = options_.xfer_chunk_bytes;
+    xo.max_backoff = std::min<sim::DurationNs>(xo.max_backoff, options_.max_transfer_backoff);
+    mux_ = std::make_unique<TransferMux>(
+        loop_, fabric_, xfer_service_ + "." + std::to_string(mux_instance++),
+        src_rt_->host(), dest_rt_->host(), xo);
+  }
+  if (options_.suppress_pages) {
+    page_enc_ = std::make_unique<criu::PageDeltaEncoder>(
+        criu::PageDeltaConfig{options_.delta_threshold});
+    page_dec_ = std::make_unique<criu::PageDeltaDecoder>();
+  }
 
   report_ = MigrationReport{};
   report_.start = loop_.now();
@@ -140,6 +159,10 @@ void MigrationController::fail(const Status& st) {
   wbs_timeout_handle_.cancel();
   xfer_timeout_handle_.cancel();
   reset_throttle();
+  if (mux_) {
+    mux_->cancel();
+    sync_mux_stats();
+  }
   report_.ok = false;
   report_.error = st.to_string();
   report_.end = loop_.now();
@@ -163,6 +186,13 @@ void MigrationController::abort(const Status& st) {
   fabric_.unregister_service(dest_rt_->host(), xfer_service_);
   xfer_cb_ = nullptr;
   xfer_payload_.clear();
+  if (mux_) {
+    // Drop in-flight chunks and the queue; the stats survive so the report
+    // still accounts what the aborted run attempted (lost = attempted -
+    // delivered covers the chunks the abort stranded).
+    mux_->cancel();
+    sync_mux_stats();
+  }
 
   // Detach the WBS machinery from this (dead) migration and roll the
   // partners back: destroy prepared-but-unswitched replacement QPs, then
@@ -309,7 +339,7 @@ void MigrationController::phase_initial_dump() {
   }
   ByteWriter w;
   w.bytes(dump.image.serialize());
-  w.bytes(dump.pages.serialize());
+  w.bytes(encode_pages(dump.pages));
   w.bytes(predump_rdma_bytes_);
   Bytes payload = std::move(w).take();
   trace_span(loop_.now(), cost, "pre_dump",
@@ -325,6 +355,23 @@ void MigrationController::phase_initial_dump() {
 }
 
 void MigrationController::transfer_to_dest(Bytes payload, std::function<void(Bytes)> cb) {
+  if (use_mux()) {
+    // Parallel-stream path: the mux chunks the payload over N paced streams
+    // with per-chunk ack/timeout/retry, and delivers it whole on full
+    // receipt. Retry exhaustion (partition, sustained ctrl loss) aborts the
+    // migration exactly like the legacy per-payload deadline would.
+    xfer_cb_ = std::move(cb);
+    mux_->open(
+        [this](Bytes&& p) {
+          sync_mux_stats();
+          auto continuation = xfer_cb_;
+          xfer_cb_ = nullptr;
+          if (continuation) continuation(std::move(p));
+        },
+        [this](const common::Status& st) { abort(st); });
+    mux_->send(std::move(payload));
+    return;
+  }
   // Ctrl-plane transfer: pays real serialization time on the source port
   // (competing with RDMA traffic) plus propagation. The payload is retained
   // so a lost delivery (partition, blackhole) can be re-sent; each attempt
@@ -371,12 +418,54 @@ void MigrationController::on_xfer_timeout() {
   xfer_attempt_++;
   report_.transfer_retries++;
   obs::Registry::global().counter("migr.transfer_retries").inc();
-  const sim::DurationNs backoff = options_.transfer_retry_backoff << (xfer_attempt_ - 1);
+  // Clamp the doubling: past the ceiling a lossy link only needs persistence,
+  // not ever-longer waits that overshoot the transfer deadline.
+  const sim::DurationNs backoff =
+      std::min<sim::DurationNs>(options_.transfer_retry_backoff << (xfer_attempt_ - 1),
+                                options_.max_transfer_backoff);
   MIGR_WARN() << "transfer to destination timed out; retry " << xfer_attempt_ << "/"
               << options_.max_transfer_retries << " after " << backoff << " ns";
   loop_.schedule_in(backoff, [this] {
     if (xfer_cb_ != nullptr) send_xfer_attempt();
   });
+}
+
+void MigrationController::sync_mux_stats() {
+  if (!mux_) return;
+  const XferStats& xs = mux_->stats();
+  report_.xfer_streams = static_cast<std::uint32_t>(xs.streams.size());
+  report_.xfer_stream_stats = xs.streams;
+  report_.xfer_bytes_attempted = xs.attempted();
+  report_.xfer_bytes_delivered = xs.delivered();
+  report_.xfer_bytes_lost = xs.lost();
+  report_.xfer_chunks = xs.chunks();
+  report_.transfer_retries = xs.retries();
+}
+
+common::Bytes MigrationController::encode_pages(const criu::PageSet& pages) {
+  if (!page_enc_) return pages.serialize();
+  criu::PageDeltaStats batch;
+  Bytes enc = page_enc_->encode(pages, &batch);
+  const criu::PageDeltaStats& total = page_enc_->stats();
+  report_.xfer_pages_zero = total.pages_zero;
+  report_.xfer_pages_same = total.pages_same;
+  report_.xfer_pages_delta = total.pages_delta;
+  report_.xfer_pages_full = total.pages_full;
+  report_.xfer_bytes_raw = total.bytes_raw;
+  report_.xfer_bytes_shipped = total.bytes_shipped;
+  report_.xfer_bytes_suppressed = total.bytes_suppressed;
+  auto& reg = obs::Registry::global();
+  reg.counter("migr.xfer.pages_zero").inc(batch.pages_zero);
+  reg.counter("migr.xfer.pages_same").inc(batch.pages_same);
+  reg.counter("migr.xfer.pages_delta").inc(batch.pages_delta);
+  reg.counter("migr.xfer.bytes_suppressed").inc(batch.bytes_suppressed);
+  return enc;
+}
+
+common::Result<criu::PageSet> MigrationController::decode_pages(
+    std::span<const std::uint8_t> data) {
+  if (!page_dec_) return criu::PageSet::parse(data);
+  return page_dec_->decode(data);
 }
 
 void MigrationController::phase_partial_restore(Bytes payload) {
@@ -389,7 +478,7 @@ void MigrationController::phase_partial_restore(Bytes payload) {
     return abort(common::err(Errc::invalid_argument, "corrupt initial payload"));
   }
   auto mem_image = criu::MemoryImage::parse(mem_bytes.value());
-  auto pages = criu::PageSet::parse(page_bytes.value());
+  auto pages = decode_pages(page_bytes.value());
   if (!mem_image.is_ok() || !pages.is_ok()) {
     return abort(common::err(Errc::invalid_argument, "corrupt memory image"));
   }
@@ -500,7 +589,7 @@ void MigrationController::phase_precopy_round() {
   if (estimator_) estimator_->begin_interval(loop_.now());
   ByteWriter w;
   w.bytes(dump.image.serialize());
-  w.bytes(dump.pages.serialize());
+  w.bytes(encode_pages(dump.pages));
   Bytes payload = std::move(w).take();
   trace_span(loop_.now(), dump.cost, "precopy_round",
              "\"round\":" + std::to_string(rounds_done_ + 1) +
@@ -515,7 +604,7 @@ void MigrationController::phase_precopy_round() {
         return abort(common::err(Errc::invalid_argument, "corrupt round payload"));
       }
       auto mem_image = criu::MemoryImage::parse(mem_bytes.value());
-      auto pages = criu::PageSet::parse(page_bytes.value());
+      auto pages = decode_pages(page_bytes.value());
       if (!mem_image.is_ok() || !pages.is_ok()) {
         return abort(common::err(Errc::invalid_argument, "corrupt round image"));
       }
@@ -794,7 +883,8 @@ void MigrationController::phase_final_restore(Bytes payload) {
     // the pump drains.
     pump_ = std::make_unique<PostcopyPump>(loop_, fabric_, guest_id_, src_rt_->host(),
                                            dest_rt_->host(), *src_proc_, *dest_proc_,
-                                           src_rt_->device(), options_.postcopy);
+                                           src_rt_->device(), options_.postcopy,
+                                           mux_.get());
     pump_->arm(std::move(postcopy_missing_));
     postcopy_missing_.clear();
   }
@@ -804,6 +894,7 @@ void MigrationController::phase_final_restore(Bytes payload) {
 
 void MigrationController::phase_resume() {
   phase_ = "resume";
+  sync_mux_stats();
   report_.resume_at = loop_.now();
   const bool postcopy = options_.mode == MigrationMode::postcopy;
   if (postcopy) {
@@ -898,6 +989,7 @@ void MigrationController::on_postcopy_drained(const common::Status& st) {
   src_ctx_ = nullptr;
 
   report_.postcopy = pump_->stats();
+  sync_mux_stats();  // the prefetch/fault replies rode the mux too
   report_.end = now;
   trace_span(report_.resume_at, now - report_.resume_at, "postcopy_drain",
              "\"guest\":" + std::to_string(guest_id_) +

@@ -24,9 +24,11 @@
 
 #include "criu/checkpoint.hpp"
 #include "criu/dirtyrate.hpp"
+#include "criu/pagedelta.hpp"
 #include "migr/plugin.hpp"
 #include "migr/postcopy.hpp"
 #include "migr/runtime.hpp"
+#include "migr/xfer.hpp"
 #include "obs/sli.hpp"
 
 namespace migr::migrlib {
@@ -75,6 +77,24 @@ struct MigrationOptions {
   sim::DurationNs transfer_timeout = sim::sec(1);
   int max_transfer_retries = 3;                  // re-sends after the first attempt
   sim::DurationNs transfer_retry_backoff = sim::msec(50);  // doubles per retry
+  // Ceiling on the doubled backoff: a many-retry transfer on a lossy link
+  // must not back off past the transfer deadline. The default preserves the
+  // legacy schedule (50/100/200 ms) at the default retry budget.
+  sim::DurationNs max_transfer_backoff = sim::msec(500);
+  // Multifd-style parallel transfer streams (DESIGN.md §15). The TransferMux
+  // engages when streams > 1 or a per-stream pacing rate is set; with the
+  // defaults every transfer keeps the legacy single-service whole-payload
+  // path, byte-identical to previous releases. `xfer_stream_gbps` models the
+  // per-stream processing ceiling that motivates multifd: one stream cannot
+  // saturate the link, N streams aggregate toward line rate.
+  std::uint32_t xfer_streams = 1;
+  double xfer_stream_gbps = 0.0;
+  std::uint64_t xfer_chunk_bytes = 256 * 1024;
+  // Zero/delta-page suppression in the pre-copy loop (off by default): zero
+  // pages and unchanged pages ship a marker, small diffs ship XOR-sparse
+  // runs against the previous round's shipped content.
+  bool suppress_pages = false;
+  double delta_threshold = 0.5;
   // WBS-timeout policy: false = §3.4 forced stop-and-copy (harvest in-flight
   // WRs for replay); true = treat the timeout as fatal and abort/roll back.
   bool abort_on_wbs_timeout = false;
@@ -143,6 +163,24 @@ struct MigrationReport {
   std::uint64_t final_bytes = 0;
   std::uint64_t xfer_bytes_attempted = 0;
   std::uint64_t xfer_bytes_delivered = 0;
+
+  // Parallel-stream mux rollups; xfer_streams == 0 means the mux was off and
+  // every stream/suppression field below is zero. Balance invariants (pinned
+  // by tools/validate_artifacts.py): attempted == delivered + lost, per
+  // stream and in total; raw == shipped + suppressed.
+  std::uint32_t xfer_streams = 0;
+  std::uint64_t xfer_bytes_lost = 0;
+  std::uint64_t xfer_chunks = 0;          // mux frames sent, incl. re-sends
+  std::vector<XferStreamStats> xfer_stream_stats;
+
+  // Pre-copy page suppression accounting (zero when suppress_pages is off).
+  std::uint64_t xfer_pages_zero = 0;
+  std::uint64_t xfer_pages_same = 0;
+  std::uint64_t xfer_pages_delta = 0;
+  std::uint64_t xfer_pages_full = 0;
+  std::uint64_t xfer_bytes_raw = 0;        // page content the dirty sets were worth
+  std::uint64_t xfer_bytes_shipped = 0;    // page content that went on the wire
+  std::uint64_t xfer_bytes_suppressed = 0; // raw - shipped
 
   // Why pre-copy stopped iterating: "max_rounds", "bytes_threshold",
   // "diverging" (predictor gave up), or "postcopy" (single-pass mode).
@@ -222,6 +260,18 @@ class MigrationController {
                         std::function<void(common::Bytes)> on_delivered);
   void send_xfer_attempt();
   void on_xfer_timeout();
+  /// True when the parallel-stream mux carries transfers for this migration.
+  bool use_mux() const noexcept {
+    return options_.xfer_streams > 1 || options_.xfer_stream_gbps > 0;
+  }
+  /// Copy the mux's per-stream counters into the report (no-op on the
+  /// legacy path). Called at every terminal point so aborted migrations
+  /// report what they attempted.
+  void sync_mux_stats();
+  /// Pre-copy page batch through the suppression codec (or the plain
+  /// serializer when suppress_pages is off).
+  common::Bytes encode_pages(const criu::PageSet& pages);
+  common::Result<criu::PageSet> decode_pages(std::span<const std::uint8_t> data);
   void phase_partial_restore(common::Bytes payload);
   common::Status presetup_partners();
   void phase_precopy_round();
@@ -268,6 +318,9 @@ class MigrationController {
   std::unique_ptr<criu::Checkpointer> ckpt_;
   std::unique_ptr<criu::Restorer> restorer_;
   std::unique_ptr<criu::DirtyRateEstimator> estimator_;
+  std::unique_ptr<TransferMux> mux_;
+  std::unique_ptr<criu::PageDeltaEncoder> page_enc_;
+  std::unique_ptr<criu::PageDeltaDecoder> page_dec_;
   std::unique_ptr<PostcopyPump> pump_;
   std::vector<proc::VirtAddr> postcopy_missing_;
   double throttle_factor_ = 0;

@@ -7,6 +7,7 @@
 #include <span>
 
 #include "common/log.hpp"
+#include "migr/xfer.hpp"
 #include "obs/metrics.hpp"
 
 namespace migr::migrlib {
@@ -35,10 +36,11 @@ std::string PostcopyStats::json() const {
 PostcopyPump::PostcopyPump(sim::EventLoop& loop, net::Fabric& fabric, std::uint32_t guest,
                            net::HostId src_host, net::HostId dest_host,
                            proc::SimProcess& src_proc, proc::SimProcess& dest_proc,
-                           rnic::Device& src_dev, PostcopyConfig cfg)
+                           rnic::Device& src_dev, PostcopyConfig cfg,
+                           TransferMux* mux)
     : loop_(loop), fabric_(fabric), guest_(guest), src_host_(src_host),
       dest_host_(dest_host), src_proc_(src_proc), dest_proc_(dest_proc),
-      src_dev_(src_dev), cfg_(cfg),
+      src_dev_(src_dev), cfg_(cfg), mux_(mux),
       req_service_("migr.pcp.req." + std::to_string(guest)),
       data_service_("migr.pcp.data." + std::to_string(guest)) {}
 
@@ -58,9 +60,19 @@ void PostcopyPump::arm(std::vector<proc::VirtAddr> missing) {
   fabric_.register_service(src_host_, req_service_, [this](net::HostId, Bytes&& p) {
     on_request(std::move(p));
   });
-  fabric_.register_service(dest_host_, data_service_, [this](net::HostId, Bytes&& p) {
-    on_data(std::move(p));
-  });
+  if (mux_ != nullptr) {
+    // Page data rides the controller's parallel streams; a mux-level failure
+    // is not fatal here — the stall watchdog owns drain failure.
+    mux_->open([this](Bytes&& p) { on_data(std::move(p)); },
+               [this](const common::Status& st) {
+                 MIGR_WARN() << "postcopy mux transfer failed for guest " << guest_
+                             << ": " << st.to_string();
+               });
+  } else {
+    fabric_.register_service(dest_host_, data_service_, [this](net::HostId, Bytes&& p) {
+      on_data(std::move(p));
+    });
+  }
 }
 
 void PostcopyPump::start(DoneCb done) {
@@ -120,6 +132,10 @@ void PostcopyPump::on_request(Bytes&& payload) {
     static const std::array<std::uint8_t, proc::kPageSize> kZeros{};
     w.bytes(phys ? std::span<const std::uint8_t>{phys->data}
                  : std::span<const std::uint8_t>{kZeros});
+  }
+  if (mux_ != nullptr) {
+    mux_->send(std::move(w).take());
+    return;
   }
   auto sent = fabric_.send_ctrl(src_host_, dest_host_, data_service_, std::move(w).take());
   if (!sent.is_ok()) {

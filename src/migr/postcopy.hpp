@@ -35,6 +35,8 @@
 
 namespace migr::migrlib {
 
+class TransferMux;
+
 struct PostcopyConfig {
   std::uint32_t batch_pages = 32;  // pages per background prefetch request
   sim::DurationNs per_page_read = 250;  // source-side page walk per page
@@ -65,10 +67,15 @@ class PostcopyPump {
  public:
   using DoneCb = std::function<void(const common::Status&)>;
 
+  /// `mux` (optional, borrowed) carries the src→dest page-data direction
+  /// over parallel transfer streams; requests stay on the plain ctrl plane
+  /// (they are tiny). The pump re-points the mux's delivery callback to
+  /// itself in arm() — by then the controller's transfers are done.
   PostcopyPump(sim::EventLoop& loop, net::Fabric& fabric, std::uint32_t guest,
                net::HostId src_host, net::HostId dest_host,
                proc::SimProcess& src_proc, proc::SimProcess& dest_proc,
-               rnic::Device& src_dev, PostcopyConfig cfg = {});
+               rnic::Device& src_dev, PostcopyConfig cfg = {},
+               TransferMux* mux = nullptr);
   ~PostcopyPump();
   PostcopyPump(const PostcopyPump&) = delete;
   PostcopyPump& operator=(const PostcopyPump&) = delete;
@@ -112,6 +119,7 @@ class PostcopyPump {
   proc::SimProcess& dest_proc_;
   rnic::Device& src_dev_;
   PostcopyConfig cfg_;
+  TransferMux* mux_ = nullptr;  // borrowed from the controller; may be null
 
   std::string req_service_;   // source-side: page requests land here
   std::string data_service_;  // destination-side: page data lands here

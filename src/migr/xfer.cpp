@@ -1,0 +1,254 @@
+#include "migr/xfer.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace migr::migrlib {
+
+using common::ByteReader;
+using common::Bytes;
+using common::ByteWriter;
+using common::Errc;
+
+TransferMux::TransferMux(sim::EventLoop& loop, net::Fabric& fabric,
+                         std::string base, net::HostId src, net::HostId dst,
+                         XferOptions opts)
+    : loop_(loop),
+      fabric_(fabric),
+      base_(std::move(base)),
+      src_(src),
+      dst_(dst),
+      opts_(opts) {
+  opts_.streams = std::max<std::uint32_t>(1, opts_.streams);
+  opts_.chunk_bytes = std::max<std::uint64_t>(1, opts_.chunk_bytes);
+  stats_.streams.resize(opts_.streams);
+  stream_free_at_.assign(opts_.streams, 0);
+  ack_service_ = base_ + ".ack";
+  data_services_.reserve(opts_.streams);
+  for (std::uint32_t k = 0; k < opts_.streams; ++k) {
+    data_services_.push_back(base_ + "." + std::to_string(k));
+    fabric_.register_service(dst_, data_services_.back(),
+                             [this, k](net::HostId, Bytes&& p) {
+                               on_data(k, std::move(p));
+                             });
+  }
+  fabric_.register_service(src_, ack_service_, [this](net::HostId, Bytes&& p) {
+    on_ack(std::move(p));
+  });
+}
+
+TransferMux::~TransferMux() {
+  cancel();
+  for (const auto& svc : data_services_) fabric_.unregister_service(dst_, svc);
+  fabric_.unregister_service(src_, ack_service_);
+}
+
+std::uint64_t TransferMux::wire_size(std::uint64_t payload_bytes,
+                                     std::uint64_t chunk_bytes) {
+  chunk_bytes = std::max<std::uint64_t>(1, chunk_bytes);
+  const std::uint64_t nchunks =
+      payload_bytes == 0 ? 1 : (payload_bytes + chunk_bytes - 1) / chunk_bytes;
+  return payload_bytes + nchunks * kFrameOverhead;
+}
+
+void TransferMux::open(DeliverFn on_deliver, FailFn on_fail) {
+  deliver_ = std::move(on_deliver);
+  fail_ = std::move(on_fail);
+}
+
+void TransferMux::send(Bytes payload) {
+  if (tx_active_) {
+    queue_.push_back(std::move(payload));
+    return;
+  }
+  start_transfer(std::move(payload));
+}
+
+void TransferMux::start_transfer(Bytes payload) {
+  tx_active_ = true;
+  tx_seq_ = next_seq_++;
+  tx_payload_ = std::move(payload);
+  acked_count_ = 0;
+
+  const std::size_t total = tx_payload_.size();
+  const std::size_t nchunks =
+      total == 0 ? 1
+                 : (total + opts_.chunk_bytes - 1) / opts_.chunk_bytes;
+  chunks_.assign(nchunks, Chunk{});
+  for (std::size_t i = 0; i < nchunks; ++i) {
+    Chunk& c = chunks_[i];
+    c.stream = static_cast<std::uint32_t>(i % opts_.streams);
+    c.off = i * opts_.chunk_bytes;
+    c.len = std::min<std::size_t>(opts_.chunk_bytes, total - c.off);
+  }
+
+  // Receiver state for this sequence (src and dst halves live in one object;
+  // the frames still cross the simulated fabric in between).
+  rx_active_ = true;
+  rx_seq_ = tx_seq_;
+  rx_nchunks_ = static_cast<std::uint32_t>(nchunks);
+  rx_count_ = 0;
+  rx_have_.assign(nchunks, false);
+  rx_slices_.assign(nchunks, Bytes{});
+
+  for (std::uint32_t i = 0; i < nchunks; ++i) schedule_send(i, 0);
+}
+
+void TransferMux::schedule_send(std::uint32_t index, sim::DurationNs delay) {
+  Chunk& c = chunks_[index];
+  const std::uint64_t frame_bytes = c.len + kFrameOverhead;
+  sim::TimeNs ready = loop_.now() + delay;
+  if (opts_.stream_gbps > 0) {
+    // Pace: each stream is a fixed-rate pipe. The chunk goes on the wire at
+    // the stream's next free instant and occupies it for its transmit time.
+    const sim::TimeNs start = std::max(ready, stream_free_at_[c.stream]);
+    stream_free_at_[c.stream] =
+        start + sim::transmit_time(frame_bytes, opts_.stream_gbps);
+    ready = start;
+  }
+  const std::uint64_t seq = tx_seq_;
+  if (ready <= loop_.now()) {
+    do_send(index, seq);
+    return;
+  }
+  c.timer = loop_.schedule_at(
+      ready, [this, index, seq] { do_send(index, seq); });
+}
+
+void TransferMux::do_send(std::uint32_t index, std::uint64_t seq) {
+  if (!tx_active_ || seq != tx_seq_) return;
+  Chunk& c = chunks_[index];
+  if (c.acked) return;
+  c.attempts++;
+
+  ByteWriter w;
+  w.u64(seq);
+  w.u32(index);
+  w.u32(static_cast<std::uint32_t>(chunks_.size()));
+  w.u32(c.stream);
+  w.bytes({tx_payload_.data() + c.off, c.len});
+  Bytes frame = std::move(w).take();
+
+  auto& ss = stats_.streams[c.stream];
+  ss.chunks++;
+  ss.bytes_attempted += frame.size();
+  (void)fabric_.send_ctrl(src_, dst_, data_services_[c.stream], std::move(frame));
+
+  c.sent_at = loop_.now();
+  c.timer = loop_.schedule_in(opts_.chunk_timeout, [this, index, seq] {
+    on_chunk_timeout(index, seq);
+  });
+}
+
+void TransferMux::on_chunk_timeout(std::uint32_t index, std::uint64_t seq) {
+  if (!tx_active_ || seq != tx_seq_) return;
+  Chunk& c = chunks_[index];
+  if (c.acked) return;
+  if (c.attempts > opts_.max_chunk_retries) {
+    fail_transfer(common::err(
+        Errc::timeout, "xfer chunk " + std::to_string(index) + " exhausted " +
+                           std::to_string(opts_.max_chunk_retries) +
+                           " retries on stream " + std::to_string(c.stream)));
+    return;
+  }
+  stats_.streams[c.stream].retries++;
+  obs::Registry::global().counter("migr.xfer.chunk_retries").inc();
+  const sim::DurationNs backoff = std::min<sim::DurationNs>(
+      opts_.retry_backoff << (c.attempts - 1), opts_.max_backoff);
+  schedule_send(index, backoff);
+}
+
+void TransferMux::on_data(std::uint32_t stream, Bytes&& frame) {
+  const std::uint64_t frame_bytes = frame.size();
+  ByteReader r{frame};
+  auto seq = r.u64();
+  auto index = r.u32();
+  auto nchunks = r.u32();
+  auto wire_stream = r.u32();
+  auto slice = r.bytes();
+  if (!seq.is_ok() || !index.is_ok() || !nchunks.is_ok() ||
+      !wire_stream.is_ok() || !slice.is_ok()) {
+    return;  // malformed frame: drop, sender's timeout re-sends
+  }
+  stats_.streams[stream].bytes_delivered += frame_bytes;
+
+  // Ack unconditionally — duplicates and frames for cancelled transfers
+  // still ack so the sender stops retrying them.
+  ByteWriter w;
+  w.u64(*seq);
+  w.u32(*index);
+  (void)fabric_.send_ctrl(dst_, src_, ack_service_, std::move(w).take());
+
+  if (!rx_active_ || *seq != rx_seq_ || *index >= rx_nchunks_) return;
+  if (rx_have_[*index]) return;
+  rx_have_[*index] = true;
+  rx_slices_[*index] = std::move(*slice);
+  if (++rx_count_ < rx_nchunks_) return;
+
+  // Full receipt: reassemble in chunk order and deliver exactly once.
+  std::size_t total = 0;
+  for (const auto& s : rx_slices_) total += s.size();
+  Bytes payload;
+  payload.reserve(total);
+  for (auto& s : rx_slices_) {
+    payload.insert(payload.end(), s.begin(), s.end());
+  }
+  rx_active_ = false;
+  rx_have_.clear();
+  rx_slices_.clear();
+  if (deliver_) deliver_(std::move(payload));
+}
+
+void TransferMux::on_ack(Bytes&& frame) {
+  ByteReader r{frame};
+  auto seq = r.u64();
+  auto index = r.u32();
+  if (!seq.is_ok() || !index.is_ok()) return;
+  if (!tx_active_ || *seq != tx_seq_ || *index >= chunks_.size()) return;
+  Chunk& c = chunks_[*index];
+  if (c.acked) return;
+  c.acked = true;
+  c.timer.cancel();
+  obs::Registry::global()
+      .histogram("migr.xfer.chunk_rtt_ns",
+                 {{"stream", std::to_string(c.stream)}})
+      .observe(static_cast<double>(loop_.now() - c.sent_at));
+  if (++acked_count_ == chunks_.size()) finish_tx();
+}
+
+void TransferMux::finish_tx() {
+  tx_active_ = false;
+  tx_payload_.clear();
+  chunks_.clear();
+  stats_.transfers++;
+  if (!queue_.empty()) {
+    Bytes next = std::move(queue_.front());
+    queue_.pop_front();
+    start_transfer(std::move(next));
+  }
+}
+
+void TransferMux::cancel_tx() {
+  for (Chunk& c : chunks_) c.timer.cancel();
+  chunks_.clear();
+  tx_payload_.clear();
+  tx_active_ = false;
+}
+
+void TransferMux::fail_transfer(common::Status st) {
+  cancel_tx();
+  rx_active_ = false;
+  queue_.clear();
+  if (fail_) fail_(st);
+}
+
+void TransferMux::cancel() {
+  cancel_tx();
+  rx_active_ = false;
+  rx_have_.clear();
+  rx_slices_.clear();
+  queue_.clear();
+}
+
+}  // namespace migr::migrlib

@@ -1,0 +1,178 @@
+// Multifd-style parallel transfer mux (QEMU's multifd idiom): one logical
+// payload is split into page-granular chunks round-robined over N fabric
+// ctrl streams (`<base>.<k>`), each stream paced independently, with a
+// per-chunk ack/timeout/retry loop and a destination-side reassembler that
+// delivers only on full receipt. MigrationController::transfer_to_dest, the
+// post-copy prefetch pump, and FtController's epoch sync all ride this layer
+// when stream fan-out is enabled.
+//
+// Determinism: sharding is a pure function of (payload size, chunk_bytes,
+// streams) — chunk i rides stream i % N — and pacing advances per-stream
+// virtual clocks by exact transmit times, so seeded runs are byte-identical
+// run to run regardless of stream count.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "net/fabric.hpp"
+#include "sim/event_loop.hpp"
+
+namespace migr::migrlib {
+
+struct XferOptions {
+  std::uint32_t streams = 1;
+  /// Per-stream bandwidth ceiling. This is the whole point of multifd: one
+  /// stream's processing pipeline cannot saturate the link, so the mux
+  /// paces each stream at `stream_gbps` and aggregate throughput scales
+  /// with the stream count (up to line rate). 0 = no pacing (line rate).
+  double stream_gbps = 0.0;
+  std::uint64_t chunk_bytes = 256 * 1024;
+  sim::DurationNs chunk_timeout = sim::msec(5);
+  int max_chunk_retries = 5;
+  sim::DurationNs retry_backoff = sim::msec(1);
+  /// Ceiling for the doubling retry backoff — a many-retry chunk on a lossy
+  /// link must not back off past the transfer deadline.
+  sim::DurationNs max_backoff = sim::msec(50);
+};
+
+/// Per-stream wire accounting, in frame bytes (chunk payload + framing).
+/// `attempted` includes re-sends; `lost()` is derived, so once the fabric
+/// quiesces the balance attempted == delivered + lost holds exactly.
+struct XferStreamStats {
+  std::uint64_t chunks = 0;  // frames sent, including re-sends
+  std::uint64_t bytes_attempted = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t retries = 0;
+
+  std::uint64_t bytes_lost() const noexcept {
+    return bytes_attempted - bytes_delivered;
+  }
+};
+
+struct XferStats {
+  std::vector<XferStreamStats> streams;
+  std::uint64_t transfers = 0;  // payloads fully delivered
+
+  std::uint64_t attempted() const noexcept {
+    std::uint64_t v = 0;
+    for (const auto& s : streams) v += s.bytes_attempted;
+    return v;
+  }
+  std::uint64_t delivered() const noexcept {
+    std::uint64_t v = 0;
+    for (const auto& s : streams) v += s.bytes_delivered;
+    return v;
+  }
+  std::uint64_t lost() const noexcept { return attempted() - delivered(); }
+  std::uint64_t retries() const noexcept {
+    std::uint64_t v = 0;
+    for (const auto& s : streams) v += s.retries;
+    return v;
+  }
+  std::uint64_t chunks() const noexcept {
+    std::uint64_t v = 0;
+    for (const auto& s : streams) v += s.chunks;
+    return v;
+  }
+};
+
+class TransferMux {
+ public:
+  using DeliverFn = std::function<void(common::Bytes&&)>;
+  using FailFn = std::function<void(const common::Status&)>;
+
+  /// Registers `<base>.<k>` data services on `dst` and `<base>.ack` on
+  /// `src`. The services stay registered for the mux's lifetime — streams
+  /// model long-lived connections, unlike the legacy per-transfer service.
+  TransferMux(sim::EventLoop& loop, net::Fabric& fabric, std::string base,
+              net::HostId src, net::HostId dst, XferOptions opts);
+  ~TransferMux();
+
+  TransferMux(const TransferMux&) = delete;
+  TransferMux& operator=(const TransferMux&) = delete;
+
+  /// (Re)point the delivery/failure callbacks. Callers hand the mux off
+  /// between phases this way — e.g. the migration controller re-points
+  /// delivery at the post-copy pump once the final transfer lands.
+  void open(DeliverFn on_deliver, FailFn on_fail);
+
+  /// Queue a payload. Transfers are strictly ordered: a payload starts only
+  /// after the previous one is fully acked, so delivery order == send order.
+  void send(common::Bytes payload);
+
+  /// Drop in-flight transfer, rx state, and the queue. Stats survive (an
+  /// aborted migration still reports what it attempted).
+  void cancel();
+
+  bool busy() const noexcept { return tx_active_ || !queue_.empty(); }
+  const XferStats& stats() const noexcept { return stats_; }
+  const XferOptions& options() const noexcept { return opts_; }
+
+  /// Framing bytes added per chunk (seq + index + count + stream + length).
+  static constexpr std::uint64_t kFrameOverhead = 8 + 4 + 4 + 4 + 4;
+
+  /// Total wire bytes a clean (no-retry) transfer of `payload_bytes` costs.
+  static std::uint64_t wire_size(std::uint64_t payload_bytes,
+                                 std::uint64_t chunk_bytes);
+
+ private:
+  struct Chunk {
+    std::uint32_t stream = 0;
+    std::size_t off = 0;
+    std::size_t len = 0;
+    int attempts = 0;
+    bool acked = false;
+    sim::TimeNs sent_at = 0;
+    sim::EventHandle timer;  // pending paced send or ack timeout
+  };
+
+  void start_transfer(common::Bytes payload);
+  void schedule_send(std::uint32_t index, sim::DurationNs delay);
+  void do_send(std::uint32_t index, std::uint64_t seq);
+  void on_chunk_timeout(std::uint32_t index, std::uint64_t seq);
+  void on_data(std::uint32_t stream, common::Bytes&& frame);
+  void on_ack(common::Bytes&& frame);
+  void finish_tx();
+  void fail_transfer(common::Status st);
+  void cancel_tx();
+
+  sim::EventLoop& loop_;
+  net::Fabric& fabric_;
+  std::string base_;
+  net::HostId src_;
+  net::HostId dst_;
+  XferOptions opts_;
+  std::vector<std::string> data_services_;
+  std::string ack_service_;
+
+  DeliverFn deliver_;
+  FailFn fail_;
+
+  // Sender side.
+  bool tx_active_ = false;
+  std::uint64_t tx_seq_ = 0;
+  std::uint64_t next_seq_ = 0;
+  common::Bytes tx_payload_;
+  std::vector<Chunk> chunks_;
+  std::uint32_t acked_count_ = 0;
+  std::deque<common::Bytes> queue_;
+  std::vector<sim::TimeNs> stream_free_at_;  // per-stream pacing clocks
+
+  // Receiver side.
+  bool rx_active_ = false;
+  std::uint64_t rx_seq_ = 0;
+  std::uint32_t rx_nchunks_ = 0;
+  std::uint32_t rx_count_ = 0;
+  std::vector<bool> rx_have_;
+  std::vector<common::Bytes> rx_slices_;
+
+  XferStats stats_;
+};
+
+}  // namespace migr::migrlib

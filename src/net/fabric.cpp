@@ -211,7 +211,10 @@ std::vector<Packet> Fabric::acquire_train() {
 
 void Fabric::recycle_train(std::vector<Packet>&& train) {
   train.clear();
-  if (train_pool_.size() < 32) train_pool_.push_back(std::move(train));
+  // 128, not 32: trains stay checked out for their whole flight time, and a
+  // few QPs of deep multi-packet pipeline keep >32 in the air at once —
+  // every pool miss is a vector reallocation on the transmit fast path.
+  if (train_pool_.size() < 128) train_pool_.push_back(std::move(train));
 }
 
 void Fabric::send_data_burst(Route& r, std::vector<Packet>&& train) {
@@ -272,9 +275,16 @@ common::Result<sim::TimeNs> Fabric::send_ctrl(HostId src, HostId dst,
   // Model TCP as a stream: the message occupies the port for its full
   // length, then arrives whole after propagation. Loss is absorbed by
   // "TCP" (we don't simulate retransmits on the ctrl plane), but a
-  // partition kills delivery exactly like a failed node would.
+  // partition kills delivery exactly like a failed node would. With
+  // ctrl_loss_prob set, whole messages vanish instead — the management
+  // network failing — and retransmission becomes the caller's problem
+  // (the TransferMux chunk retry loop).
   const std::uint64_t wire_bytes = payload.size() + config_.header_bytes;
   const sim::TimeNs serialized_at = reserve_egress(src_it->second, wire_bytes);
+  if (faults_.ctrl_loss_prob > 0 && rng_.chance(faults_.ctrl_loss_prob)) {
+    src_it->second.stats.ctrl_messages_dropped++;
+    return serialized_at;  // occupied the wire, never arrives
+  }
   const sim::TimeNs deliver_at = serialized_at + config_.propagation + faults_.ctrl_delay;
 
   loop_.post_at(deliver_at, [this, src, dst, service, payload = std::move(payload)]() mutable {

@@ -64,6 +64,12 @@ struct Faults {
   // Extra one-way latency on the ctrl plane (slow out-of-band TCP; models a
   // congested management network without touching the data plane).
   sim::DurationNs ctrl_delay = 0;
+  // i.i.d. drop probability on the ctrl plane. The base ctrl model is a
+  // lossless "TCP" stream; this models the management network failing whole
+  // messages (exercises the TransferMux chunk retry path). Kept at 0.0 the
+  // fault draws no RNG, so the data-plane random sequence — and with it every
+  // seeded baseline — is unchanged.
+  double ctrl_loss_prob = 0.0;
 };
 
 /// A raw data-plane packet: an inline wire header plus a zero-copy payload
@@ -103,6 +109,7 @@ struct PortStats {
   std::uint64_t data_packets_reordered = 0;
   std::uint64_t ctrl_messages_tx = 0;
   std::uint64_t ctrl_bytes_tx = 0;
+  std::uint64_t ctrl_messages_dropped = 0;
 };
 
 class Fabric {

@@ -147,7 +147,10 @@ Status AddressSpace::write(VirtAddr addr, std::span<const std::uint8_t> in) {
     if (!missing_.empty()) fault_in(page);
     auto it = pages_.find(page);
     std::memcpy(it->second->data.data() + off, in.data() + done, n);
-    dirty_.emplace(page, 1);
+    // try_emplace, not emplace: emplace allocates its node before the
+    // duplicate check, which costs an alloc+free on every write to an
+    // already-dirty page — the common case for steady-state DMA traffic.
+    dirty_.try_emplace(page, 1);
     done += n;
   }
   return Status::ok();

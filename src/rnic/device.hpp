@@ -444,11 +444,11 @@ class Device {
   void on_retransmit_timer(Qpn qpn);
   void deliver_recv_cqe(Qp& qp, const RecvWr& wr, std::uint32_t byte_len, bool has_imm,
                         std::uint32_t imm, Qpn src_qp, CqeOpcode op = CqeOpcode::recv);
-  common::Status dma_read(Context& ctx, const std::vector<Sge>& sge, std::uint64_t offset,
+  common::Status dma_read(Context& ctx, std::span<const Sge> sge, std::uint64_t offset,
                           std::span<std::uint8_t> out);
-  common::Status dma_write(Context& ctx, const std::vector<Sge>& sge, std::uint64_t offset,
+  common::Status dma_write(Context& ctx, std::span<const Sge> sge, std::uint64_t offset,
                            std::span<const std::uint8_t> in);
-  common::Status validate_sges(Context& ctx, const std::vector<Sge>& sge, bool need_write);
+  common::Status validate_sges(Context& ctx, std::span<const Sge> sge, bool need_write);
 
   sim::EventLoop& loop_;
   net::Fabric& fabric_;
@@ -466,7 +466,9 @@ class Device {
   std::uint32_t key_salt_;
   std::uint32_t next_key_index_ = 1;
 
-  std::deque<Qpn> pump_queue_;
+  // GrowRing, not deque: the rotation pops and re-pushes constantly, and a
+  // deque allocates a fresh chunk every ~128 such cycles in steady state.
+  common::GrowRing<Qpn> pump_queue_;
   bool pump_scheduled_ = false;
   // Cached pointer to this port's egress clock (no hash lookup per pump).
   const sim::TimeNs* egress_clock_ = nullptr;

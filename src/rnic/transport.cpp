@@ -47,7 +47,7 @@ CqeOpcode send_cqe_opcode(WrOpcode op) {
 // Posting
 // ---------------------------------------------------------------------------
 
-Status Device::validate_sges(Context& ctx, const std::vector<Sge>& sge, bool need_write) {
+Status Device::validate_sges(Context& ctx, std::span<const Sge> sge, bool need_write) {
   if (sge.size() > 16) return common::err(Errc::invalid_argument, "too many SGEs");
   for (const auto& s : sge) {
     if (s.length == 0) continue;
@@ -1110,7 +1110,7 @@ void Device::deliver_recv_cqe(Qp& qp, const RecvWr& wr, std::uint32_t byte_len,
 // DMA helpers
 // ---------------------------------------------------------------------------
 
-common::Status Device::dma_read(Context& ctx, const std::vector<Sge>& sge,
+common::Status Device::dma_read(Context& ctx, std::span<const Sge> sge,
                                 std::uint64_t offset, std::span<std::uint8_t> out) {
   std::uint64_t skip = offset;
   std::size_t produced = 0;
@@ -1133,7 +1133,7 @@ common::Status Device::dma_read(Context& ctx, const std::vector<Sge>& sge,
   return Status::ok();
 }
 
-common::Status Device::dma_write(Context& ctx, const std::vector<Sge>& sge,
+common::Status Device::dma_write(Context& ctx, std::span<const Sge> sge,
                                  std::uint64_t offset, std::span<const std::uint8_t> in) {
   std::uint64_t skip = offset;
   std::size_t consumed = 0;

@@ -4,8 +4,11 @@
 // migration source's NIC and the destination's.
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <cstdint>
-#include <vector>
+#include <initializer_list>
+#include <span>
 
 #include "net/fabric.hpp"
 #include "proc/address_space.hpp"
@@ -91,11 +94,60 @@ struct Sge {
   Lkey lkey = 0;
 };
 
+/// Fixed-capacity inline scatter/gather list. Every post copies its WR into
+/// a device ring, so a heap-backed vector here costs an allocation per post
+/// on the steady-state message path. Capacity is double the device's 16-SGE
+/// validation limit so an over-limit post is still representable (and
+/// rejected with a Status by validate_sges) instead of asserting here.
+class SgeList {
+ public:
+  static constexpr std::size_t kCapacity = 32;
+
+  SgeList() = default;
+  SgeList(std::initializer_list<Sge> init) { *this = init; }
+  SgeList& operator=(std::initializer_list<Sge> init) {
+    assert(init.size() <= kCapacity);
+    len_ = 0;
+    for (const Sge& s : init) buf_[len_++] = s;
+    return *this;
+  }
+
+  std::size_t size() const noexcept { return len_; }
+  bool empty() const noexcept { return len_ == 0; }
+  void clear() noexcept { len_ = 0; }
+  void push_back(const Sge& s) noexcept {
+    assert(len_ < kCapacity);
+    buf_[len_++] = s;
+  }
+  /// vector-compatible resize: grown entries are default Sge{}.
+  void resize(std::size_t n) noexcept {
+    assert(n <= kCapacity);
+    for (std::size_t i = len_; i < n; ++i) buf_[i] = Sge{};
+    len_ = static_cast<std::uint32_t>(n);
+  }
+
+  Sge* data() noexcept { return buf_.data(); }
+  const Sge* data() const noexcept { return buf_.data(); }
+  Sge* begin() noexcept { return buf_.data(); }
+  Sge* end() noexcept { return buf_.data() + len_; }
+  const Sge* begin() const noexcept { return buf_.data(); }
+  const Sge* end() const noexcept { return buf_.data() + len_; }
+  Sge& operator[](std::size_t i) noexcept { return buf_[i]; }
+  const Sge& operator[](std::size_t i) const noexcept { return buf_[i]; }
+
+  operator std::span<Sge>() noexcept { return {buf_.data(), len_}; }
+  operator std::span<const Sge>() const noexcept { return {buf_.data(), len_}; }
+
+ private:
+  std::array<Sge, kCapacity> buf_{};
+  std::uint32_t len_ = 0;
+};
+
 /// Send-queue work request (ibv_send_wr).
 struct SendWr {
   std::uint64_t wr_id = 0;
   WrOpcode opcode = WrOpcode::send;
-  std::vector<Sge> sge;
+  SgeList sge;
   bool signaled = true;
 
   // RDMA one-sided
@@ -123,7 +175,7 @@ struct SendWr {
 /// Receive-queue work request (ibv_recv_wr).
 struct RecvWr {
   std::uint64_t wr_id = 0;
-  std::vector<Sge> sge;
+  SgeList sge;
 
   std::uint64_t total_length() const {
     std::uint64_t n = 0;

@@ -250,6 +250,48 @@ TEST(FtController, EpochAccountingBalancesAndCommitsAreMonotone) {
   EXPECT_LT(r.epochs[2].wire_bytes, r.full_sync_bytes / 4);
 }
 
+// With the parallel-stream mux carrying the epoch sync, every stream must
+// balance (attempted == delivered + lost) and the per-stream rollups must
+// sum back to the report totals. Round-robin sharding means the full sync's
+// chunks land on every stream, not just the first.
+TEST(FtController, MuxCarriedEpochSyncBalancesPerStream) {
+  ft::FtOptions o = FtScenario::fast_options();
+  o.xfer_streams = 4;
+  // Small chunks so even this modest guest's full sync spans all 4 streams
+  // (with the 2 MiB default the whole image is one chunk on stream 0).
+  o.chunk_bytes = 4096;
+  FtScenario s(/*seed=*/42, o);
+  ASSERT_TRUE(s.protect().is_ok());
+  ASSERT_TRUE(s.run_until_protected());
+  s.run_for(sim::msec(30));
+  s.ctrl_->unprotect();
+  s.run_for(sim::msec(5));
+  ASSERT_TRUE(s.done_);
+  const ft::FtReport& r = s.report_;
+  EXPECT_TRUE(r.ok);
+  EXPECT_GE(r.epochs_committed, 3u);
+  EXPECT_EQ(r.xfer_streams, 4u);
+  ASSERT_EQ(r.xfer_stream_stats.size(), 4u);
+
+  std::uint64_t chunks = 0, attempted = 0, delivered = 0;
+  for (const auto& st : r.xfer_stream_stats) {
+    EXPECT_GT(st.chunks, 0u) << "a stream carried no chunks";
+    EXPECT_EQ(st.bytes_attempted, st.bytes_delivered + st.bytes_lost());
+    chunks += st.chunks;
+    attempted += st.bytes_attempted;
+    delivered += st.bytes_delivered;
+  }
+  EXPECT_EQ(chunks, r.xfer_chunks);
+  EXPECT_EQ(attempted, r.xfer_bytes_attempted);
+  EXPECT_EQ(delivered, r.xfer_bytes_delivered);
+  EXPECT_EQ(attempted - delivered, r.xfer_bytes_lost);
+
+  // Output commit still holds under the mux: nothing duplicated/reordered.
+  s.run_for(sim::msec(5));
+  ASSERT_FALSE(s.received_.empty());
+  expect_strictly_increasing(s.received_);
+}
+
 // ---------------------------------------------------------------------------
 // Failover
 // ---------------------------------------------------------------------------

@@ -4,9 +4,11 @@
 # a perf smoke (simulator event-rate bench vs the checked-in baseline),
 # a blackout-anatomy artifact stage (instrumented lossy drain + schema
 # validation of the trace/timeseries/flight-recorder outputs), a pre-copy
-# vs post-copy drain comparison gated on post-copy's shorter blackout, an
-# FT failover stage (kill-primary under a lossy seed, gated on the output-
-# commit invariant and the validated ft_report), then the sanitizer pass.
+# vs post-copy drain comparison gated on post-copy's shorter blackout, a
+# multifd scale-out stage (1-stream vs 4-stream drain gated on the mux
+# cutting the median transfer phase >= 1.5x), an FT failover stage
+# (kill-primary under a lossy seed, gated on the output-commit invariant
+# and the validated ft_report), then the sanitizer pass.
 #
 #   tools/ci.sh              # everything
 #   tools/ci.sh --fast       # skip the sanitizer pass
@@ -18,12 +20,12 @@ cd "$REPO_ROOT"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "==> [1/7] plain build + full test suite"
+echo "==> [1/8] plain build + full test suite"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [2/7] lossy-seed suites (fault injection, adversarial migrations, lossy drain)"
+echo "==> [2/8] lossy-seed suites (fault injection, adversarial migrations, lossy drain)"
 # Deterministic seeded runs: the fault scenario suite, every property test
 # that drives traffic through injected loss/reordering/partitions, and the
 # cluster suite (scheduler admission/retry plus the seeded lossy drain with
@@ -31,7 +33,7 @@ echo "==> [2/7] lossy-seed suites (fault injection, adversarial migrations, loss
 ctest --test-dir build --output-on-failure -j "$(nproc)" \
   -R '(ScenarioRunner|MigrationAbort|AdversarialMigrationProperty|TransportProperty|ClusterScheduler|ClusterDrain)'
 
-echo "==> [3/7] perf smoke (bench_simrate vs BENCH_simrate.json baseline)"
+echo "==> [3/8] perf smoke (bench_simrate vs BENCH_simrate.json baseline)"
 # Advisory, not a gate: wall time on shared CI machines is noisy, so a
 # regression prints a loud warning instead of failing the pipeline. The
 # fresh numbers land in build/BENCH_simrate.json for inspection; refresh
@@ -63,7 +65,7 @@ else
   echo "    no checked-in BENCH_simrate.json baseline; skipping comparison"
 fi
 
-echo "==> [4/7] blackout-anatomy artifacts (instrumented lossy drain + schema validation)"
+echo "==> [4/8] blackout-anatomy artifacts (instrumented lossy drain + schema validation)"
 # One seeded lossy drain with the full observability stack armed: Chrome
 # trace, metric time series, and the wire flight recorder. The python
 # validator pins the artifact schemas so downstream tooling (trace viewers,
@@ -89,7 +91,7 @@ build/bench/bench_cluster_drain --loss 0.2 --seed 11 --conc 4 \
   --sli-csv "$ART_DIR/drain.sli.csv"
 python3 tools/validate_artifacts.py --slo "$ART_DIR/drain.slo.json" --expect-alert
 
-echo "==> [5/7] pre-copy vs post-copy drain comparison (write-heavy fleet)"
+echo "==> [5/8] pre-copy vs post-copy drain comparison (write-heavy fleet)"
 # The same write-heavy drain (8 MiB dirty MR per guest, clean fabric) run
 # once per migration mode. The validator pins the drain_report schema on
 # both legs — including gap-free waterfall tiling and the post-copy fault
@@ -104,7 +106,50 @@ python3 tools/validate_artifacts.py \
   --drain "$ART_DIR/drain.postcopy.json" \
   --expect-postcopy-faster "$ART_DIR/drain.precopy.json" "$ART_DIR/drain.postcopy.json"
 
-echo "==> [6/7] FT failover comparison (kill-primary under a lossy seed)"
+echo "==> [6/8] multifd scale-out (1-stream vs 4-stream drain)"
+# The same write-heavy drain run once with a single paced 25 Gbps transfer
+# stream and once with the 4-stream mux (4 x 25 Gbps). Concurrency is pinned
+# to 1: at --conc 4 four concurrent migrations already fill the 100 Gbps
+# port, so per-migration stream scaling is invisible — one migration at a
+# time is what isolates the mux's own speedup, mirroring QEMU's multifd
+# single-VM story. Gated on the 4-stream leg cutting the median per-guest
+# transfer-phase time by >= 1.5x (it measures ~4x on a quiet machine), plus
+# the validator's stream/suppression balance pins on both artifacts.
+build/bench/bench_cluster_drain --seed 11 --conc 1 --mem-mb 8 \
+  --streams 1 --drain-out "$ART_DIR/drain.s1.json"
+build/bench/bench_cluster_drain --seed 11 --conc 1 --mem-mb 8 \
+  --streams 4 --suppress --drain-out "$ART_DIR/drain.s4.json"
+python3 tools/validate_artifacts.py --drain "$ART_DIR/drain.s1.json"
+python3 tools/validate_artifacts.py \
+  --drain "$ART_DIR/drain.s4.json" --expect-streams 4
+python3 - "$ART_DIR/drain.s1.json" "$ART_DIR/drain.s4.json" <<'EOF'
+import json
+import statistics
+import sys
+
+
+def median_transfer_ns(path):
+    with open(path) as f:
+        doc = json.load(f)
+    durs = [s["dur_ns"]
+            for g in doc["guests"]
+            for s in g["waterfall"]["slices"]
+            if s["name"] == "transfer"]
+    if not durs:
+        sys.exit(f"FAIL {path}: no transfer slices in any waterfall")
+    return statistics.median(durs)
+
+s1 = median_transfer_ns(sys.argv[1])
+s4 = median_transfer_ns(sys.argv[2])
+ratio = s1 / s4 if s4 > 0 else float("inf")
+print(f"    median transfer phase: 1-stream {s1 / 1e6:.3f} ms, "
+      f"4-stream {s4 / 1e6:.3f} ms ({ratio:.2f}x)")
+if ratio < 1.5:
+    sys.exit("FAIL: 4-stream mux did not cut the median transfer phase "
+             f"by >= 1.5x (got {ratio:.2f}x)")
+EOF
+
+echo "==> [7/8] FT failover comparison (kill-primary under a lossy seed)"
 # Continuous-protection stage: the seeded 8-host scenario with data-plane
 # loss, primary killed mid-traffic. The bench itself gates on the output-
 # commit invariant (zero duplicate client-visible messages) and on the FT
@@ -117,9 +162,9 @@ build/bench/bench_ft_failover --loss 0.01 --seed 11 \
 python3 tools/validate_artifacts.py --ft "$ART_DIR/ft_report.json"
 
 if [[ "$FAST" == "1" ]]; then
-  echo "==> [7/7] sanitizer pass skipped (--fast)"
+  echo "==> [8/8] sanitizer pass skipped (--fast)"
   exit 0
 fi
 
-echo "==> [7/7] sanitizer pass (address)"
+echo "==> [8/8] sanitizer pass (address)"
 tools/run_sanitized.sh address

@@ -17,6 +17,13 @@ accounting must balance against the rollup, committed epochs must be
 monotone, and a failover's blackout waterfall must tile [killed_at,
 resume_at] gap-free.
 
+--drain additionally pins the parallel-stream mux rollup: bytes_attempted ==
+bytes_delivered + bytes_lost (in total and per stream), per-stream counters
+sum back to the rollup, and suppression conserves raw bytes (raw == shipped
++ suppressed). --expect-streams N requires an N-stream mux with every
+stream carrying chunks. The ft_report's epochs.streams block gets the same
+per-stream balance treatment.
+
 Each artifact is optional; whatever is named must parse and conform. Exits
 non-zero with a per-file report on the first violation class found.
 """
@@ -183,7 +190,16 @@ def check_slo(path, expect_alert=False):
 DRAIN_TOP_FIELDS = {
     "kind", "version", "scenario", "mode", "host", "ok", "migrations",
     "completed", "failed", "retries", "aborts", "makespan_ns", "blackout_ns",
-    "phases", "postcopy", "guests",
+    "phases", "postcopy", "xfer", "guests",
+}
+XFER_FIELDS = {
+    "streams", "migrations", "bytes_attempted", "bytes_delivered",
+    "bytes_lost", "chunks", "retries", "per_stream", "suppression",
+}
+XFER_STREAM_FIELDS = {"chunks", "attempted", "delivered", "lost", "retries"}
+SUPPRESSION_FIELDS = {
+    "pages_zero", "pages_same", "pages_delta", "pages_full",
+    "bytes_raw", "bytes_shipped", "bytes_suppressed",
 }
 DRAIN_POSTCOPY_FIELDS = {
     "migrations", "missing_pages", "demand_faults", "prefetched_pages",
@@ -195,7 +211,28 @@ GUEST_POSTCOPY_FIELDS = {
 }
 
 
-def check_drain(path):
+def check_xfer_streams(path, label, per_stream, totals):
+    """Per-stream mux accounting: each stream balances internally and the
+    per-stream array sums to the rollup totals exactly."""
+    sums = {"chunks": 0, "attempted": 0, "delivered": 0, "lost": 0, "retries": 0}
+    for k, s in enumerate(per_stream):
+        missing = XFER_STREAM_FIELDS - s.keys()
+        if missing:
+            return fail(path, f"{label} stream {k}: missing {sorted(missing)}")
+        if s["attempted"] != s["delivered"] + s["lost"]:
+            return fail(path, f"{label} stream {k}: attempted {s['attempted']} "
+                              f"!= delivered {s['delivered']} + lost {s['lost']}")
+        for key in sums:
+            sums[key] += s[key]
+    if per_stream:
+        for key, total in totals.items():
+            if total is not None and sums[key] != total:
+                return fail(path, f"{label}: per-stream {key} sums to "
+                                  f"{sums[key]}, rollup says {total}")
+    return True
+
+
+def check_drain(path, expect_streams=0):
     with open(path) as f:
         doc = json.load(f)
     if doc.get("kind") != "drain_report":
@@ -205,6 +242,45 @@ def check_drain(path):
     missing = DRAIN_TOP_FIELDS - doc.keys()
     if missing:
         return fail(path, f"missing top-level fields {sorted(missing)}")
+
+    # Parallel-stream mux rollup: present in every report (all-zero with the
+    # mux off); attempted bytes must balance against delivered + lost both in
+    # total and per stream, and suppression must conserve raw bytes.
+    xf = doc["xfer"]
+    missing = XFER_FIELDS - xf.keys()
+    if missing:
+        return fail(path, f"xfer block missing {sorted(missing)}")
+    if xf["bytes_attempted"] != xf["bytes_delivered"] + xf["bytes_lost"]:
+        return fail(path, f"xfer does not balance: attempted "
+                          f"{xf['bytes_attempted']} != delivered "
+                          f"{xf['bytes_delivered']} + lost {xf['bytes_lost']}")
+    if not check_xfer_streams(path, "xfer", xf["per_stream"], {
+        "chunks": xf["chunks"],
+        "attempted": xf["bytes_attempted"],
+        "delivered": xf["bytes_delivered"],
+        "lost": xf["bytes_lost"],
+        "retries": xf["retries"],
+    }):
+        return False
+    sp = xf["suppression"]
+    missing = SUPPRESSION_FIELDS - sp.keys()
+    if missing:
+        return fail(path, f"suppression block missing {sorted(missing)}")
+    if sp["bytes_raw"] != sp["bytes_shipped"] + sp["bytes_suppressed"]:
+        return fail(path, f"suppression does not balance: raw "
+                          f"{sp['bytes_raw']} != shipped {sp['bytes_shipped']} "
+                          f"+ suppressed {sp['bytes_suppressed']}")
+    if expect_streams:
+        if xf["streams"] != expect_streams:
+            return fail(path, f"expected {expect_streams} mux streams, "
+                              f"report says {xf['streams']}")
+        if len(xf["per_stream"]) != expect_streams:
+            return fail(path, f"expected {expect_streams} per-stream entries, "
+                              f"saw {len(xf['per_stream'])}")
+        for k, s in enumerate(xf["per_stream"]):
+            if s["chunks"] == 0:
+                return fail(path, f"stream {k} carried no chunks — round-robin "
+                                  f"sharding is not spreading the load")
     if doc["mode"] not in ("precopy", "postcopy"):
         return fail(path, f"unexpected mode {doc['mode']!r}")
     bk = doc["blackout_ns"]
@@ -251,8 +327,18 @@ def check_drain(path):
             n_faults += pc["demand_faults"]
         elif pc is not None:
             return fail(path, f"guest {gid}: precopy migration carries postcopy stats")
+        gxf = g.get("xfer")
+        if expect_streams and gxf is None:
+            return fail(path, f"guest {gid}: mux expected but no xfer block")
+        if gxf is not None:
+            if gxf["bytes_attempted"] != gxf["bytes_delivered"] + gxf["bytes_lost"]:
+                return fail(path, f"guest {gid}: xfer does not balance")
+            if expect_streams and gxf["streams"] != expect_streams:
+                return fail(path, f"guest {gid}: expected {expect_streams} "
+                                  f"streams, saw {gxf['streams']}")
     print(f"OK   {path}: drain_report mode={doc['mode']} "
-          f"{len(doc['guests'])} guests, {n_faults} demand faults")
+          f"{len(doc['guests'])} guests, {n_faults} demand faults, "
+          f"xfer streams={xf['streams']}")
     return True
 
 
@@ -261,9 +347,11 @@ FT_TOP_FIELDS = {
     "protect_start_ns", "protected_at_ns", "end_ns", "epochs", "output_commit",
     "failover",
 }
+FT_STREAM_TOP_FIELDS = {"count", "chunks", "bytes_lost", "per_stream"}
 FT_EPOCH_FIELDS = {
     "captured", "committed", "full_sync_bytes", "epoch_bytes_total",
-    "xfer_bytes_attempted", "xfer_bytes_delivered", "transfer_retries", "records",
+    "xfer_bytes_attempted", "xfer_bytes_delivered", "transfer_retries",
+    "records", "streams",
 }
 FT_RECORD_FIELDS = {
     "epoch", "captured_at_ns", "committed_at_ns", "commit_latency_ns", "freeze_ns",
@@ -322,6 +410,24 @@ def check_ft(path):
         return fail(path, f"{committed} committed records vs rollup {ep['committed']}")
     if ep["xfer_bytes_attempted"] < ep["full_sync_bytes"] + ep["epoch_bytes_total"]:
         return fail(path, "attempted transfer bytes below the first-attempt sum")
+
+    # Chunked epoch sync rides the same mux as migration transfers; when it is
+    # on (count > 0) every stream must balance and sum back to the rollup.
+    st = ep["streams"]
+    missing = FT_STREAM_TOP_FIELDS - st.keys()
+    if missing:
+        return fail(path, f"streams block missing {sorted(missing)}")
+    if not check_xfer_streams(path, "epochs.streams", st["per_stream"], {
+        "chunks": st["chunks"],
+        "attempted": None,  # rollup carries attempted/delivered at epoch level
+        "delivered": None,
+        "lost": st["bytes_lost"],
+        "retries": None,
+    }):
+        return False
+    if st["count"] > 0 and len(st["per_stream"]) != st["count"]:
+        return fail(path, f"streams count {st['count']} vs "
+                          f"{len(st['per_stream'])} per-stream entries")
 
     oc = doc["output_commit"]
     missing = FT_OUTPUT_FIELDS - oc.keys()
@@ -397,6 +503,14 @@ def main():
         help="drain_report JSON to schema-check (repeatable)",
     )
     ap.add_argument(
+        "--expect-streams",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fail unless each --drain report shows an N-stream mux with "
+             "every stream carrying chunks",
+    )
+    ap.add_argument(
         "--ft",
         action="append",
         default=[],
@@ -420,7 +534,7 @@ def main():
     if args.slo:
         ok = check_slo(args.slo, expect_alert=args.expect_alert) and ok
     for path in args.drain:
-        ok = check_drain(path) and ok
+        ok = check_drain(path, expect_streams=args.expect_streams) and ok
     for path in args.ft:
         ok = check_ft(path) and ok
     if args.expect_postcopy_faster:
