@@ -45,7 +45,9 @@ SweepRow run_drain(std::uint32_t concurrency, std::uint64_t seed = 42, double lo
                    bool slo_defer = false,
                    migrlib::MigrationMode mode = migrlib::MigrationMode::precopy,
                    std::uint32_t mem_mb = 2, std::uint32_t streams = 1,
-                   double stream_gbps = 0.0, bool suppress = false) {
+                   double stream_gbps = 0.0, bool suppress = false,
+                   bool critical_path = false, double ctrl_loss = 0.0,
+                   sim::DurationNs restore_base = 0) {
   ClusterConfig cfg;
   cfg.hosts = 8;
   cfg.seed = seed;
@@ -73,9 +75,10 @@ SweepRow run_drain(std::uint32_t concurrency, std::uint64_t seed = 42, double lo
   model.run_for(sim::msec(5));  // reach steady state before draining
 
   fault::ScenarioRunner scenario(model.loop(), model.fabric());
-  if (loss > 0) {
+  if (loss > 0 || ctrl_loss > 0) {
     fault::FaultPlan plan;
     plan.baseline(loss);
+    if (ctrl_loss > 0) plan.ctrl_loss(ctrl_loss);
     scenario.run(plan);
   }
 
@@ -88,6 +91,8 @@ SweepRow run_drain(std::uint32_t concurrency, std::uint64_t seed = 42, double lo
   scfg.migration.xfer_streams = streams;
   scfg.migration.xfer_stream_gbps = stream_gbps;
   scfg.migration.suppress_pages = suppress;
+  scfg.migration.critical_path = critical_path;
+  if (restore_base > 0) scfg.migration.criu_costs.final_restore_base = restore_base;
   MigrationScheduler sched(model, scfg);
   DrainWorkflow drain(model, sched);
 
@@ -157,6 +162,7 @@ struct Options {
   std::string timeseries_path;
   std::string record_path;
   double loss = 0.0;
+  double ctrl_loss = 0.0;  // ctrl-plane message loss (exercises chunk retries)
   std::uint64_t seed = 42;
   std::uint32_t conc = 4;
   bool artifact_mode = false;  // any flag given: single instrumented drain
@@ -173,6 +179,12 @@ struct Options {
   double stream_gbps = -1.0;   // <0 = unset
   bool streams_given = false;
   bool suppress = false;       // zero/delta page suppression in pre-copy
+  bool critical_path = false;  // per-migration blackout edge attribution
+  std::uint64_t trace_max_events = 0;  // 0 = tracer default capacity
+  // CRIU final-restore base cost override (0 = model default). A pre-synced
+  // restore target (as in the FT bench) makes the blackout wire-bound, which
+  // is what lets loss-driven retry edges show up as the dominant class.
+  std::uint32_t restore_ms = 0;
 
   double effective_gbps() const {
     if (stream_gbps >= 0) return stream_gbps;
@@ -199,6 +211,8 @@ Options parse(int argc, char** argv) {
       o.record_path = need_value("--record");
     } else if (arg == "--loss") {
       o.loss = std::strtod(need_value("--loss"), nullptr);
+    } else if (arg == "--ctrl-loss") {
+      o.ctrl_loss = std::strtod(need_value("--ctrl-loss"), nullptr);
     } else if (arg == "--seed") {
       o.seed = std::strtoull(need_value("--seed"), nullptr, 10);
     } else if (arg == "--conc") {
@@ -232,13 +246,22 @@ Options parse(int argc, char** argv) {
       o.stream_gbps = std::strtod(need_value("--stream-gbps"), nullptr);
     } else if (arg == "--suppress") {
       o.suppress = true;
+    } else if (arg == "--critical-path") {
+      o.critical_path = true;
+    } else if (arg == "--trace-max-events") {
+      o.trace_max_events =
+          std::strtoull(need_value("--trace-max-events"), nullptr, 10);
+    } else if (arg == "--restore-ms") {
+      o.restore_ms =
+          static_cast<std::uint32_t>(std::strtoul(need_value("--restore-ms"), nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace OUT.json] [--timeseries OUT.csv|OUT.json]\n"
-                   "          [--record OUT.json] [--loss P] [--seed S] [--conc N]\n"
+                   "          [--record OUT.json] [--loss P] [--ctrl-loss P] [--seed S] [--conc N]\n"
                    "          [--slo SPEC] [--slo-out OUT.json] [--sli-csv OUT.csv]\n"
                    "          [--mode precopy|postcopy] [--drain-out OUT.json] [--mem-mb N]\n"
-                   "          [--streams N] [--stream-gbps G] [--suppress]\n",
+                   "          [--streams N] [--stream-gbps G] [--suppress]\n"
+                   "          [--critical-path] [--trace-max-events N] [--restore-ms N]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -282,7 +305,8 @@ int run_artifact_mode(const Options& opt) {
     hub.set_slo_engine(engine.get());
     const SweepRow b = run_drain(opt.conc, opt.seed, opt.loss, false, nullptr,
                                  sim::usec(250), false, opt.mode, opt.mem_mb,
-                                 opt.streams, opt.effective_gbps(), opt.suppress);
+                                 opt.streams, opt.effective_gbps(), opt.suppress,
+                                 /*critical_path=*/false, opt.ctrl_loss);
     base = collect_policy_stats(b.report);
     hub.set_slo_engine(nullptr);
   }
@@ -292,6 +316,16 @@ int run_artifact_mode(const Options& opt) {
     auto& tracer = obs::Tracer::global();
     tracer.set_enabled(true);
     tracer.set_flush_path(opt.trace_path);
+    if (opt.trace_max_events > 0) {
+      // Bounded-memory tracing: cap the ring and spill full batches to the
+      // trace file instead of evicting (long drains keep every event).
+      tracer.set_capacity(static_cast<std::size_t>(opt.trace_max_events));
+      if (auto st = tracer.set_incremental_path(opt.trace_path); !st.is_ok()) {
+        std::fprintf(stderr, "cannot open trace spill file: %s\n",
+                     st.to_string().c_str());
+        return 1;
+      }
+    }
   }
   if (!opt.record_path.empty()) obs::FlightRecorder::global().set_enabled(true);
   obs::TimeSeriesSampler sampler;
@@ -304,7 +338,9 @@ int run_artifact_mode(const Options& opt) {
   }
   const SweepRow row = run_drain(opt.conc, opt.seed, opt.loss, traced, sp, sim::usec(250),
                                  /*slo_defer=*/!slo_rules.empty(), opt.mode, opt.mem_mb,
-                                 opt.streams, opt.effective_gbps(), opt.suppress);
+                                 opt.streams, opt.effective_gbps(), opt.suppress,
+                                 opt.critical_path, opt.ctrl_loss,
+                                 sim::msec(opt.restore_ms));
   std::fputs(format_drain_report(row.report).c_str(), stdout);
   if (!opt.drain_out.empty()) {
     char scen[160];
@@ -321,6 +357,11 @@ int run_artifact_mode(const Options& opt) {
     std::printf("anatomy: %-24s worst_of=%2llu total=%8.3f ms max=%8.3f ms\n",
                 a.phase.c_str(), static_cast<unsigned long long>(a.worst_count),
                 sim::to_msec(a.total), sim::to_msec(a.max));
+  }
+  if (row.report.cp_migrations > 0) {
+    std::printf("critical path: dominant=%s across %llu migration(s)\n",
+                row.report.cp_dominant.empty() ? "none" : row.report.cp_dominant.c_str(),
+                static_cast<unsigned long long>(row.report.cp_migrations));
   }
 
   int rc = 0;

@@ -27,6 +27,8 @@
 //                         tools/validate_artifacts.py --ft)
 //   --bench-out OUT.json  ft_bench summary (epoch commit latency, output-
 //                         commit tax, blackout per strategy)
+//   --critical-path       attribute the failover blackout to edge classes;
+//                         the ft_report gains a critical_path block
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -57,6 +59,7 @@ struct Options {
   sim::DurationNs kill_after = sim::msec(25);
   std::string ft_out;
   std::string bench_out;
+  bool critical_path = false;
 };
 
 // Sequence-numbered traffic whose counter lives in guest memory: it
@@ -209,7 +212,9 @@ struct FtLeg {
 FtLeg run_ft_leg(const Options& opt) {
   FtLeg leg;
   Scenario s(opt.seed, opt.loss);
-  ft::FtController ctrl(s.world_.loop(), s.world_.fabric(), s.directory_, ft_options());
+  ft::FtOptions fo = ft_options();
+  fo.critical_path = opt.critical_path;
+  ft::FtController ctrl(s.world_.loop(), s.world_.fabric(), s.directory_, fo);
   bool ready = false, ready_ok = false, done = false;
   auto st = ctrl.protect(
       kProtectedGuest, kStandbyHost, *s.backup_proc_, s.traffic_.get(), s.a_.get(),
@@ -319,10 +324,12 @@ Options parse(int argc, char** argv) {
       o.ft_out = need_value("--ft-out");
     } else if (arg == "--bench-out") {
       o.bench_out = need_value("--bench-out");
+    } else if (arg == "--critical-path") {
+      o.critical_path = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed S] [--loss P] [--kill-after-ms N]\n"
-                   "          [--ft-out OUT.json] [--bench-out OUT.json]\n",
+                   "          [--ft-out OUT.json] [--bench-out OUT.json] [--critical-path]\n",
                    argv[0]);
       std::exit(2);
     }

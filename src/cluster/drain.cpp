@@ -1,6 +1,7 @@
 #include "cluster/drain.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cinttypes>
 #include <cstdio>
 #include <map>
@@ -132,6 +133,49 @@ void DrainWorkflow::finalize() {
   report_.phase_rollup.clear();
   for (auto& [name, attr] : rollup) report_.phase_rollup.push_back(std::move(attr));
 
+  // Causal rollup (DESIGN.md §16): per-edge-class totals and nearest-rank
+  // percentiles over the per-migration class totals. Fixed enum order so
+  // the rendering is deterministic and the JSON schema is config-stable.
+  report_.cp_migrations = 0;
+  report_.cp_rollup.clear();
+  report_.cp_dominant.clear();
+  {
+    std::array<obs::Histogram, obs::kEdgeClassCount> dists;
+    std::array<EdgeAttribution, obs::kEdgeClassCount> classes;
+    for (std::size_t c = 0; c < obs::kEdgeClassCount; ++c) {
+      classes[c].edge = obs::edge_class_name(static_cast<obs::EdgeClass>(c));
+    }
+    for (const MigrationOutcome& o : report_.outcomes) {
+      const obs::CriticalPath& cp = o.report.critical_path;
+      if (!cp.valid) continue;
+      report_.cp_migrations++;
+      for (std::size_t c = 0; c < obs::kEdgeClassCount; ++c) {
+        classes[c].total += cp.by_class[c];
+        classes[c].max = std::max(classes[c].max, cp.by_class[c]);
+        dists[c].record(cp.by_class[c]);
+      }
+      classes[static_cast<std::size_t>(cp.dominant())].dominant_count++;
+    }
+    if (report_.cp_migrations > 0) {
+      const EdgeAttribution* fleet_dom = nullptr;
+      for (std::size_t c = 0; c < obs::kEdgeClassCount; ++c) {
+        classes[c].p50 = dists[c].percentile(50);
+        classes[c].p99 = dists[c].percentile(99);
+        if (static_cast<obs::EdgeClass>(c) != obs::EdgeClass::slack &&
+            (fleet_dom == nullptr ||
+             classes[c].dominant_count > fleet_dom->dominant_count ||
+             (classes[c].dominant_count == fleet_dom->dominant_count &&
+              classes[c].total > fleet_dom->total))) {
+          fleet_dom = &classes[c];
+        }
+      }
+      if (fleet_dom != nullptr && fleet_dom->total > 0) {
+        report_.cp_dominant = fleet_dom->edge;
+      }
+      report_.cp_rollup.assign(classes.begin(), classes.end());
+    }
+  }
+
   auto& reg = obs::Registry::global();
   reg.counter("cluster.drain.completed").inc();
   reg.gauge("cluster.drain.last_makespan_ns").set(static_cast<double>(report_.makespan()));
@@ -215,6 +259,25 @@ std::string format_drain_report(const DrainReport& r) {
                   static_cast<long long>(a.max));
     out += line;
   }
+  // Causal attribution lines only when some migration ran with critical-path
+  // recording: the legacy rendering stays byte-identical to the baselines.
+  if (r.cp_migrations > 0) {
+    std::snprintf(line, sizeof(line),
+                  "critical_path migrations=%" PRIu64 " dominant=%s\n",
+                  r.cp_migrations,
+                  r.cp_dominant.empty() ? "none" : r.cp_dominant.c_str());
+    out += line;
+    for (const EdgeAttribution& e : r.cp_rollup) {
+      if (e.total == 0) continue;
+      std::snprintf(line, sizeof(line),
+                    "cp edge=%s dominant_of=%" PRIu64
+                    " total_ns=%lld max_ns=%lld p50_ns=%lld p99_ns=%lld\n",
+                    e.edge.c_str(), e.dominant_count, static_cast<long long>(e.total),
+                    static_cast<long long>(e.max), static_cast<long long>(e.p50),
+                    static_cast<long long>(e.p99));
+      out += line;
+    }
+  }
   for (const MigrationOutcome& o : r.outcomes) {
     std::snprintf(line, sizeof(line),
                   "guest=%u src=%u dest=%u attempts=%d ok=%d blackout_ns=%lld "
@@ -261,6 +324,30 @@ std::string drain_report_json(const DrainReport& r, const std::string& mode,
     out += buf;
   }
   out += "]";
+
+  // Fleet causal rollup, present only when critical-path attribution ran —
+  // cp-off artifacts stay byte-identical to pre-feature ones. All edge
+  // classes appear in enum order so the block's schema is fixed.
+  if (r.cp_migrations > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"critical_path\":{\"migrations\":%" PRIu64
+                  ",\"dominant\":\"%s\",\"by_class\":[",
+                  r.cp_migrations,
+                  r.cp_dominant.empty() ? "none" : r.cp_dominant.c_str());
+    out += buf;
+    for (std::size_t c = 0; c < r.cp_rollup.size(); c++) {
+      const EdgeAttribution& e = r.cp_rollup[c];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"class\":\"%s\",\"dominant_of\":%" PRIu64
+                    ",\"total_ns\":%lld,\"max_ns\":%lld,\"p50_ns\":%lld"
+                    ",\"p99_ns\":%lld}",
+                    c == 0 ? "" : ",", e.edge.c_str(), e.dominant_count,
+                    static_cast<long long>(e.total), static_cast<long long>(e.max),
+                    static_cast<long long>(e.p50), static_cast<long long>(e.p99));
+      out += buf;
+    }
+    out += "]}";
+  }
 
   // Fleet post-copy rollup: always present so the schema is mode-stable
   // (all-zero on a pure pre-copy leg).
@@ -361,6 +448,10 @@ std::string drain_report_json(const DrainReport& r, const std::string& mode,
                   static_cast<long long>(o.completed ? o.report.service_blackout() : 0));
     out += buf;
     out += o.report.waterfall_json();
+    if (o.report.critical_path.valid) {
+      out += ",\"critical_path\":";
+      out += o.report.critical_path.json();
+    }
     if (o.report.postcopy.enabled) {
       out += ",\"postcopy\":";
       out += o.report.postcopy.json();

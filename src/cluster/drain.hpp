@@ -17,6 +17,7 @@
 #include <string>
 
 #include "cluster/scheduler.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/histogram.hpp"
 
 namespace migr::cluster {
@@ -39,6 +40,18 @@ struct PhaseAttribution {
   std::uint64_t worst_count = 0;  // migrations whose longest slice was this phase
   sim::DurationNs total = 0;      // summed over all waterfalls
   sim::DurationNs max = 0;        // worst single slice
+};
+
+/// Fleet-level rollup of one critical-path edge class across the migrations
+/// that ran with critical-path attribution (DESIGN.md §16). Percentiles are
+/// nearest-rank over the per-migration class totals.
+struct EdgeAttribution {
+  std::string edge;
+  std::uint64_t dominant_count = 0;  // migrations whose dominant edge was this
+  sim::DurationNs total = 0;         // summed over all critical paths
+  sim::DurationNs max = 0;           // worst per-migration class total
+  sim::DurationNs p50 = 0;
+  sim::DurationNs p99 = 0;
 };
 
 struct DrainReport {
@@ -72,6 +85,14 @@ struct DrainReport {
   // Blackout anatomy across the fleet: which phase dominated each
   // migration's blackout, sorted by phase name (deterministic).
   std::vector<PhaseAttribution> phase_rollup;
+
+  // Causal attribution across the fleet (only populated when some
+  // migrations ran with MigrationOptions::critical_path): one entry per
+  // edge class in enum order — all kEdgeClassCount classes, zeros included,
+  // so the JSON schema is fixed. Empty when cp_migrations == 0.
+  std::uint64_t cp_migrations = 0;  // outcomes carrying a valid critical path
+  std::vector<EdgeAttribution> cp_rollup;
+  std::string cp_dominant;  // fleet dominant edge (slack excluded)
 
   sim::DurationNs makespan() const { return finished_at - started_at; }
 };

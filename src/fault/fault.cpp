@@ -24,6 +24,11 @@ FaultPlan& FaultPlan::baseline(double loss_prob, double reorder_prob,
   return *this;
 }
 
+FaultPlan& FaultPlan::ctrl_loss(double prob) {
+  base_.ctrl_loss_prob = prob;
+  return *this;
+}
+
 FaultPlan& FaultPlan::loss_burst(sim::TimeNs at, sim::DurationNs duration, double prob) {
   FaultEvent ev;
   ev.kind = FaultKind::loss_burst;

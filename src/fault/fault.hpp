@@ -53,6 +53,12 @@ class FaultPlan {
   FaultPlan& baseline(double loss_prob, double reorder_prob = 0.0,
                       sim::DurationNs reorder_delay = sim::usec(20));
 
+  /// Steady-state ctrl-plane message loss (whole ctrl messages vanish).
+  /// Separate from baseline(): data-plane loss exercises the RDMA transport's
+  /// recovery, ctrl loss exercises the migration protocol's own retry /
+  /// backoff machinery (image chunk re-sends, WBS re-tries).
+  FaultPlan& ctrl_loss(double prob);
+
   FaultPlan& loss_burst(sim::TimeNs at, sim::DurationNs duration, double prob);
   FaultPlan& reorder_window(sim::TimeNs at, sim::DurationNs duration, double prob,
                             sim::DurationNs max_delay = sim::usec(20));

@@ -127,7 +127,11 @@ std::string FtReport::json() const {
     }
     out += '}';
   }
-  out += "]}}}";
+  out += "]}";
+  if (critical_path.valid) {
+    out += ",\"critical_path\":" + critical_path.json();
+  }
+  out += "}}";
   return out;
 }
 
@@ -212,6 +216,7 @@ Status FtController::protect(GuestId id, net::HostId backup_host,
     xo.stream_gbps = options_.xfer_stream_gbps;
     xo.chunk_bytes = options_.chunk_bytes;
     xo.max_backoff = std::min(xo.max_backoff, options_.max_transfer_backoff);
+    xo.cp = &cp_;
     mux_ = std::make_unique<migrlib::TransferMux>(
         loop_, fabric_,
         "ft.xfer." + std::to_string(id) + "." + std::to_string(ft_mux_instance++),
@@ -226,6 +231,17 @@ Status FtController::protect(GuestId id, net::HostId backup_host,
   report_.backup_host = backup_host;
   report_.protect_start = loop_.now();
 
+  cp_.clear();
+  cp_.set_enabled(options_.critical_path);
+  auto& tr = obs::Tracer::global();
+  if (tr.enabled()) {
+    // One causal scope per protection: epoch sync flows, backup-side apply
+    // spans, and failover spans all parent back to this root.
+    trace_id_ = tr.new_id();
+    root_span_ = tr.new_id();
+    if (mux_) mux_->set_trace_context({trace_id_, root_span_});
+  }
+
   // Output commit starts with protection, not with the sync's completion:
   // everything the guest emits from here on post-dates the epoch-0 state
   // and belongs to epoch 1.
@@ -233,9 +249,14 @@ Status FtController::protect(GuestId id, net::HostId backup_host,
   next_epoch_ = 1;
   obs::SliHub::global().on_ft_protected(guest_id_, report_.protect_start);
   obs::Registry::global().counter("ft.protections_started").inc();
-  trace_instant(report_.protect_start, "ft_protect",
-                "\"guest\":" + std::to_string(guest_id_) +
-                    ",\"backup_host\":" + std::to_string(backup_host));
+  if (tr.enabled()) {
+    // Carries the root span id so every parent link in this protection's
+    // causal graph resolves to a recorded event.
+    tr.instant(report_.protect_start, "ft_protect", "ft",
+               "\"guest\":" + std::to_string(guest_id_) +
+                   ",\"backup_host\":" + std::to_string(backup_host),
+               root_span_, 0);
+  }
   loop_.schedule_in(0, [this] { phase_full_sync(); });
   return Status::ok();
 }
@@ -457,6 +478,8 @@ void FtController::send_epoch_chunks(std::uint64_t epoch, bool retry) {
     const std::uint64_t chunk = std::max<std::uint64_t>(1, options_.chunk_bytes);
     const auto nchunks = static_cast<std::uint32_t>(std::max<std::uint64_t>(
         1, (p.size() + chunk - 1) / chunk));
+    obs::CtxScope cscope(obs::Tracer::global(),
+                         obs::TraceContext{trace_id_, root_span_});
     for (std::uint32_t i = 0; i < nchunks; ++i) {
       const std::uint64_t off = std::uint64_t{i} * chunk;
       const std::uint64_t len = std::min<std::uint64_t>(chunk, p.size() - off);
@@ -647,6 +670,10 @@ void FtController::handle_epoch_payload(std::uint64_t epoch, Bytes payload) {
     if (finished_ || failed_over_) return;
     ByteWriter w;
     w.u64(epoch);
+    // Deferred past the apply cost, so the fabric-installed sender context
+    // is gone — re-anchor the ack flow to the protection's root scope.
+    obs::CtxScope cscope(obs::Tracer::global(),
+                         obs::TraceContext{trace_id_, root_span_});
     (void)fabric_.send_ctrl(dest_rt_->host(), src_rt_->host(), ack_service_, w.data());
   });
 }
@@ -772,6 +799,9 @@ void FtController::trigger_failover(const std::string& reason) {
                 "\"guest\":" + std::to_string(guest_id_));
   push_waterfall("detect", report_.detected_at - report_.killed_at,
                  "\"reason\":\"heartbeat\"");
+  // Detection latency is heartbeat-silence waiting: ctrl-plane time by
+  // nature, not restore work.
+  cp_.add(report_.killed_at, report_.detected_at, obs::EdgeClass::ctrl_rtt, "detect");
   phase_promote();
 }
 
@@ -825,12 +855,18 @@ void FtController::phase_promote() {
   }
 
   report_.promoted_epoch = any_applied_ ? applied_epoch_ : 0;
+  sim::TimeNs cp_t = wf_cursor_;
   push_waterfall("promote", options_.promote_cost,
                  "\"epoch\":" + std::to_string(report_.promoted_epoch));
+  cp_.add(cp_t, wf_cursor_, obs::EdgeClass::ctrl_rtt, "promote");
+  cp_t = wf_cursor_;
   push_waterfall("restore", restore_cost,
                  "\"deferred\":" + std::to_string(fin->deferred.size()));
+  cp_.add(cp_t, wf_cursor_, obs::EdgeClass::restore_apply, "restore");
+  cp_t = wf_cursor_;
   push_waterfall("re_arm", rearm_cost,
                  "\"partners\":" + std::to_string(partners_.size()));
+  cp_.add(cp_t, wf_cursor_, obs::EdgeClass::qp_reestablish, "re_arm");
 
   // Output commit resolution happens at resume: messages of uncommitted
   // epochs never became visible and the state that generated them is gone —
@@ -855,6 +891,10 @@ void FtController::phase_ft_resume(std::uint64_t released, std::uint64_t dropped
   push_waterfall("recovery", 0,
                  "\"released\":" + std::to_string(released) +
                      ",\"dropped\":" + std::to_string(dropped));
+
+  if (cp_.enabled() && report_.killed_at != 0 && report_.resume_at != 0) {
+    report_.critical_path = cp_.resolve(report_.killed_at, report_.resume_at);
+  }
 
   report_.ok = true;
   finish_report();

@@ -46,6 +46,7 @@
 #include "migr/plugin.hpp"
 #include "migr/runtime.hpp"
 #include "migr/xfer.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/histogram.hpp"
 
 namespace migr::ft {
@@ -92,6 +93,11 @@ struct FtOptions {
   // Control-plane bookkeeping charged to the promote slice (directory CAS,
   // ownership transfer, partner notifications).
   sim::DurationNs promote_cost = sim::usec(50);
+
+  // Record causal critical-path intervals and attribute the failover
+  // blackout [killed_at, resume_at] to edge classes (DESIGN.md §16). Off by
+  // default: the default-config artifact stream stays byte-identical.
+  bool critical_path = false;
 
   criu::CriuCosts criu_costs;
   migrlib::MigrCosts migr_costs;
@@ -164,6 +170,11 @@ struct FtReport {
   // Gap-free failover blackout waterfall: slices tile [killed_at,
   // resume_at] exactly, same invariant as MigrationReport.waterfall.
   std::vector<migrlib::PhaseSlice> waterfall;
+
+  // Edge-class attribution of the failover blackout (valid only when
+  // FtOptions::critical_path was set and a failover completed). Tiling:
+  // sum(edges) == failover_blackout() by construction.
+  obs::CriticalPath critical_path;
 
   sim::DurationNs failover_blackout() const { return resume_at - killed_at; }
   sim::DurationNs waterfall_total() const {
@@ -310,6 +321,14 @@ class FtController {
   sim::EventHandle ack_timeout_;
   sim::TimeNs last_hb_ = 0;
   sim::TimeNs wf_cursor_ = 0;
+
+  // Causal-graph scope: one trace id per protection, root span parenting
+  // epoch/failover spans; 0 when the tracer was disabled at protect().
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t root_span_ = 0;
+  // Critical-path interval sink (armed by FtOptions::critical_path); the
+  // mux's chunk wire/retry intervals land here too via XferOptions::cp.
+  obs::CpRecorder cp_;
 
   FtReport report_;
 };

@@ -18,16 +18,26 @@ using common::Status;
 namespace {
 // Workflow spans (Fig. 2(b) steps) are emitted with explicit sim timestamps
 // and durations taken from the same values that land in MigrationReport, so
-// a trace is field-for-field consistent with the report.
-void trace_span(sim::TimeNs start, sim::DurationNs dur, std::string_view name,
-                std::string args = {}) {
+// a trace is field-for-field consistent with the report. Every span draws a
+// fresh id and parent-links to the current TraceContext: spans emitted
+// inside a ctrl-message handler link back to the sender's span (the fabric
+// installs the piggybacked context), the rest are roots of the migration's
+// causal tree.
+std::uint64_t trace_span(sim::TimeNs start, sim::DurationNs dur, std::string_view name,
+                         std::string args = {}) {
   auto& t = obs::Tracer::global();
-  if (t.enabled()) t.complete(start, dur, name, "migr", std::move(args));
+  if (!t.enabled()) return 0;
+  const std::uint64_t id = t.new_id();
+  t.complete(start, dur, name, "migr", std::move(args), id, t.context().span_id);
+  return id;
 }
 
-void trace_instant(sim::TimeNs at, std::string_view name, std::string args = {}) {
+std::uint64_t trace_instant(sim::TimeNs at, std::string_view name, std::string args = {}) {
   auto& t = obs::Tracer::global();
-  if (t.enabled()) t.instant(at, name, "migr", std::move(args));
+  if (!t.enabled()) return 0;
+  const std::uint64_t id = t.new_id();
+  t.instant(at, name, "migr", std::move(args), id, t.context().span_id);
+  return id;
 }
 
 // Blackout-waterfall spans nest under the workflow spans on their own
@@ -36,7 +46,10 @@ void trace_instant(sim::TimeNs at, std::string_view name, std::string args = {})
 void trace_blackout_span(sim::TimeNs start, sim::DurationNs dur, std::string_view name,
                          std::string args = {}) {
   auto& t = obs::Tracer::global();
-  if (t.enabled()) t.complete(start, dur, name, "migr.blackout", std::move(args));
+  if (t.enabled()) {
+    t.complete(start, dur, name, "migr.blackout", std::move(args), t.new_id(),
+               t.context().span_id);
+  }
 }
 }  // namespace
 
@@ -74,6 +87,12 @@ void MigrationController::push_waterfall(std::string name, sim::DurationNs dur,
   trace_blackout_span(wf_cursor_, dur, name, detail);
   report_.waterfall.push_back(PhaseSlice{std::move(name), wf_cursor_, dur, std::move(detail)});
   wf_cursor_ += dur;
+}
+
+void MigrationController::resolve_critical_path() {
+  if (!cp_.enabled()) return;
+  if (report_.freeze_at == 0 || report_.resume_at == 0) return;
+  report_.critical_path = cp_.resolve(report_.freeze_at, report_.resume_at);
 }
 
 MigrationController::MigrationController(sim::EventLoop& loop, net::Fabric& fabric,
@@ -123,6 +142,7 @@ Status MigrationController::start(GuestId id, net::HostId dest_host,
     xo.stream_gbps = options_.xfer_stream_gbps;
     xo.chunk_bytes = options_.xfer_chunk_bytes;
     xo.max_backoff = std::min<sim::DurationNs>(xo.max_backoff, options_.max_transfer_backoff);
+    xo.cp = &cp_;  // no-op until options_.critical_path arms the recorder
     mux_ = std::make_unique<TransferMux>(
         loop_, fabric_, xfer_service_ + "." + std::to_string(mux_instance++),
         src_rt_->host(), dest_rt_->host(), xo);
@@ -145,10 +165,23 @@ Status MigrationController::start(GuestId id, net::HostId dest_host,
   // partial restore; phase_precopy_round advances it per dirty round.
   obs::SliHub::global().on_migration_start(guest_id_, report_.start);
   obs::Registry::global().counter("migr.migrations_started").inc();
-  trace_instant(report_.start, "migration_start",
-                "\"guest\":" + std::to_string(guest_id_) +
-                    ",\"dest_host\":" + std::to_string(dest_host));
-  loop_.schedule_in(0, [this] { phase_initial_dump(); });
+  cp_.clear();
+  cp_.set_enabled(options_.critical_path);
+  auto& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    // One trace per migration; the start instant carries the root span id
+    // every span of this migration ultimately parents to.
+    trace_id_ = tracer.new_id();
+    root_span_ = tracer.new_id();
+    tracer.instant(report_.start, "migration_start", "migr",
+                   "\"guest\":" + std::to_string(guest_id_) +
+                       ",\"dest_host\":" + std::to_string(dest_host),
+                   root_span_, 0);
+  }
+  loop_.schedule_in(0, [this] {
+    obs::CtxScope scope(obs::Tracer::global(), trace_ctx());
+    phase_initial_dump();
+  });
   return Status::ok();
 }
 
@@ -159,10 +192,8 @@ void MigrationController::fail(const Status& st) {
   wbs_timeout_handle_.cancel();
   xfer_timeout_handle_.cancel();
   reset_throttle();
-  if (mux_) {
-    mux_->cancel();
-    sync_mux_stats();
-  }
+  if (mux_) mux_->cancel();
+  sync_mux_stats();
   report_.ok = false;
   report_.error = st.to_string();
   report_.end = loop_.now();
@@ -186,13 +217,11 @@ void MigrationController::abort(const Status& st) {
   fabric_.unregister_service(dest_rt_->host(), xfer_service_);
   xfer_cb_ = nullptr;
   xfer_payload_.clear();
-  if (mux_) {
-    // Drop in-flight chunks and the queue; the stats survive so the report
-    // still accounts what the aborted run attempted (lost = attempted -
-    // delivered covers the chunks the abort stranded).
-    mux_->cancel();
-    sync_mux_stats();
-  }
+  // Drop in-flight chunks and the queue; the stats survive so the report
+  // still accounts what the aborted run attempted (lost = attempted -
+  // delivered covers the chunks the abort stranded).
+  if (mux_) mux_->cancel();
+  sync_mux_stats();
 
   // Detach the WBS machinery from this (dead) migration and roll the
   // partners back: destroy prepared-but-unswitched replacement QPs, then
@@ -232,6 +261,9 @@ void MigrationController::abort(const Status& st) {
                    "\"guest\":" + std::to_string(guest_id_));
     trace_blackout_span(report_.freeze_at, report_.service_blackout(), "blackout",
                         "\"guest\":" + std::to_string(guest_id_) + ",\"aborted\":true");
+    // Whatever the recorder saw before the rollback still attributes the
+    // freeze-to-thaw window; the un-attributed remainder resolves to slack.
+    resolve_critical_path();
   }
 
   // Rolled back: the source service is live again, so SLI-wise the guest
@@ -361,6 +393,7 @@ void MigrationController::transfer_to_dest(Bytes payload, std::function<void(Byt
     // receipt. Retry exhaustion (partition, sustained ctrl loss) aborts the
     // migration exactly like the legacy per-payload deadline would.
     xfer_cb_ = std::move(cb);
+    mux_->set_trace_context(trace_ctx());
     mux_->open(
         [this](Bytes&& p) {
           sync_mux_stats();
@@ -382,6 +415,7 @@ void MigrationController::transfer_to_dest(Bytes payload, std::function<void(Byt
   fabric_.register_service(dest_rt_->host(), xfer_service_, [this](net::HostId, Bytes&& p) {
     xfer_timeout_handle_.cancel();
     report_.xfer_bytes_delivered += p.size();
+    cp_add(xfer_sent_at_, loop_.now(), obs::EdgeClass::chunk_wire, "image");
     // Unregistering destroys this very lambda; keep the continuation alive
     // on the stack first.
     auto continuation = xfer_cb_;
@@ -398,6 +432,8 @@ void MigrationController::send_xfer_attempt() {
   // — and they count again: attempted bytes track what hit the wire, not
   // what the image was worth.
   report_.xfer_bytes_attempted += xfer_payload_.size();
+  xfer_sent_at_ = loop_.now();
+  obs::CtxScope scope(obs::Tracer::global(), trace_ctx());
   auto sent = fabric_.send_ctrl(src_rt_->host(), dest_rt_->host(), xfer_service_, xfer_payload_);
   if (!sent.is_ok()) {
     MIGR_WARN() << "image transfer send failed: " << sent.status().to_string();
@@ -423,6 +459,10 @@ void MigrationController::on_xfer_timeout() {
   const sim::DurationNs backoff =
       std::min<sim::DurationNs>(options_.transfer_retry_backoff << (xfer_attempt_ - 1),
                                 options_.max_transfer_backoff);
+  // The lost attempt plus its backoff is dead blackout time the retry loop
+  // caused: one chunk_retry interval from wire-out to the re-send moment.
+  cp_add(xfer_sent_at_, loop_.now() + backoff, obs::EdgeClass::chunk_retry,
+         "retry " + std::to_string(xfer_attempt_));
   MIGR_WARN() << "transfer to destination timed out; retry " << xfer_attempt_ << "/"
               << options_.max_transfer_retries << " after " << backoff << " ns";
   loop_.schedule_in(backoff, [this] {
@@ -431,7 +471,15 @@ void MigrationController::on_xfer_timeout() {
 }
 
 void MigrationController::sync_mux_stats() {
-  if (!mux_) return;
+  if (!mux_) {
+    // Legacy single-service path: no per-stream loss tracking, so the only
+    // signal is attempted re-sends that never delivered. Same definition as
+    // XferStreamStats::bytes_lost(); keeps attempted == delivered + lost on
+    // every outcome, including ctrl-plane loss and stranded in-flight sends.
+    report_.xfer_bytes_lost =
+        report_.xfer_bytes_attempted - report_.xfer_bytes_delivered;
+    return;
+  }
   const XferStats& xs = mux_->stats();
   report_.xfer_streams = static_cast<std::uint32_t>(xs.streams.size());
   report_.xfer_stream_stats = xs.streams;
@@ -758,6 +806,8 @@ void MigrationController::phase_final_transfer() {
                  "\"bytes\":" + std::to_string(final_rdma_bytes_.size()));
 
   const sim::DurationNs dump_cost = report_.dump_others + rdma_dump_cost;
+  cp_add(report_.freeze_at, report_.freeze_at + dump_cost, obs::EdgeClass::ckpt_dump,
+         "final_dump");
   loop_.schedule_in(dump_cost, [this, payload = std::move(payload)]() mutable {
     const sim::TimeNs xfer_start = loop_.now();
     transfer_to_dest(std::move(payload), [this, xfer_start](Bytes p) {
@@ -875,6 +925,11 @@ void MigrationController::phase_final_restore(Bytes payload) {
   trace_instant(restore_start + report_.full_restore + report_.restore_rdma, "replay");
   push_waterfall("full_restore", report_.full_restore);
   push_waterfall("restore_rdma", report_.restore_rdma);
+  cp_add(restore_start, restore_start + report_.full_restore, obs::EdgeClass::restore_apply,
+         "full_restore");
+  cp_add(restore_start + report_.full_restore,
+         restore_start + report_.full_restore + report_.restore_rdma,
+         obs::EdgeClass::qp_reestablish, "restore_rdma");
 
   if (postcopy) {
     // Stage the fault path before the service resumes: the moment partners
@@ -922,6 +977,7 @@ void MigrationController::phase_resume() {
   push_waterfall("thaw", 0);
   trace_blackout_span(report_.freeze_at, report_.service_blackout(), "blackout",
                       "\"guest\":" + std::to_string(guest_id_));
+  resolve_critical_path();
 
   // Time-to-first-completion after resume: the first CQE the migrated guest
   // sees is the earliest externally visible proof the service is live again.

@@ -29,7 +29,9 @@
 #include "migr/postcopy.hpp"
 #include "migr/runtime.hpp"
 #include "migr/xfer.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/sli.hpp"
+#include "obs/trace.hpp"
 
 namespace migr::migrlib {
 
@@ -98,6 +100,11 @@ struct MigrationOptions {
   // WBS-timeout policy: false = §3.4 forced stop-and-copy (harvest in-flight
   // WRs for replay); true = treat the timeout as fatal and abort/roll back.
   bool abort_on_wbs_timeout = false;
+  // Blackout critical-path attribution (DESIGN.md §16, off by default):
+  // record causal intervals during the blackout window and resolve them into
+  // report.critical_path. Collection never touches the simulation timeline,
+  // so default runs stay byte-identical.
+  bool critical_path = false;
   criu::CriuCosts criu_costs;
   MigrCosts migr_costs;
   rnic::Psn psn_seed = 500'000;
@@ -206,6 +213,11 @@ struct MigrationReport {
   // that has a blackout window.
   std::vector<PhaseSlice> waterfall;
 
+  // Causal critical-path attribution of the same window (DESIGN.md §16).
+  // valid only when MigrationOptions::critical_path was set and the service
+  // froze; its edges tile [freeze_at, resume_at] exactly.
+  obs::CriticalPath critical_path;
+
   sim::DurationNs duration() const { return end - start; }
   sim::DurationNs service_blackout() const { return resume_at - freeze_at; }
   sim::DurationNs comm_blackout() const { return resume_at - suspend_at; }
@@ -300,6 +312,19 @@ class MigrationController {
   /// construction.
   void push_waterfall(std::string name, sim::DurationNs dur, std::string detail = {});
 
+  /// Record one causal interval for critical-path attribution; no-op unless
+  /// options_.critical_path armed the recorder.
+  void cp_add(sim::TimeNs start, sim::TimeNs end, obs::EdgeClass cls,
+              std::string label = {}) {
+    cp_.add(start, end, cls, std::move(label));
+  }
+  /// Resolve the recorder over the blackout window into report_.critical_path.
+  void resolve_critical_path();
+
+  /// This migration's causal scope (root of its span tree). Zero ids when
+  /// tracing was off at start().
+  obs::TraceContext trace_ctx() const noexcept { return {trace_id_, root_span_}; }
+
   sim::EventLoop& loop_;
   net::Fabric& fabric_;
   GuestDirectory& directory_;
@@ -338,11 +363,18 @@ class MigrationController {
   rnic::Psn psn_cursor_;
   std::string xfer_service_;
 
+  // Causal-graph state: one trace id per migration, the root span id spans
+  // parent-link to, and the critical-path interval recorder.
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t root_span_ = 0;
+  obs::CpRecorder cp_;
+
   // Abort/rollback state machine.
   const char* phase_ = "init";
   sim::TimeNs wf_cursor_ = 0;  // end of the last waterfall slice
   bool committed_ = false;  // source released: abort no longer possible
   int xfer_attempt_ = 0;
+  sim::TimeNs xfer_sent_at_ = 0;  // last legacy-path attempt hit the wire
   common::Bytes xfer_payload_;  // retained for re-sends
   std::function<void(common::Bytes)> xfer_cb_;
   sim::EventHandle xfer_timeout_handle_;

@@ -103,6 +103,12 @@ void TransferMux::schedule_send(std::uint32_t index, sim::DurationNs delay) {
     // Pace: each stream is a fixed-rate pipe. The chunk goes on the wire at
     // the stream's next free instant and occupies it for its transmit time.
     const sim::TimeNs start = std::max(ready, stream_free_at_[c.stream]);
+    if (opts_.cp != nullptr && opts_.cp->enabled() && start > ready) {
+      // Pacing hold: the chunk was ready but its stream was serialized
+      // behind earlier chunks.
+      opts_.cp->add(ready, start, obs::EdgeClass::scheduler_hold,
+                    "stream " + std::to_string(c.stream));
+    }
     stream_free_at_[c.stream] =
         start + sim::transmit_time(frame_bytes, opts_.stream_gbps);
     ready = start;
@@ -133,7 +139,10 @@ void TransferMux::do_send(std::uint32_t index, std::uint64_t seq) {
   auto& ss = stats_.streams[c.stream];
   ss.chunks++;
   ss.bytes_attempted += frame.size();
-  (void)fabric_.send_ctrl(src_, dst_, data_services_[c.stream], std::move(frame));
+  {
+    obs::CtxScope scope(obs::Tracer::global(), ctx_);
+    (void)fabric_.send_ctrl(src_, dst_, data_services_[c.stream], std::move(frame));
+  }
 
   c.sent_at = loop_.now();
   c.timer = loop_.schedule_in(opts_.chunk_timeout, [this, index, seq] {
@@ -156,6 +165,13 @@ void TransferMux::on_chunk_timeout(std::uint32_t index, std::uint64_t seq) {
   obs::Registry::global().counter("migr.xfer.chunk_retries").inc();
   const sim::DurationNs backoff = std::min<sim::DurationNs>(
       opts_.retry_backoff << (c.attempts - 1), opts_.max_backoff);
+  if (opts_.cp != nullptr && opts_.cp->enabled()) {
+    // Lost attempt + backoff: dead time the loss caused, ending at the
+    // moment the re-send becomes eligible.
+    opts_.cp->add(c.sent_at, loop_.now() + backoff, obs::EdgeClass::chunk_retry,
+                  "chunk " + std::to_string(index) + " try " +
+                      std::to_string(c.attempts));
+  }
   schedule_send(index, backoff);
 }
 
@@ -178,7 +194,10 @@ void TransferMux::on_data(std::uint32_t stream, Bytes&& frame) {
   ByteWriter w;
   w.u64(*seq);
   w.u32(*index);
-  (void)fabric_.send_ctrl(dst_, src_, ack_service_, std::move(w).take());
+  {
+    obs::CtxScope scope(obs::Tracer::global(), ctx_);
+    (void)fabric_.send_ctrl(dst_, src_, ack_service_, std::move(w).take());
+  }
 
   if (!rx_active_ || *seq != rx_seq_ || *index >= rx_nchunks_) return;
   if (rx_have_[*index]) return;
@@ -214,6 +233,11 @@ void TransferMux::on_ack(Bytes&& frame) {
       .histogram("migr.xfer.chunk_rtt_ns",
                  {{"stream", std::to_string(c.stream)}})
       .observe(static_cast<double>(loop_.now() - c.sent_at));
+  if (opts_.cp != nullptr && opts_.cp->enabled()) {
+    // Delivered attempt: wire + ack round-trip for this chunk.
+    opts_.cp->add(c.sent_at, loop_.now(), obs::EdgeClass::chunk_wire,
+                  "chunk " + std::to_string(*index));
+  }
   if (++acked_count_ == chunks_.size()) finish_tx();
 }
 

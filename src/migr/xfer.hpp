@@ -21,6 +21,8 @@
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 #include "net/fabric.hpp"
+#include "obs/critical_path.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 
 namespace migr::migrlib {
@@ -39,6 +41,10 @@ struct XferOptions {
   /// Ceiling for the doubling retry backoff — a many-retry chunk on a lossy
   /// link must not back off past the transfer deadline.
   sim::DurationNs max_backoff = sim::msec(50);
+  /// Critical-path interval sink (DESIGN.md §16): per-chunk wire/retry/
+  /// pacing intervals are recorded here when the owner armed the recorder.
+  /// Must outlive the mux; nullptr (or a disabled recorder) records nothing.
+  obs::CpRecorder* cp = nullptr;
 };
 
 /// Per-stream wire accounting, in frame bytes (chunk payload + framing).
@@ -114,6 +120,10 @@ class TransferMux {
   const XferStats& stats() const noexcept { return stats_; }
   const XferOptions& options() const noexcept { return opts_; }
 
+  /// Causal scope installed around every chunk/ack send, so flow events and
+  /// responder spans parent-link to the owning workflow's span.
+  void set_trace_context(obs::TraceContext ctx) noexcept { ctx_ = ctx; }
+
   /// Framing bytes added per chunk (seq + index + count + stream + length).
   static constexpr std::uint64_t kFrameOverhead = 8 + 4 + 4 + 4 + 4;
 
@@ -150,6 +160,7 @@ class TransferMux {
   XferOptions opts_;
   std::vector<std::string> data_services_;
   std::string ack_service_;
+  obs::TraceContext ctx_;
 
   DeliverFn deliver_;
   FailFn fail_;

@@ -1,8 +1,10 @@
 #include "net/fabric.hpp"
 
+#include <cstdio>
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 
 namespace migr::net {
 
@@ -287,11 +289,35 @@ common::Result<sim::TimeNs> Fabric::send_ctrl(HostId src, HostId dst,
   }
   const sim::TimeNs deliver_at = serialized_at + config_.propagation + faults_.ctrl_delay;
 
-  loop_.post_at(deliver_at, [this, src, dst, service, payload = std::move(payload)]() mutable {
+  // Causal piggyback: capture the sender's TraceContext and a flow id now;
+  // the delivery lambda emits the flow arrow (both endpoints, so a dropped
+  // or partitioned message emits neither) and installs the context around
+  // the handler so responder spans parent-link back to the requester.
+  auto& tracer = obs::Tracer::global();
+  obs::TraceContext send_ctx;
+  std::uint64_t flow_id = 0;
+  if (tracer.enabled()) {
+    send_ctx = tracer.context();
+    flow_id = tracer.new_id();
+  }
+
+  loop_.post_at(deliver_at, [this, src, dst, service, serialized_at, send_ctx, flow_id,
+                             payload = std::move(payload)]() mutable {
     if (partitioned(src) || partitioned(dst)) return;
     auto it = services_.find({dst, service});
     if (it != services_.end() && it->second) {
-      it->second(src, std::move(payload));
+      auto& tr = obs::Tracer::global();
+      if (flow_id != 0 && tr.enabled()) {
+        char hosts[48];
+        std::snprintf(hosts, sizeof hosts, "\"src\":%u,\"dst\":%u",
+                      static_cast<unsigned>(src), static_cast<unsigned>(dst));
+        tr.flow_start(serialized_at, service, "net.ctrl", flow_id, hosts);
+        tr.flow_finish(loop_.now(), service, "net.ctrl", flow_id, hosts);
+        obs::CtxScope scope(tr, send_ctx);
+        it->second(src, std::move(payload));
+      } else {
+        it->second(src, std::move(payload));
+      }
     } else {
       MIGR_DEBUG() << "ctrl message for unknown service " << service << " on host " << dst;
     }

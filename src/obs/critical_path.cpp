@@ -1,0 +1,138 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+
+namespace migr::obs {
+
+const char* edge_class_name(EdgeClass cls) {
+  switch (cls) {
+    case EdgeClass::wbs_wait: return "wbs_wait";
+    case EdgeClass::ckpt_dump: return "ckpt_dump";
+    case EdgeClass::chunk_wire: return "chunk_wire";
+    case EdgeClass::chunk_retry: return "chunk_retry";
+    case EdgeClass::restore_apply: return "restore_apply";
+    case EdgeClass::qp_reestablish: return "qp_reestablish";
+    case EdgeClass::ctrl_rtt: return "ctrl_rtt";
+    case EdgeClass::scheduler_hold: return "scheduler_hold";
+    case EdgeClass::slack: return "slack";
+  }
+  return "?";
+}
+
+EdgeClass CriticalPath::dominant() const noexcept {
+  EdgeClass best = EdgeClass::slack;
+  std::int64_t best_ns = 0;
+  for (std::size_t i = 0; i + 1 < kEdgeClassCount; ++i) {  // slack excluded
+    if (by_class[i] > best_ns) {
+      best_ns = by_class[i];
+      best = static_cast<EdgeClass>(i);
+    }
+  }
+  return best_ns > 0 ? best : EdgeClass::slack;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+}  // namespace
+
+std::string CriticalPath::json() const {
+  std::string out = "{\"window_start_ns\":";
+  out += std::to_string(window_start);
+  out += ",\"window_end_ns\":";
+  out += std::to_string(window_end);
+  out += ",\"total_ns\":";
+  out += std::to_string(total());
+  out += ",\"dominant\":\"";
+  out += edge_class_name(dominant());
+  out += "\",\"by_class\":{";
+  for (std::size_t i = 0; i < kEdgeClassCount; ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += edge_class_name(static_cast<EdgeClass>(i));
+    out += "\":";
+    out += std::to_string(by_class[i]);
+  }
+  out += "},\"edges\":[";
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const CpEdge& e = edges[i];
+    if (i != 0) out += ',';
+    out += "{\"class\":\"";
+    out += edge_class_name(e.cls);
+    out += "\",\"start_ns\":";
+    out += std::to_string(e.start);
+    out += ",\"dur_ns\":";
+    out += std::to_string(e.dur());
+    if (!e.label.empty()) {
+      out += ",\"label\":\"";
+      append_escaped(out, e.label);
+      out += '"';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+CriticalPath CpRecorder::resolve(std::int64_t window_start, std::int64_t window_end) const {
+  CriticalPath cp;
+  cp.window_start = window_start;
+  cp.window_end = window_end;
+  if (window_end <= window_start) return cp;
+  cp.valid = true;
+
+  // Backward walk: at each cursor, the chosen interval is the one that
+  // reaches furthest toward the cursor (max min(end, cursor)); among equals
+  // the latest-starting (shortest) interval wins, then the latest-recorded —
+  // all deterministic, no sim state consulted.
+  std::vector<CpEdge> rev;
+  std::int64_t cursor = window_end;
+  while (cursor > window_start) {
+    const CpInterval* best = nullptr;
+    std::int64_t best_reach = window_start;
+    for (const CpInterval& iv : intervals_) {
+      if (iv.start >= cursor || iv.end <= window_start) continue;
+      const std::int64_t reach = std::min(iv.end, cursor);
+      if (best == nullptr || reach > best_reach ||
+          (reach == best_reach && iv.start >= best->start)) {
+        best = &iv;
+        best_reach = reach;
+      }
+    }
+    if (best == nullptr) {
+      rev.push_back(CpEdge{window_start, cursor, EdgeClass::slack, {}});
+      break;
+    }
+    if (best_reach < cursor) {
+      rev.push_back(CpEdge{best_reach, cursor, EdgeClass::slack, {}});
+      cursor = best_reach;
+      continue;  // re-pick: `best` is still the frontier candidate
+    }
+    const std::int64_t seg_start = std::max(best->start, window_start);
+    rev.push_back(CpEdge{seg_start, cursor, best->cls, best->label});
+    cursor = seg_start;
+  }
+  // Reverse into time order and coalesce adjacent same-class/same-label
+  // edges (slack fragments in particular).
+  cp.edges.reserve(rev.size());
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    if (!cp.edges.empty() && cp.edges.back().cls == it->cls &&
+        cp.edges.back().label == it->label && cp.edges.back().end == it->start) {
+      cp.edges.back().end = it->end;
+    } else {
+      cp.edges.push_back(*it);
+    }
+  }
+  for (const CpEdge& e : cp.edges) {
+    cp.by_class[static_cast<std::size_t>(e.cls)] += e.dur();
+  }
+  return cp;
+}
+
+}  // namespace migr::obs

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <map>
+
+#include "obs/metrics.hpp"
 
 namespace migr::obs {
 
@@ -16,6 +19,8 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
   buf_.reserve(std::min<std::size_t>(capacity_, 1024));
 }
 
+Tracer::~Tracer() { close_incremental(); }
+
 void Tracer::set_capacity(std::size_t capacity) {
   capacity_ = capacity == 0 ? 1 : capacity;
   clear();
@@ -25,42 +30,69 @@ void Tracer::clear() {
   buf_.clear();
   head_ = 0;
   total_ = 0;
+  next_id_ = 0;
+  ctx_ = {};
+  spilled_ = 0;
+  close_incremental();
 }
 
 void Tracer::push(TraceEvent ev) {
   total_++;
   if (buf_.size() < capacity_) {
     buf_.push_back(std::move(ev));
-  } else {
-    buf_[head_] = std::move(ev);
-    head_ = (head_ + 1) % capacity_;
+    return;
   }
+  if (inc_file_ != nullptr) {
+    // Bounded-memory mode: move the whole buffer to disk, then keep going.
+    (void)spill_buffer();
+    buf_.push_back(std::move(ev));
+    return;
+  }
+  buf_[head_] = std::move(ev);
+  head_ = (head_ + 1) % capacity_;
+  Registry::global().counter("obs.trace.dropped").inc();
 }
 
 void Tracer::begin(std::int64_t ts_ns, std::string_view name, std::string_view cat,
                    std::string args) {
   if (!enabled()) return;
-  push(TraceEvent{TraceEvent::Phase::begin, ts_ns, 0, std::string{name}, std::string{cat},
-                  std::move(args)});
+  push(TraceEvent{TraceEvent::Phase::begin, ts_ns, 0, 0, 0, std::string{name},
+                  std::string{cat}, std::move(args)});
 }
 
 void Tracer::end(std::int64_t ts_ns, std::string_view name, std::string_view cat) {
   if (!enabled()) return;
-  push(TraceEvent{TraceEvent::Phase::end, ts_ns, 0, std::string{name}, std::string{cat}, {}});
+  push(TraceEvent{TraceEvent::Phase::end, ts_ns, 0, 0, 0, std::string{name},
+                  std::string{cat}, {}});
 }
 
 void Tracer::complete(std::int64_t ts_ns, std::int64_t dur_ns, std::string_view name,
-                      std::string_view cat, std::string args) {
+                      std::string_view cat, std::string args, std::uint64_t id,
+                      std::uint64_t parent) {
   if (!enabled()) return;
-  push(TraceEvent{TraceEvent::Phase::complete, ts_ns, dur_ns, std::string{name},
-                  std::string{cat}, std::move(args)});
+  push(TraceEvent{TraceEvent::Phase::complete, ts_ns, dur_ns, id, parent,
+                  std::string{name}, std::string{cat}, std::move(args)});
 }
 
 void Tracer::instant(std::int64_t ts_ns, std::string_view name, std::string_view cat,
-                     std::string args) {
+                     std::string args, std::uint64_t id, std::uint64_t parent) {
   if (!enabled()) return;
-  push(TraceEvent{TraceEvent::Phase::instant, ts_ns, 0, std::string{name}, std::string{cat},
-                  std::move(args)});
+  push(TraceEvent{TraceEvent::Phase::instant, ts_ns, 0, id, parent, std::string{name},
+                  std::string{cat}, std::move(args)});
+}
+
+void Tracer::flow_start(std::int64_t ts_ns, std::string_view name, std::string_view cat,
+                        std::uint64_t flow_id, std::string args) {
+  if (!enabled()) return;
+  push(TraceEvent{TraceEvent::Phase::flow_start, ts_ns, 0, flow_id, 0, std::string{name},
+                  std::string{cat}, std::move(args)});
+}
+
+void Tracer::flow_finish(std::int64_t ts_ns, std::string_view name, std::string_view cat,
+                         std::uint64_t flow_id, std::string args) {
+  if (!enabled()) return;
+  push(TraceEvent{TraceEvent::Phase::flow_finish, ts_ns, 0, flow_id, 0, std::string{name},
+                  std::string{cat}, std::move(args)});
 }
 
 std::vector<TraceEvent> Tracer::events() const {
@@ -106,69 +138,171 @@ void append_us(std::string& out, std::int64_t ns) {
 
 }  // namespace
 
+void Tracer::append_event_json(std::string& out, const TraceEvent& ev,
+                               std::map<std::string, int>& tids, bool& first) const {
+  // Assign one Perfetto track ("thread") per category in first-seen order,
+  // emitting the thread_name metadata record inline the first time (viewers
+  // accept metadata anywhere in the stream).
+  auto [it, inserted] = tids.emplace(ev.cat, static_cast<int>(tids.size()) + 1);
+  if (inserted) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(it->second);
+    out += ",\"args\":{\"name\":\"";
+    append_escaped(out, ev.cat);
+    out += "\"}}";
+  }
+  if (!first) out += ',';
+  first = false;
+  out += "{\"name\":\"";
+  append_escaped(out, ev.name);
+  out += "\",\"cat\":\"";
+  append_escaped(out, ev.cat);
+  out += "\",\"ph\":\"";
+  out += static_cast<char>(ev.ph);
+  out += "\",\"ts\":";
+  append_us(out, ev.ts_ns);
+  if (ev.ph == TraceEvent::Phase::complete) {
+    out += ",\"dur\":";
+    append_us(out, ev.dur_ns);
+  }
+  if (ev.ph == TraceEvent::Phase::instant) {
+    out += ",\"s\":\"g\"";  // global-scope instant: draws a full-height line
+  }
+  if (ev.ph == TraceEvent::Phase::flow_start || ev.ph == TraceEvent::Phase::flow_finish) {
+    out += ",\"id\":";
+    out += std::to_string(ev.id);
+    if (ev.ph == TraceEvent::Phase::flow_finish) {
+      out += ",\"bp\":\"e\"";  // bind to the enclosing slice
+    }
+  }
+  out += ",\"pid\":1,\"tid\":";
+  out += std::to_string(it->second);
+  out += ",\"args\":{\"ts_ns\":";
+  out += std::to_string(ev.ts_ns);
+  if (ev.ph == TraceEvent::Phase::complete) {
+    out += ",\"dur_ns\":";
+    out += std::to_string(ev.dur_ns);
+  }
+  if (ev.id != 0 && ev.ph != TraceEvent::Phase::flow_start &&
+      ev.ph != TraceEvent::Phase::flow_finish) {
+    out += ",\"id\":";
+    out += std::to_string(ev.id);
+  }
+  if (ev.parent != 0) {
+    out += ",\"parent\":";
+    out += std::to_string(ev.parent);
+  }
+  if (!ev.args.empty()) {
+    out += ',';
+    out += ev.args;
+  }
+  out += "}}";
+}
+
 std::string Tracer::export_chrome_json() const {
   const auto evs = events();
-  // One Perfetto track ("thread") per category, in order of appearance.
   std::map<std::string, int> tids;
-  for (const auto& ev : evs) {
-    tids.emplace(ev.cat, static_cast<int>(tids.size()) + 1);
-  }
-
   std::string out;
   out.reserve(evs.size() * 128 + 256);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  for (const auto& [cat, tid] : tids) {
-    if (!first) out += ',';
-    first = false;
-    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
-    out += std::to_string(tid);
-    out += ",\"args\":{\"name\":\"";
-    append_escaped(out, cat);
-    out += "\"}}";
-  }
-  for (const auto& ev : evs) {
-    if (!first) out += ',';
-    first = false;
-    out += "{\"name\":\"";
-    append_escaped(out, ev.name);
-    out += "\",\"cat\":\"";
-    append_escaped(out, ev.cat);
-    out += "\",\"ph\":\"";
-    out += static_cast<char>(ev.ph);
-    out += "\",\"ts\":";
-    append_us(out, ev.ts_ns);
-    if (ev.ph == TraceEvent::Phase::complete) {
-      out += ",\"dur\":";
-      append_us(out, ev.dur_ns);
-    }
-    if (ev.ph == TraceEvent::Phase::instant) {
-      out += ",\"s\":\"g\"";  // global-scope instant: draws a full-height line
-    }
-    out += ",\"pid\":1,\"tid\":";
-    out += std::to_string(tids.at(ev.cat));
-    out += ",\"args\":{\"ts_ns\":";
-    out += std::to_string(ev.ts_ns);
-    if (ev.ph == TraceEvent::Phase::complete) {
-      out += ",\"dur_ns\":";
-      out += std::to_string(ev.dur_ns);
-    }
-    if (!ev.args.empty()) {
-      out += ',';
-      out += ev.args;
-    }
-    out += "}}";
-  }
+  for (const auto& ev : evs) append_event_json(out, ev, tids, first);
+  // Stats record so tools can tell a complete graph from a truncated one
+  // (the parent-link check is only sound when nothing was evicted).
+  if (!first) out += ',';
+  out += "{\"name\":\"trace_stats\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"total\":";
+  out += std::to_string(total_);
+  out += ",\"dropped\":";
+  out += std::to_string(dropped());
+  out += ",\"spilled\":";
+  out += std::to_string(spilled_);
+  out += "}}";
   out += "]}";
   return out;
 }
 
-common::Status Tracer::flush() const {
+common::Status Tracer::set_incremental_path(const std::string& path) {
+  close_incremental();
+  if (path.empty()) return common::Status::ok();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return common::err(common::Errc::internal, "cannot open trace spill file " + path);
+  }
+  const char* prefix = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}";
+  std::fwrite(prefix, 1, std::strlen(prefix), f);
+  std::fflush(f);
+  inc_file_ = f;
+  inc_path_ = path;
+  inc_tids_.clear();
+  inc_first_ = true;
+  return common::Status::ok();
+}
+
+common::Status Tracer::spill_buffer() {
+  if (inc_file_ == nullptr || buf_.empty()) return common::Status::ok();
+  // Rewind over the closing "]}"" and append this batch, then re-close so the
+  // file is valid JSON between spills (an aborted run keeps a loadable file).
+  if (std::fseek(inc_file_, -2, SEEK_END) != 0) {
+    return common::err(common::Errc::internal, "cannot seek trace spill file " + inc_path_);
+  }
+  std::string out;
+  out.reserve(buf_.size() * 128);
+  bool first = inc_first_;
+  for (std::size_t i = 0; i < buf_.size(); ++i) {
+    append_event_json(out, buf_[(head_ + i) % buf_.size()], inc_tids_, first);
+  }
+  inc_first_ = first;
+  out += "]}";
+  const std::size_t written = std::fwrite(out.data(), 1, out.size(), inc_file_);
+  std::fflush(inc_file_);
+  spilled_ += buf_.size();
+  buf_.clear();
+  head_ = 0;
+  if (written != out.size()) {
+    return common::err(common::Errc::internal, "short write to trace spill file " + inc_path_);
+  }
+  return common::Status::ok();
+}
+
+void Tracer::close_incremental() {
+  if (inc_file_ != nullptr) {
+    std::fclose(inc_file_);
+    inc_file_ = nullptr;
+  }
+  inc_path_.clear();
+  inc_tids_.clear();
+  inc_first_ = true;
+}
+
+common::Status Tracer::flush() {
+  if (inc_file_ != nullptr) return spill_buffer();
   if (flush_path_.empty()) return common::Status::ok();
   return write_chrome_json(flush_path_);
 }
 
-common::Status Tracer::write_chrome_json(const std::string& path) const {
+common::Status Tracer::write_chrome_json(const std::string& path) {
+  if (inc_file_ != nullptr && path == inc_path_) {
+    // Finalize the incremental file: spill the tail and close. The stats
+    // record is appended as a final batch element.
+    common::Status st = spill_buffer();
+    if (!st.is_ok()) return st;
+    if (std::fseek(inc_file_, -2, SEEK_END) == 0) {
+      std::string out;
+      if (!inc_first_) out += ',';
+      out += "{\"name\":\"trace_stats\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"total\":";
+      out += std::to_string(total_);
+      out += ",\"dropped\":";
+      out += std::to_string(dropped());
+      out += ",\"spilled\":";
+      out += std::to_string(spilled_);
+      out += "}}]}";
+      std::fwrite(out.data(), 1, out.size(), inc_file_);
+    }
+    close_incremental();
+    return common::Status::ok();
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return common::err(common::Errc::internal, "cannot open trace file " + path);

@@ -50,7 +50,7 @@ TrafficProfile chatty_profile() {
 }
 
 std::string run_drain_once(bool lossy, std::uint32_t streams = 1,
-                           bool suppress = false) {
+                           bool suppress = false, bool critical_path = false) {
   ClusterConfig cfg;
   cfg.hosts = 8;
   cfg.seed = 7;
@@ -79,6 +79,7 @@ std::string run_drain_once(bool lossy, std::uint32_t streams = 1,
     scfg.migration.xfer_stream_gbps = 25.0;
   }
   scfg.migration.suppress_pages = suppress;
+  scfg.migration.critical_path = critical_path;
   MigrationScheduler sched(model, scfg);
   DrainWorkflow drain(model, sched);
   const DrainReport rep = drain.run(1);
@@ -355,6 +356,64 @@ TEST(DeterminismTest, SliTimelineIsByteIdenticalAcrossRuns) {
   EXPECT_EQ(first.report, second.report);
   EXPECT_EQ(first.metrics, second.metrics);
   EXPECT_EQ(first.timeline, second.timeline);
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path attribution on vs off
+// ---------------------------------------------------------------------------
+
+// The CpRecorder only appends already-known sim times to a vector — it must
+// never schedule events, consume RNG, or otherwise touch the timeline. So a
+// cp-on drain report is the cp-off report plus the purely additive
+// "critical_path ..." / "cp edge=..." rollup lines, and every non-obs.*
+// metric is identical.
+std::string strip_cp_lines(const std::string& rendered) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < rendered.size()) {
+    std::size_t eol = rendered.find('\n', pos);
+    if (eol == std::string::npos) eol = rendered.size() - 1;
+    const std::string line = rendered.substr(pos, eol - pos + 1);
+    if (line.rfind("critical_path ", 0) != 0 && line.rfind("cp edge=", 0) != 0) {
+      out += line;
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+struct CpRun {
+  std::string report;
+  std::string metrics;  // registry snapshot, "sim."/"obs." excluded
+};
+
+CpRun run_with_cp(bool cp_on) {
+  obs::Registry::global().reset();
+  CpRun out;
+  out.report = run_drain_once(/*lossy=*/true, /*streams=*/1,
+                              /*suppress=*/false, /*critical_path=*/cp_on);
+  for (const auto& e : obs::Registry::global().snapshot()) {
+    if (e.name.rfind("sim.", 0) == 0) continue;
+    if (e.name.rfind("obs.", 0) == 0) continue;  // tracer bookkeeping
+    out.metrics += e.name + "=" + std::to_string(e.value) + "," + std::to_string(e.count) + "\n";
+  }
+  return out;
+}
+
+TEST(DeterminismTest, CriticalPathRecorderIsInvisibleToTheSimulation) {
+  const CpRun off = run_with_cp(/*cp_on=*/false);
+  const CpRun on = run_with_cp(/*cp_on=*/true);
+  // cp-on renders extra rollup lines; everything else is byte-identical.
+  EXPECT_NE(on.report, off.report);
+  EXPECT_EQ(strip_cp_lines(on.report), off.report);
+  EXPECT_EQ(on.metrics, off.metrics);
+}
+
+TEST(DeterminismTest, CriticalPathReportIsByteIdenticalAcrossRuns) {
+  const CpRun first = run_with_cp(/*cp_on=*/true);
+  const CpRun second = run_with_cp(/*cp_on=*/true);
+  EXPECT_EQ(first.report, second.report);
+  EXPECT_EQ(first.metrics, second.metrics);
 }
 
 }  // namespace

@@ -3,12 +3,16 @@
 # their own (fast signal on transport/migration robustness regressions),
 # a perf smoke (simulator event-rate bench vs the checked-in baseline),
 # a blackout-anatomy artifact stage (instrumented lossy drain + schema
-# validation of the trace/timeseries/flight-recorder outputs), a pre-copy
-# vs post-copy drain comparison gated on post-copy's shorter blackout, a
-# multifd scale-out stage (1-stream vs 4-stream drain gated on the mux
-# cutting the median transfer phase >= 1.5x), an FT failover stage
-# (kill-primary under a lossy seed, gated on the output-commit invariant
-# and the validated ft_report), then the sanitizer pass.
+# validation of the trace/timeseries/flight-recorder outputs), a blackout
+# critical-path stage (lossy + clean drains with causal attribution armed,
+# gated on the tiling invariant and the dominant edge matching the injected
+# fault), a pre-copy vs post-copy drain comparison gated on post-copy's
+# shorter blackout, a multifd scale-out stage (1-stream vs 4-stream drain
+# gated on the mux cutting the median transfer phase >= 1.5x), an FT
+# failover stage (kill-primary under a lossy seed, gated on the output-
+# commit invariant and the validated ft_report incl. its critical path), a
+# bench-delta advisory (tools/bench_diff.py vs the committed BENCH_*.json
+# baselines), then the sanitizer pass.
 #
 #   tools/ci.sh              # everything
 #   tools/ci.sh --fast       # skip the sanitizer pass
@@ -20,12 +24,12 @@ cd "$REPO_ROOT"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
-echo "==> [1/8] plain build + full test suite"
+echo "==> [1/10] plain build + full test suite"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-echo "==> [2/8] lossy-seed suites (fault injection, adversarial migrations, lossy drain)"
+echo "==> [2/10] lossy-seed suites (fault injection, adversarial migrations, lossy drain)"
 # Deterministic seeded runs: the fault scenario suite, every property test
 # that drives traffic through injected loss/reordering/partitions, and the
 # cluster suite (scheduler admission/retry plus the seeded lossy drain with
@@ -33,7 +37,7 @@ echo "==> [2/8] lossy-seed suites (fault injection, adversarial migrations, loss
 ctest --test-dir build --output-on-failure -j "$(nproc)" \
   -R '(ScenarioRunner|MigrationAbort|AdversarialMigrationProperty|TransportProperty|ClusterScheduler|ClusterDrain)'
 
-echo "==> [3/8] perf smoke (bench_simrate vs BENCH_simrate.json baseline)"
+echo "==> [3/10] perf smoke (bench_simrate vs BENCH_simrate.json baseline)"
 # Advisory, not a gate: wall time on shared CI machines is noisy, so a
 # regression prints a loud warning instead of failing the pipeline. The
 # fresh numbers land in build/BENCH_simrate.json for inspection; refresh
@@ -65,7 +69,7 @@ else
   echo "    no checked-in BENCH_simrate.json baseline; skipping comparison"
 fi
 
-echo "==> [4/8] blackout-anatomy artifacts (instrumented lossy drain + schema validation)"
+echo "==> [4/10] blackout-anatomy artifacts (instrumented lossy drain + schema validation)"
 # One seeded lossy drain with the full observability stack armed: Chrome
 # trace, metric time series, and the wire flight recorder. The python
 # validator pins the artifact schemas so downstream tooling (trace viewers,
@@ -91,7 +95,27 @@ build/bench/bench_cluster_drain --loss 0.2 --seed 11 --conc 4 \
   --sli-csv "$ART_DIR/drain.sli.csv"
 python3 tools/validate_artifacts.py --slo "$ART_DIR/drain.slo.json" --expect-alert
 
-echo "==> [5/8] pre-copy vs post-copy drain comparison (write-heavy fleet)"
+echo "==> [5/10] blackout critical-path attribution (lossy drain, retry-dominant)"
+# Causal attribution stage (DESIGN.md §16): a wire-bound drain — restore
+# pre-synced like the FT standby (--restore-ms 2) so the blackout is not
+# restore-dominated — under heavy ctrl-plane loss, so image transfers time
+# out and retry. The validator pins the critical_path schema, the tiling
+# invariant (per-guest edge sums == blackout_ns, gap-free edge walk), and
+# that the injected loss actually shows up as the story the report tells:
+# chunk_retry edges present and dominant across the fleet.
+build/bench/bench_cluster_drain --loss 0.01 --ctrl-loss 0.3 --seed 11 --conc 4 \
+  --critical-path --restore-ms 2 --drain-out "$ART_DIR/drain.cp.json"
+python3 tools/validate_artifacts.py --drain "$ART_DIR/drain.cp.json" \
+  --critical-path --expect-retry-edges --expect-dominant chunk_retry
+# Same fleet without the injected ctrl loss: attribution must still tile
+# (the invariant holds on clean runs too) but the dominant edge moves off
+# chunk_retry — the clean leg is restore-bound.
+build/bench/bench_cluster_drain --loss 0.01 --seed 11 --conc 4 \
+  --critical-path --drain-out "$ART_DIR/drain.cp_clean.json"
+python3 tools/validate_artifacts.py --drain "$ART_DIR/drain.cp_clean.json" \
+  --critical-path --expect-dominant restore_apply
+
+echo "==> [6/10] pre-copy vs post-copy drain comparison (write-heavy fleet)"
 # The same write-heavy drain (8 MiB dirty MR per guest, clean fabric) run
 # once per migration mode. The validator pins the drain_report schema on
 # both legs — including gap-free waterfall tiling and the post-copy fault
@@ -106,7 +130,7 @@ python3 tools/validate_artifacts.py \
   --drain "$ART_DIR/drain.postcopy.json" \
   --expect-postcopy-faster "$ART_DIR/drain.precopy.json" "$ART_DIR/drain.postcopy.json"
 
-echo "==> [6/8] multifd scale-out (1-stream vs 4-stream drain)"
+echo "==> [7/10] multifd scale-out (1-stream vs 4-stream drain)"
 # The same write-heavy drain run once with a single paced 25 Gbps transfer
 # stream and once with the 4-stream mux (4 x 25 Gbps). Concurrency is pinned
 # to 1: at --conc 4 four concurrent migrations already fill the 100 Gbps
@@ -149,22 +173,29 @@ if ratio < 1.5:
              f"by >= 1.5x (got {ratio:.2f}x)")
 EOF
 
-echo "==> [7/8] FT failover comparison (kill-primary under a lossy seed)"
+echo "==> [8/10] FT failover comparison (kill-primary under a lossy seed)"
 # Continuous-protection stage: the seeded 8-host scenario with data-plane
 # loss, primary killed mid-traffic. The bench itself gates on the output-
 # commit invariant (zero duplicate client-visible messages) and on the FT
 # blackout beating the modeled log-replay baseline; the validator pins the
 # ft_report schema (epoch accounting balance, committed-epoch monotonicity,
 # gap-free failover waterfall tiling).
-build/bench/bench_ft_failover --loss 0.01 --seed 11 \
+build/bench/bench_ft_failover --loss 0.01 --seed 11 --critical-path \
   --ft-out "$ART_DIR/ft_report.json" \
   --bench-out build/BENCH_ft.json
-python3 tools/validate_artifacts.py --ft "$ART_DIR/ft_report.json"
+python3 tools/validate_artifacts.py --ft "$ART_DIR/ft_report.json" --critical-path
+
+echo "==> [9/10] bench delta vs committed baselines (advisory)"
+# Per-metric delta table over every BENCH_*.json pair (simrate from stage 3,
+# ft from stage 8, xfer regenerated here). Advisory like the perf smoke:
+# shared-machine wall times are noisy; refresh baselines from a quiet box.
+build/bench/bench_xfer --out build/BENCH_xfer.json
+python3 tools/bench_diff.py
 
 if [[ "$FAST" == "1" ]]; then
-  echo "==> [8/8] sanitizer pass skipped (--fast)"
+  echo "==> [10/10] sanitizer pass skipped (--fast)"
   exit 0
 fi
 
-echo "==> [8/8] sanitizer pass (address)"
+echo "==> [10/10] sanitizer pass (address)"
 tools/run_sanitized.sh address

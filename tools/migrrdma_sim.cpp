@@ -70,6 +70,8 @@ struct Options {
   std::string slo_spec;         // empty = SLO engine off
   std::string slo_out = "slo_report.json";
   std::string sli_csv;          // empty = no window-timeline CSV
+  bool critical_path = false;   // blackout edge attribution (DESIGN.md §16)
+  std::uint64_t trace_max_events = 0;  // 0 = tracer default capacity
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -79,7 +81,8 @@ struct Options {
                "          [--wbs-timeout-ms T] [--precopy-rounds N] [--seed S]\n"
                "          [--trace OUT.json] [--timeseries OUT.csv|OUT.json]\n"
                "          [--timeseries-interval-us N] [--record OUT.json] [--metrics]\n"
-               "          [--slo SPEC] [--slo-out OUT.json] [--sli-csv OUT.csv]\n",
+               "          [--slo SPEC] [--slo-out OUT.json] [--sli-csv OUT.csv]\n"
+               "          [--critical-path] [--trace-max-events N]\n",
                argv0);
   std::exit(2);
 }
@@ -139,6 +142,11 @@ Options parse(int argc, char** argv) {
       o.slo_out = need_value("--slo-out");
     } else if (arg == "--sli-csv") {
       o.sli_csv = need_value("--sli-csv");
+    } else if (arg == "--critical-path") {
+      o.critical_path = true;
+    } else if (arg == "--trace-max-events") {
+      o.trace_max_events =
+          std::strtoull(need_value("--trace-max-events"), nullptr, 10);
     } else {
       usage(argv[0]);
     }
@@ -161,6 +169,16 @@ int main(int argc, char** argv) {
     // Aborts and failures flush to this path, so even a run that dies
     // mid-migration leaves a loadable trace.
     tracer.set_flush_path(opt.trace_path);
+    if (opt.trace_max_events > 0) {
+      // Bounded-memory tracing: cap the ring and spill full batches to the
+      // trace file instead of evicting.
+      tracer.set_capacity(static_cast<std::size_t>(opt.trace_max_events));
+      if (auto st = tracer.set_incremental_path(opt.trace_path); !st.is_ok()) {
+        std::fprintf(stderr, "cannot open trace spill file: %s\n",
+                     st.to_string().c_str());
+        return 1;
+      }
+    }
   }
   if (!opt.record_path.empty()) obs::FlightRecorder::global().set_enabled(true);
   obs::TimeSeriesSampler sampler;
@@ -226,6 +244,7 @@ int main(int argc, char** argv) {
   mopts.pre_setup = opt.presetup;
   mopts.wbs_timeout = opt.wbs_timeout;
   mopts.max_precopy_rounds = opt.precopy_rounds;
+  mopts.critical_path = opt.critical_path;
   migrlib::MigrationController ctl(world.loop(), world.fabric(), directory, mopts);
   auto& dest = world.add_process("restored");
   migrlib::MigrationReport report;
@@ -362,6 +381,11 @@ int main(int argc, char** argv) {
   }
   if (!write_artifacts()) return 1;
   std::printf("\nblackout waterfall: %s\n", report.waterfall_json().c_str());
+  if (report.critical_path.valid) {
+    std::printf("critical path (dominant=%s): %s\n",
+                obs::edge_class_name(report.critical_path.dominant()),
+                report.critical_path.json().c_str());
+  }
   if (opt.metrics) {
     std::printf("\nmetrics registry:\n");
     obs::Registry::global().print(stdout);

@@ -33,7 +33,7 @@ import csv
 import json
 import sys
 
-VALID_PHASES = {"B", "E", "i", "X", "M"}
+VALID_PHASES = {"B", "E", "i", "X", "M", "s", "f"}
 PACKET_FIELDS = {"ts_ns", "src", "dst", "op", "qpn", "psn", "bytes", "verdict"}
 PACKET_VERDICTS = {"delivered", "dropped", "reordered", "partitioned"}
 RECORD_KINDS = {"flight_recorder_capture", "flight_recorder_dump"}
@@ -59,6 +59,11 @@ def check_trace(path):
         return fail(path, "traceEvents is not a list")
     if not events:
         return fail(path, "trace is empty")
+    flow_starts = {}
+    flow_finishes = {}
+    span_ids = set()
+    parents = []  # (event index, parent id)
+    dropped = 0
     for i, ev in enumerate(events):
         ph = ev.get("ph")
         if ph not in VALID_PHASES:
@@ -69,7 +74,39 @@ def check_trace(path):
             return fail(path, f"event {i}: missing ts")
         if ph == "X" and "dur" not in ev:
             return fail(path, f"event {i}: complete event without dur")
-    print(f"OK   {path}: {len(events)} trace events")
+        if ph == "M" and ev["name"] == "trace_stats":
+            dropped = ev.get("args", {}).get("dropped", 0)
+        if ph in ("s", "f"):
+            if "id" not in ev:
+                return fail(path, f"event {i}: flow event without id")
+            side = flow_starts if ph == "s" else flow_finishes
+            if ev["id"] in side:
+                return fail(path, f"event {i}: duplicate flow {ph} id {ev['id']}")
+            side[ev["id"]] = i
+            if ph == "f" and ev.get("bp") != "e":
+                return fail(path, f"event {i}: flow finish without bp=e")
+        args = ev.get("args", {})
+        if isinstance(args, dict):
+            if args.get("id"):
+                span_ids.add(args["id"])
+            if args.get("parent"):
+                parents.append((i, args["parent"]))
+    # Causal-graph integrity. Ring eviction can orphan one endpoint of a
+    # flow or a span's parent; the trace_stats metadata reports it, and the
+    # graph checks relax — the artifact is still loadable, just truncated.
+    if dropped == 0:
+        for fid, i in flow_starts.items():
+            if fid not in flow_finishes:
+                return fail(path, f"event {i}: flow start {fid} without finish")
+        for fid, i in flow_finishes.items():
+            if fid not in flow_starts:
+                return fail(path, f"event {i}: flow finish {fid} without start")
+        for i, parent in parents:
+            if parent not in span_ids:
+                return fail(path, f"event {i}: parent id {parent} not in trace")
+    print(f"OK   {path}: {len(events)} trace events, "
+          f"{len(flow_starts)} flows, {len(parents)} parent links"
+          f"{f', {dropped} dropped (graph checks relaxed)' if dropped else ''}")
     return True
 
 
@@ -463,6 +500,125 @@ def check_ft(path):
     return True
 
 
+EDGE_CLASSES = [
+    "wbs_wait", "ckpt_dump", "chunk_wire", "chunk_retry", "restore_apply",
+    "qp_reestablish", "ctrl_rtt", "scheduler_hold", "slack",
+]
+CP_FIELDS = {"window_start_ns", "window_end_ns", "total_ns", "dominant",
+             "by_class", "edges"}
+CP_ROLLUP_CLASS_FIELDS = {"class", "dominant_of", "total_ns", "max_ns",
+                          "p50_ns", "p99_ns"}
+
+
+def check_cp_block(path, label, cp, blackout_ns=None):
+    """One resolved critical path: schema, tiling (edges and by_class both
+    sum exactly to the window == blackout), and a consistent dominant."""
+    missing = CP_FIELDS - cp.keys()
+    if missing:
+        return fail(path, f"{label}: critical_path missing {sorted(missing)}")
+    window = cp["window_end_ns"] - cp["window_start_ns"]
+    if cp["total_ns"] != window:
+        return fail(path, f"{label}: total_ns {cp['total_ns']} != window {window}")
+    if blackout_ns is not None and cp["total_ns"] != blackout_ns:
+        return fail(path, f"{label}: critical path covers {cp['total_ns']} ns "
+                          f"but the blackout is {blackout_ns} ns")
+    bc = cp["by_class"]
+    if set(bc.keys()) != set(EDGE_CLASSES):
+        return fail(path, f"{label}: by_class classes {sorted(bc)} != taxonomy")
+    if sum(bc.values()) != cp["total_ns"]:
+        return fail(path, f"{label}: by_class sums to {sum(bc.values())}, "
+                          f"not total_ns {cp['total_ns']} — tiling broken")
+    cursor = cp["window_start_ns"]
+    for i, e in enumerate(cp["edges"]):
+        if e.get("class") not in EDGE_CLASSES:
+            return fail(path, f"{label} edge {i}: bad class {e.get('class')!r}")
+        if e["start_ns"] != cursor:
+            return fail(path, f"{label} edge {i}: gap ({e['start_ns']} != {cursor})")
+        if e["dur_ns"] <= 0:
+            return fail(path, f"{label} edge {i}: non-positive duration")
+        cursor += e["dur_ns"]
+    if cursor != cp["window_end_ns"]:
+        return fail(path, f"{label}: edges end at {cursor}, "
+                          f"not window_end {cp['window_end_ns']}")
+    nonslack = {c: bc[c] for c in EDGE_CLASSES[:-1] if bc[c] > 0}
+    expect = max(nonslack, key=lambda c: nonslack[c]) if nonslack else "slack"
+    if not cp["dominant"]:
+        return fail(path, f"{label}: empty dominant edge")
+    if nonslack and bc[cp["dominant"]] != nonslack[expect]:
+        return fail(path, f"{label}: dominant {cp['dominant']!r} is not the "
+                          f"largest non-slack class ({expect!r})")
+    return True
+
+
+def check_drain_critical_path(path, expect_retry_edges=False, expect_dominant=None):
+    """--critical-path pins for a drain report: fleet rollup present with the
+    full taxonomy, and every completed guest carries a tiling critical path."""
+    with open(path) as f:
+        doc = json.load(f)
+    fleet = doc.get("critical_path")
+    if not isinstance(fleet, dict):
+        return fail(path, "no fleet critical_path block — was the drain run "
+                          "with --critical-path?")
+    if fleet.get("migrations", 0) == 0:
+        return fail(path, "fleet critical_path covers zero migrations")
+    if not fleet.get("dominant"):
+        return fail(path, "fleet critical_path without a dominant edge")
+    rollup = fleet.get("by_class")
+    if not isinstance(rollup, list) or [c.get("class") for c in rollup] != EDGE_CLASSES:
+        return fail(path, "fleet by_class must list the full edge taxonomy in order")
+    retry_total = 0
+    for c in rollup:
+        missing = CP_ROLLUP_CLASS_FIELDS - c.keys()
+        if missing:
+            return fail(path, f"by_class {c.get('class')}: missing {sorted(missing)}")
+        if not (c["p50_ns"] <= c["p99_ns"] <= c["max_ns"] <= c["total_ns"]):
+            return fail(path, f"by_class {c['class']}: percentile order broken")
+        if c["class"] == "chunk_retry":
+            retry_total = c["total_ns"]
+    n_guests = 0
+    for g in doc.get("guests", []):
+        gid = g.get("guest")
+        cp = g.get("critical_path")
+        if cp is None:
+            if g.get("ok"):
+                return fail(path, f"guest {gid}: completed without a critical path")
+            continue
+        blackout = g["blackout_ns"] if g.get("ok") else None
+        if not check_cp_block(path, f"guest {gid}", cp, blackout):
+            return False
+        n_guests += 1
+    if n_guests != fleet["migrations"]:
+        return fail(path, f"{n_guests} guest critical paths vs fleet "
+                          f"rollup {fleet['migrations']}")
+    if expect_retry_edges and retry_total == 0:
+        return fail(path, "expected chunk_retry edges (lossy leg), saw none")
+    if expect_dominant and fleet["dominant"] != expect_dominant:
+        return fail(path, f"expected dominant edge {expect_dominant!r}, "
+                          f"report says {fleet['dominant']!r}")
+    print(f"OK   {path}: critical path over {n_guests} guests, "
+          f"dominant={fleet['dominant']}")
+    return True
+
+
+def check_ft_critical_path(path):
+    """--critical-path pin for an ft_report: a completed failover must carry
+    a critical path tiling [killed_at, resume_at] exactly."""
+    with open(path) as f:
+        doc = json.load(f)
+    fo = doc.get("failover", {})
+    if not fo.get("occurred"):
+        print(f"OK   {path}: no failover, no critical path required")
+        return True
+    cp = fo.get("critical_path")
+    if not isinstance(cp, dict):
+        return fail(path, "failover without a critical_path block — was the "
+                          "run armed with critical_path?")
+    if not check_cp_block(path, "failover", cp, fo["blackout_ns"]):
+        return False
+    print(f"OK   {path}: failover critical path, dominant={cp['dominant']}")
+    return True
+
+
 def check_postcopy_faster(pre_path, post_path):
     with open(pre_path) as f:
         pre = json.load(f)
@@ -522,6 +678,22 @@ def main():
         metavar=("PRE", "POST"),
         help="fail unless POST's blackout p50 beats PRE's",
     )
+    ap.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="require critical-path blocks (schema + tiling) in every "
+             "--drain and --ft report",
+    )
+    ap.add_argument(
+        "--expect-retry-edges",
+        action="store_true",
+        help="fail unless some drain critical path carries chunk_retry time",
+    )
+    ap.add_argument(
+        "--expect-dominant",
+        metavar="EDGE",
+        help="fail unless each drain's fleet dominant edge is EDGE",
+    )
     args = ap.parse_args()
 
     ok = True
@@ -535,8 +707,14 @@ def main():
         ok = check_slo(args.slo, expect_alert=args.expect_alert) and ok
     for path in args.drain:
         ok = check_drain(path, expect_streams=args.expect_streams) and ok
+        if args.critical_path:
+            ok = check_drain_critical_path(
+                path, expect_retry_edges=args.expect_retry_edges,
+                expect_dominant=args.expect_dominant) and ok
     for path in args.ft:
         ok = check_ft(path) and ok
+        if args.critical_path:
+            ok = check_ft_critical_path(path) and ok
     if args.expect_postcopy_faster:
         ok = check_postcopy_faster(*args.expect_postcopy_faster) and ok
     if not (args.trace or args.timeseries or args.record or args.slo
